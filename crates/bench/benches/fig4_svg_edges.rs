@@ -1,0 +1,80 @@
+//! Regenerates **Fig. 4** of the paper: SVG edge creation in a two-drone
+//! scenario. One drone flies on each side of the on-path obstacle; spoofing
+//! the drone on one side drags the other *toward* the obstacle (edge
+//! created) or *away* from it (no edge), depending on which drone is
+//! displaced and in which direction.
+
+use swarm_math::{Vec2, Vec3};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::recorder::MissionRecord;
+use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::world::{Obstacle, World};
+use swarmfuzz::report::write_csv;
+use swarmfuzz::SvgBuilder;
+use swarmfuzz_bench::{paper_controller, results_dir};
+
+fn main() {
+    let controller = paper_controller();
+
+    // Fig. 4 geometry: obstacle dead ahead, drone 1 passes left (+y),
+    // drone 2 passes right (-y). (Paper numbering is 1-based; ours 0-based.)
+    let mut spec = MissionSpec::paper_delivery(2, 0);
+    spec.world = World::with_obstacles(vec![Obstacle::Cylinder {
+        center: Vec2::new(40.0, 0.0),
+        radius: 4.0,
+    }]);
+
+    let mut record = MissionRecord::new(2, 0.1);
+    let apart = [Vec3::new(0.0, 40.0, 10.0), Vec3::new(0.0, -40.0, 10.0)];
+    let close = [Vec3::new(30.0, 7.0, 10.0), Vec3::new(30.0, -7.0, 10.0)];
+    let vels = [Vec3::new(2.5, 0.0, 0.0); 2];
+    record.push_sample(0.0, &apart, &vels, &[36.0; 2]);
+    record.push_sample(0.1, &close, &vels, &[7.0; 2]);
+
+    let builder = SvgBuilder::new(&controller, &spec, &record, 10.0);
+    let mut rows = Vec::new();
+    println!("Fig 4: SVG edges in the two-drone scenario (drone0 left of obstacle, drone1 right)\n");
+    for dir in SpoofDirection::BOTH {
+        let svg = builder.build(dir).expect("SVG builds");
+        println!("spoofing direction: {dir} (θ = {})", dir.theta());
+        for i in 0..2 {
+            for j in 0..2 {
+                if i == j {
+                    continue;
+                }
+                let edge = svg.graph.edge_weight(i, j);
+                let verdict = match edge {
+                    Some(w) => format!("edge e_{{{i}{j}}} created (w = {w:.3})"),
+                    None => format!("no edge e_{{{i}{j}}}"),
+                };
+                println!("  spoofing drone{j}'s effect on drone{i}: {verdict}");
+                rows.push(vec![
+                    dir.to_string(),
+                    i.to_string(),
+                    j.to_string(),
+                    edge.map_or(String::new(), |w| format!("{w:.4}")),
+                ]);
+            }
+        }
+        println!(
+            "  target scores {:?}  victim scores {:?}\n",
+            svg.target_scores
+                .iter()
+                .map(|x| (x * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+            svg.victim_scores
+                .iter()
+                .map(|x| (x * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "paper Fig. 4: spoofing the drone on one side influences the drone on the \
+         opposite side only for the direction that drags it toward the obstacle."
+    );
+
+    let path = results_dir().join("fig4_svg_edges.csv");
+    write_csv(&path, &["direction", "influenced", "influencer", "weight"], &rows)
+        .expect("write fig4 csv");
+    println!("csv: {}", path.display());
+}

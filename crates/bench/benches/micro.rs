@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! PageRank power iteration, one full simulated mission, SVG construction,
+//! and a single objective evaluation (one fuzzing "search iteration").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::{DroneId, Simulation};
+use swarmfuzz::SvgBuilder;
+use swarmfuzz_bench::paper_controller;
+
+fn bench_pagerank(c: &mut Criterion) {
+    use swarm_graph::centrality::{pagerank, PageRankConfig};
+    use swarm_graph::DiGraph;
+
+    let mut group = c.benchmark_group("pagerank");
+    for &n in &[5usize, 15, 100] {
+        // Ring + chords: every node points at the next and at node 0.
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if i != j {
+                g.add_edge(i, j, 1.0).unwrap();
+            }
+            if i != 0 {
+                g.add_edge(i, 0, 0.5).unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| pagerank(g, &PageRankConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mission");
+    group.sample_size(10);
+    for &n in &[5usize, 15] {
+        let mut spec = MissionSpec::paper_delivery(n, 1);
+        spec.duration = 30.0; // truncated mission: steady-state stepping cost
+        let sim = Simulation::new(spec, paper_controller()).unwrap();
+        group.bench_with_input(BenchmarkId::new("30s-no-attack", n), &sim, |b, sim| {
+            b.iter(|| sim.run(None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_svg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svg_build");
+    for &n in &[5usize, 15] {
+        let spec = MissionSpec::paper_delivery(n, 1);
+        let controller = paper_controller();
+        let sim = Simulation::new(spec.clone(), controller).unwrap();
+        let record = sim.run(None).unwrap().record;
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                SvgBuilder::new(&controller, &spec, &record, 10.0)
+                    .build(SpoofDirection::Right)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attack_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_eval");
+    group.sample_size(10);
+    let spec = MissionSpec::paper_delivery(5, 1);
+    let sim = Simulation::new(spec, paper_controller()).unwrap();
+    let attack =
+        SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 20.0, 12.0, 10.0).unwrap();
+    group.bench_function("5d-10m-full-mission", |b| {
+        b.iter(|| sim.run(Some(&attack)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank, bench_mission, bench_svg_build, bench_attack_eval);
+criterion_main!(benches);

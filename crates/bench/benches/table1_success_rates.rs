@@ -1,0 +1,60 @@
+//! Regenerates **Table I** of the paper: SwarmFuzz's success rate in finding
+//! SPVs across the six swarm configurations ({5, 10, 15} drones × {5, 10} m
+//! spoofing).
+//!
+//! Paper values for reference:
+//!
+//! | spoofing | 5 drones | 10 drones | 15 drones |
+//! |----------|----------|-----------|-----------|
+//! | 5 m      | 21%      | 36%       | 54%       |
+//! | 10 m     | 49%      | 59%       | 74%       |
+//!
+//! Expected shape (not absolute values): success increases with swarm size
+//! and with spoofing distance.
+
+use swarmfuzz::report::{success_rate_table, write_csv};
+use swarmfuzz_bench::{cached_paper_campaign, paper_configs, percent, print_table, results_dir};
+
+fn main() {
+    let report = cached_paper_campaign();
+    let configs = paper_configs();
+    let table = success_rate_table(&report, &configs);
+
+    let mut rows = Vec::new();
+    for &deviation in &[5.0, 10.0] {
+        let mut row = vec![format!("{deviation:.0}m spoofing")];
+        for &n in &[5usize, 10, 15] {
+            let cell = table
+                .iter()
+                .find(|m| m.config.swarm_size == n && m.config.deviation == deviation)
+                .map(|m| percent(m.value))
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table I: success rates of SwarmFuzz in finding SPVs",
+        &["", "5 drones", "10 drones", "15 drones"],
+        &rows,
+    );
+    let avg = table.iter().map(|m| m.value).sum::<f64>() / table.len() as f64;
+    println!("average success rate: {} (paper: 48.8%)", percent(avg));
+    println!("paper Table I:        5m: 21/36/54%   10m: 49/59/74%");
+
+    let csv_rows: Vec<Vec<String>> = table
+        .iter()
+        .map(|m| {
+            vec![
+                m.config.swarm_size.to_string(),
+                m.config.deviation.to_string(),
+                format!("{:.4}", m.value),
+                m.missions.to_string(),
+            ]
+        })
+        .collect();
+    let path = results_dir().join("table1_success_rates.csv");
+    write_csv(&path, &["swarm_size", "deviation_m", "success_rate", "missions"], &csv_rows)
+        .expect("write table1 csv");
+    println!("csv: {}", path.display());
+}

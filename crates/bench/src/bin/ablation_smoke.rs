@@ -1,0 +1,40 @@
+//! Development tool: quick ablation (Table III) smoke run — the four fuzzer
+//! variants on 5-drone and 10-drone swarms at 10 m spoofing.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarmfuzz::campaign::{run_campaign, CampaignConfig, SwarmConfig};
+use swarmfuzz::{Fuzzer, FuzzerConfig};
+
+fn main() {
+    let missions: usize = std::env::var("SWARMFUZZ_MISSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let controller = VasarhelyiController::new(VasarhelyiParams::default());
+    for swarm_size in [5usize, 10] {
+        let campaign = CampaignConfig {
+            configs: vec![SwarmConfig { swarm_size, deviation: 10.0 }],
+            missions_per_config: missions,
+            base_seed: 0xC0FFEE,
+            workers: 1,
+        };
+        println!("--- {swarm_size} drones, 10 m spoofing ---");
+        for make in [
+            FuzzerConfig::swarmfuzz as fn(f64) -> FuzzerConfig,
+            FuzzerConfig::r_fuzz,
+            FuzzerConfig::g_fuzz,
+            FuzzerConfig::s_fuzz,
+        ] {
+            let cfg = make(10.0);
+            let report =
+                run_campaign(&campaign, |d| Fuzzer::new(controller, make(d))).unwrap();
+            let c = campaign.configs[0];
+            println!(
+                "{}\tsuccess {:.0}%\tavg iters {:.2}",
+                cfg.variant_name(),
+                report.success_rate(c).unwrap() * 100.0,
+                report.mean_iterations(c).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Developer tool: fly unattacked missions with the crate-default (tuned)
+//! configuration and print baseline safety statistics per swarm size —
+//! collision rate (these seeds are skipped by campaigns), arrival rate, VDO
+//! distribution and mission duration.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::Simulation;
+
+fn main() {
+    let missions: usize = std::env::var("SWARMFUZZ_MISSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let controller = VasarhelyiController::new(VasarhelyiParams::default());
+    println!("swarm\tcoll\tarrived\tvdo(min/med/max)\tP(vdo<=4m)\tdur");
+    for &n in &[5usize, 10, 15] {
+        let mut collisions = 0usize;
+        let mut arrived = 0usize;
+        let mut vdos = Vec::new();
+        let mut durations = Vec::new();
+        for seed in 0..missions as u64 {
+            let spec = MissionSpec::paper_delivery(n, 1000 + seed);
+            let sim = Simulation::new(spec, controller).unwrap();
+            let out = sim.run(None).unwrap();
+            if !out.collision_free() {
+                collisions += 1;
+                continue;
+            }
+            if out.record.all_arrived() {
+                arrived += 1;
+            }
+            if let Some((_, vdo)) = out.record.mission_vdo() {
+                vdos.push(vdo);
+            }
+            durations.push(out.record.duration());
+        }
+        vdos.sort_by(|a, b| a.partial_cmp(b).expect("finite VDOs"));
+        let med = vdos[vdos.len() / 2];
+        let le4 = vdos.iter().filter(|&&v| v <= 4.0).count() as f64 / vdos.len() as f64;
+        let mean_dur = durations.iter().sum::<f64>() / durations.len() as f64;
+        println!(
+            "{n}\t{collisions}/{missions}\t{arrived}\t{:.2}/{med:.2}/{:.2}\t{le4:.2}\t{mean_dur:.0}s",
+            vdos.first().expect("at least one clean mission"),
+            vdos.last().expect("at least one clean mission"),
+        );
+    }
+}

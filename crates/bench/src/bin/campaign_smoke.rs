@@ -1,0 +1,29 @@
+//! Development tool: quick fuzzing-campaign smoke run with the crate-default
+//! (tuned) parameters. Prints Table I/II-style rows on a reduced mission
+//! count, plus the baseline skip rate per configuration.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarmfuzz::campaign::{run_campaign, CampaignConfig};
+use swarmfuzz::{Fuzzer, FuzzerConfig};
+
+fn main() {
+    let missions: usize = std::env::var("SWARMFUZZ_MISSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let campaign = CampaignConfig::paper_grid(missions, 0xC0FFEE);
+    let controller = VasarhelyiController::new(VasarhelyiParams::default());
+    let report = run_campaign(&campaign, |d| {
+        Fuzzer::new(controller, FuzzerConfig::swarmfuzz(d))
+    })
+    .unwrap();
+    println!("config\tsuccess\tavg_iters\tmissions");
+    for &config in &campaign.configs {
+        println!(
+            "{config}\t{:.0}%\t{:.2}\t{}",
+            report.success_rate(config).unwrap() * 100.0,
+            report.mean_iterations(config).unwrap(),
+            report.for_config(config).len()
+        );
+    }
+}

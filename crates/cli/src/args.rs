@@ -1,0 +1,154 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error for command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+    /// A positional or unknown token was encountered.
+    Unknown(String),
+    /// A required flag is absent.
+    Required(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} requires a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "invalid value {value:?} for {flag}")
+            }
+            ArgError::Unknown(tok) => write!(f, "unknown argument {tok:?}"),
+            ArgError::Required(flag) => write!(f, "missing required flag {flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses tokens of the form `--key value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingValue`] for a trailing flag and
+    /// [`ArgError::Unknown`] for tokens that do not start with `--`.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut values = HashMap::new();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::Unknown(tok));
+            };
+            let value = it.next().ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            values.insert(key.to_string(), value);
+        }
+        Ok(Args { values })
+    }
+
+    /// The raw value of `key`, if present.
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parses an optional flag, falling back to `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when the flag is present but invalid.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: format!("--{key}"),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Parses a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Required`] when absent, [`ArgError::BadValue`]
+    /// when invalid.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        match self.values.get(key) {
+            None => Err(ArgError::Required(format!("--{key}"))),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: format!("--{key}"),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = Args::parse(toks("--drones 10 --deviation 5.0")).unwrap();
+        assert_eq!(a.get_or("drones", 0usize).unwrap(), 10);
+        assert_eq!(a.get_or("deviation", 0.0f64).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn default_applies_when_absent() {
+        let a = Args::parse(toks("")).unwrap();
+        assert_eq!(a.get_or("missions", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            Args::parse(toks("--drones")),
+            Err(ArgError::MissingValue("--drones".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_positional_is_an_error() {
+        assert!(matches!(Args::parse(toks("stray")), Err(ArgError::Unknown(_))));
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = Args::parse(toks("--drones ten")).unwrap();
+        assert!(matches!(a.get_or("drones", 0usize), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn required_flag_enforced() {
+        let a = Args::parse(toks("")).unwrap();
+        assert_eq!(a.require::<u64>("seed"), Err(ArgError::Required("--seed".into())));
+    }
+
+    #[test]
+    fn raw_lookup() {
+        let a = Args::parse(toks("--direction left")).unwrap();
+        assert_eq!(a.raw("direction"), Some("left"));
+        assert_eq!(a.raw("missing"), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! `swarmfuzz` — command-line interface to the SwarmFuzz reproduction.
+//!
+//! ```text
+//! swarmfuzz audit    --drones 10 --deviation 10 --missions 10
+//! swarmfuzz campaign --missions 20 [--workers 4]
+//! swarmfuzz baseline --drones 10 --seed 7
+//! swarmfuzz replay   --drones 10 --seed 7 --target 3 --direction right \
+//!                    --start 12.5 --duration 10 --deviation 10
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::{DroneId, Simulation};
+use swarmfuzz::campaign::{run_campaign, CampaignConfig};
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+
+const USAGE: &str = "\
+swarmfuzz — discover GPS-spoofing attacks in drone swarms (DSN'23 reproduction)
+
+USAGE:
+    swarmfuzz <command> [--flag value]...
+
+COMMANDS:
+    audit     fuzz a batch of missions and report vulnerable ones
+                --drones N (10)  --deviation M (10)  --missions K (10)  --seed S (0)
+    campaign  run the paper's 6-configuration evaluation grid
+                --missions K (20)  --workers W (cores)
+    baseline  fly one mission without any attack and print statistics
+                --drones N (10)  --seed S (0)
+    replay    replay a specific spoofing attack and report the outcome
+                --drones N (10)  --seed S (0)  --target T  --direction left|right
+                --start TS  --duration DT  --deviation M (10)  --minimize yes|no (no)
+    help      print this message
+";
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "audit" => cmd_audit(&args),
+        "campaign" => cmd_campaign(&args),
+        "baseline" => cmd_baseline(&args),
+        "replay" => cmd_replay(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[derive(Debug)]
+enum CliError {
+    Arg(ArgError),
+    Fuzz(FuzzError),
+    Sim(swarm_sim::SimError),
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::Fuzz(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+impl From<FuzzError> for CliError {
+    fn from(e: FuzzError) -> Self {
+        CliError::Fuzz(e)
+    }
+}
+impl From<swarm_sim::SimError> for CliError {
+    fn from(e: swarm_sim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+fn cmd_audit(args: &Args) -> Result<(), CliError> {
+    let drones: usize = args.get_or("drones", 10)?;
+    let deviation: f64 = args.get_or("deviation", 10.0)?;
+    let missions: usize = args.get_or("missions", 10)?;
+    let base_seed: u64 = args.get_or("seed", 0)?;
+
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(deviation));
+    let mut vulnerable = 0usize;
+    let mut audited = 0usize;
+    let mut seed = base_seed;
+    while audited < missions {
+        let spec = MissionSpec::paper_delivery(drones, seed);
+        seed += 1;
+        match fuzzer.fuzz(&spec) {
+            Err(FuzzError::BaselineCollision(_)) => continue,
+            Err(e) => return Err(e.into()),
+            Ok(report) => {
+                audited += 1;
+                match &report.finding {
+                    Some(f) => {
+                        vulnerable += 1;
+                        println!(
+                            "mission seed {:>4}: VULNERABLE  vdo={:.2}m  spoof {} {} \
+                             [{:.1},{:.1})s -> {} crashes at {:.1}s",
+                            seed - 1,
+                            report.mission_vdo,
+                            f.seed.target,
+                            f.seed.direction,
+                            f.start,
+                            f.start + f.duration,
+                            f.actual_victim,
+                            f.collision_time
+                        );
+                    }
+                    None => println!(
+                        "mission seed {:>4}: resilient   vdo={:.2}m  ({} iterations)",
+                        seed - 1,
+                        report.mission_vdo,
+                        report.evaluations
+                    ),
+                }
+            }
+        }
+    }
+    println!("\n{vulnerable}/{audited} missions vulnerable at {deviation:.0} m spoofing");
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), CliError> {
+    let missions: usize = args.get_or("missions", 20)?;
+    let workers: usize = args.get_or(
+        "workers",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    )?;
+    let mut campaign = CampaignConfig::paper_grid(missions, 0xC0FFEE);
+    campaign.workers = workers;
+    let ctrl = controller();
+    let report = run_campaign(&campaign, |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)))
+        .map_err(CliError::Fuzz)?;
+    println!("config\tsuccess\tavg_iterations\tmissions");
+    for &config in &campaign.configs {
+        println!(
+            "{config}\t{:.0}%\t{:.2}\t{}",
+            report.success_rate(config).unwrap_or(0.0) * 100.0,
+            report.mean_iterations(config).unwrap_or(0.0),
+            report.for_config(config).len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &Args) -> Result<(), CliError> {
+    let drones: usize = args.get_or("drones", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let spec = MissionSpec::paper_delivery(drones, seed);
+    let sim = Simulation::new(spec, controller())?;
+    let out = sim.run(None)?;
+    println!("mission seed {seed}, {drones} drones:");
+    println!("  duration        : {:.1} s", out.record.duration());
+    println!("  collisions      : {}", out.record.collisions().len());
+    println!("  all arrived     : {}", out.record.all_arrived());
+    if let Some((drone, vdo)) = out.record.mission_vdo() {
+        println!("  VDO             : {vdo:.2} m ({drone})");
+    }
+    if let Some((_, t_clo)) = out.record.closest_approach() {
+        println!("  closest approach: t = {t_clo:.1} s");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), CliError> {
+    let drones: usize = args.get_or("drones", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let target: usize = args.require("target")?;
+    let direction = match args.raw("direction") {
+        Some("left") => SpoofDirection::Left,
+        Some("right") => SpoofDirection::Right,
+        Some(other) => {
+            return Err(CliError::Other(format!(
+                "--direction must be 'left' or 'right', got {other:?}"
+            )))
+        }
+        None => return Err(CliError::Arg(ArgError::Required("--direction".into()))),
+    };
+    let start: f64 = args.require("start")?;
+    let duration: f64 = args.require("duration")?;
+    let deviation: f64 = args.get_or("deviation", 10.0)?;
+
+    let spec = MissionSpec::paper_delivery(drones, seed);
+    let sim = Simulation::new(spec, controller())?;
+    let attack = SpoofingAttack::new(DroneId(target), direction, start, duration, deviation)?;
+    println!("replaying: {attack}");
+    let out = sim.run(Some(&attack))?;
+    match out.spv_collision(DroneId(target)) {
+        Some((victim, t)) => {
+            println!("SPV confirmed: {victim} crashes into the obstacle at t = {t:.1} s");
+            if args.raw("minimize") == Some("yes") {
+                use swarmfuzz::minimize::{minimize_attack, MinimizeConfig};
+                use swarmfuzz::seed::Seed;
+                use swarmfuzz::SpvFinding;
+                let finding = SpvFinding {
+                    seed: Seed {
+                        target: DroneId(target),
+                        victim,
+                        direction,
+                        influence: 0.0,
+                        victim_vdo: 0.0,
+                    },
+                    start,
+                    duration,
+                    deviation,
+                    actual_victim: victim,
+                    collision_time: t,
+                };
+                let min = minimize_attack(&sim, &finding, &MinimizeConfig::default())
+                    .map_err(CliError::Fuzz)?;
+                println!(
+                    "minimal attack: {} ({} probe missions; window shrunk to {:.0}% of original)",
+                    min.attack,
+                    min.evaluations,
+                    min.duration_ratio() * 100.0
+                );
+            }
+        }
+        None => match out.first_collision() {
+            Some(c) => println!("collision at t = {:.1} s but not a valid SPV: {:?}", c.time, c.kind),
+            None => println!("no collision — attack ineffective on this mission"),
+        },
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! The ideal braking curve of Vásárhelyi et al. (2018).
+//!
+//! `D(r, a, p)` is the largest speed from which an agent with maximum
+//! deceleration `a` and a linear approach phase of gain `p` can still stop
+//! within distance `r`. It shapes both the velocity-alignment ("friction")
+//! term and the obstacle ("shill") term of the flocking model: far from a
+//! conflict the allowed velocity difference is large, close to it the curve
+//! forces agreement.
+
+/// The ideal braking curve `D(r, a, p)`.
+///
+/// * `r <= 0` → `0` (no room left: demand full agreement);
+/// * small `r` → linear regime `r · p`;
+/// * large `r` → square-root regime `sqrt(2·a·r − a²/p²)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `p <= 0`.
+///
+/// ```
+/// use swarm_control::braking::braking_curve;
+/// assert_eq!(braking_curve(-1.0, 1.0, 1.0), 0.0);
+/// assert!(braking_curve(10.0, 1.0, 1.0) > braking_curve(1.0, 1.0, 1.0));
+/// ```
+pub fn braking_curve(r: f64, a: f64, p: f64) -> f64 {
+    assert!(a > 0.0, "braking deceleration must be positive, got {a}");
+    assert!(p > 0.0, "braking gain must be positive, got {p}");
+    if r <= 0.0 {
+        0.0
+    } else if r * p < a / p {
+        r * p
+    } else {
+        (2.0 * a * r - a * a / (p * p)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_distance_demands_stop() {
+        assert_eq!(braking_curve(-5.0, 2.0, 1.0), 0.0);
+        assert_eq!(braking_curve(0.0, 2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn linear_regime_near_zero() {
+        let v = braking_curve(0.1, 4.0, 2.0);
+        assert!((v - 0.2).abs() < 1e-12, "v={v}");
+    }
+
+    #[test]
+    fn sqrt_regime_far_away() {
+        let (r, a, p) = (100.0, 2.0, 1.0);
+        let v = braking_curve(r, a, p);
+        assert!((v - (2.0 * a * r - a * a).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_continuous_at_regime_boundary() {
+        let (a, p) = (2.0, 1.5);
+        let r_star = a / (p * p);
+        let eps = 1e-9;
+        let below = braking_curve(r_star - eps, a, p);
+        let above = braking_curve(r_star + eps, a, p);
+        assert!((below - above).abs() < 1e-6, "discontinuity: {below} vs {above}");
+    }
+
+    #[test]
+    fn curve_is_monotone_in_distance() {
+        let mut last = 0.0;
+        for i in 1..200 {
+            let v = braking_curve(i as f64 * 0.1, 1.5, 2.0);
+            assert!(v >= last, "braking curve must be non-decreasing");
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deceleration must be positive")]
+    fn rejects_non_positive_deceleration() {
+        braking_curve(1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be positive")]
+    fn rejects_non_positive_gain() {
+        braking_curve(1.0, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Campaign orchestration: fuzz many missions across swarm configurations.
+//!
+//! The paper's evaluation (§V-B) runs 100 missions for each of six
+//! configurations (swarm sizes {5, 10, 15} × spoofing distances {5 m, 10 m})
+//! and reports per-configuration success rates (Table I), search iterations
+//! (Table II) and the distributions behind Figs. 6 and 7. [`run_campaign`]
+//! reproduces that pipeline, fanning missions out over worker threads.
+
+use crossbeam::channel;
+use serde::{Deserialize, Serialize};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::SwarmController;
+
+use crate::fuzzer::{Fuzzer, SpvFinding};
+use crate::FuzzError;
+
+/// One swarm configuration of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwarmConfig {
+    /// Number of drones.
+    pub swarm_size: usize,
+    /// GPS spoofing deviation in metres.
+    pub deviation: f64,
+}
+
+impl std::fmt::Display for SwarmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}d-{}m", self.swarm_size, self.deviation)
+    }
+}
+
+/// Campaign-level options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// The configuration grid (the paper uses {5,10,15} × {5 m,10 m}).
+    pub configs: Vec<SwarmConfig>,
+    /// Missions per configuration (the paper uses 100).
+    pub missions_per_config: usize,
+    /// Base seed; mission `i` of a configuration uses `base_seed + i` (after
+    /// skipping seeds whose baseline collides, mirroring the paper's setup
+    /// where no unattacked mission collides).
+    pub base_seed: u64,
+    /// Number of worker threads (1 = sequential).
+    pub workers: usize,
+}
+
+impl CampaignConfig {
+    /// The paper's six-configuration grid.
+    pub fn paper_grid(missions_per_config: usize, base_seed: u64) -> Self {
+        let mut configs = Vec::new();
+        for &deviation in &[5.0, 10.0] {
+            for &swarm_size in &[5usize, 10, 15] {
+                configs.push(SwarmConfig { swarm_size, deviation });
+            }
+        }
+        CampaignConfig { configs, missions_per_config, base_seed, workers: 1 }
+    }
+}
+
+/// Per-mission fuzzing outcome within a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionResult {
+    /// The configuration the mission belongs to.
+    pub config: SwarmConfig,
+    /// The mission seed actually used (baseline-colliding seeds skipped).
+    pub mission_seed: u64,
+    /// The mission's VDO from the initial test.
+    pub vdo: f64,
+    /// Whether the fuzzer found an SPV.
+    pub success: bool,
+    /// The finding, when successful.
+    pub finding: Option<SpvFinding>,
+    /// Search iterations (attacked missions) spent.
+    pub evaluations: usize,
+    /// Seeds tried before success/exhaustion.
+    pub seeds_tried: usize,
+}
+
+/// All results of one campaign.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// One entry per fuzzed mission.
+    pub missions: Vec<MissionResult>,
+}
+
+impl CampaignReport {
+    /// Results belonging to `config`.
+    pub fn for_config(&self, config: SwarmConfig) -> Vec<&MissionResult> {
+        self.missions.iter().filter(|m| m.config == config).collect()
+    }
+
+    /// Success rate for `config` (`None` when no missions ran for it).
+    pub fn success_rate(&self, config: SwarmConfig) -> Option<f64> {
+        let rows = self.for_config(config);
+        if rows.is_empty() {
+            return None;
+        }
+        Some(rows.iter().filter(|m| m.success).count() as f64 / rows.len() as f64)
+    }
+
+    /// Mean search iterations for `config` over all missions (`None` when no
+    /// missions ran for it).
+    pub fn mean_iterations(&self, config: SwarmConfig) -> Option<f64> {
+        let rows = self.for_config(config);
+        if rows.is_empty() {
+            return None;
+        }
+        Some(rows.iter().map(|m| m.evaluations as f64).sum::<f64>() / rows.len() as f64)
+    }
+}
+
+/// Builds the mission spec a campaign uses for `(config, seed)`. Exposed so
+/// examples and benches can reproduce individual campaign missions exactly.
+pub fn campaign_mission(config: SwarmConfig, seed: u64) -> MissionSpec {
+    MissionSpec::paper_delivery(config.swarm_size, seed)
+}
+
+/// Runs a fuzzing campaign.
+///
+/// For every configuration, missions are generated from consecutive seeds;
+/// seeds whose *baseline* mission collides are skipped (the paper's setup
+/// guarantees collision-free unattacked missions), drawing replacements until
+/// `missions_per_config` clean missions have been fuzzed.
+///
+/// `make_fuzzer` builds the per-configuration fuzzer (it receives the
+/// spoofing deviation so variants can be constructed uniformly).
+///
+/// # Errors
+///
+/// Returns the first non-recoverable [`FuzzError`] encountered (baseline
+/// collisions are handled by skipping, not returned).
+pub fn run_campaign<C, F>(
+    campaign: &CampaignConfig,
+    make_fuzzer: F,
+) -> Result<CampaignReport, FuzzError>
+where
+    C: SwarmController + Clone + Send + 'static,
+    F: Fn(f64) -> Fuzzer<C> + Sync,
+{
+    // Work items: (config, mission index).
+    let jobs: Vec<(SwarmConfig, usize)> = campaign
+        .configs
+        .iter()
+        .flat_map(|&c| (0..campaign.missions_per_config).map(move |i| (c, i)))
+        .collect();
+
+    let workers = campaign.workers.max(1);
+    let (job_tx, job_rx) = channel::unbounded::<(SwarmConfig, usize)>();
+    for job in jobs {
+        job_tx.send(job).expect("channel open");
+    }
+    drop(job_tx);
+
+    let (res_tx, res_rx) = channel::unbounded::<Result<MissionResult, FuzzError>>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let make_fuzzer = &make_fuzzer;
+            let campaign = &campaign;
+            scope.spawn(move || {
+                while let Ok((config, index)) = job_rx.recv() {
+                    let result = fuzz_one(campaign, config, index, make_fuzzer);
+                    if res_tx.send(result).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+
+        let mut missions = Vec::new();
+        for r in res_rx {
+            missions.push(r?);
+        }
+        // Deterministic order regardless of thread scheduling.
+        missions.sort_by(|a, b| {
+            (a.config.swarm_size, a.config.deviation.total_cmp(&b.config.deviation), a.mission_seed)
+                .partial_cmp(&(
+                    b.config.swarm_size,
+                    std::cmp::Ordering::Equal,
+                    b.mission_seed,
+                ))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(CampaignReport { missions })
+    })
+}
+
+fn fuzz_one<C, F>(
+    campaign: &CampaignConfig,
+    config: SwarmConfig,
+    index: usize,
+    make_fuzzer: &F,
+) -> Result<MissionResult, FuzzError>
+where
+    C: SwarmController + Clone,
+    F: Fn(f64) -> Fuzzer<C>,
+{
+    let fuzzer = make_fuzzer(config.deviation);
+    // Deterministic per-(config, index) seed stream with room for skips.
+    let mut seed = campaign.base_seed
+        + (config.swarm_size as u64) * 1_000_000
+        + (config.deviation as u64) * 100_000
+        + (index as u64) * 100;
+    // Skip seeds whose baseline collides (paper precondition).
+    for _attempt in 0..100 {
+        let spec = campaign_mission(config, seed);
+        match fuzzer.fuzz(&spec) {
+            Ok(report) => {
+                return Ok(MissionResult {
+                    config,
+                    mission_seed: seed,
+                    vdo: report.mission_vdo,
+                    success: report.is_success(),
+                    finding: report.finding,
+                    evaluations: report.evaluations,
+                    seeds_tried: report.seeds_tried,
+                });
+            }
+            Err(FuzzError::BaselineCollision(_)) => {
+                seed += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(FuzzError::Sim(swarm_sim::SimError::InvalidMission(format!(
+        "no collision-free baseline found near seed {seed} for {config}"
+    ))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_six_configs() {
+        let c = CampaignConfig::paper_grid(100, 0);
+        assert_eq!(c.configs.len(), 6);
+        assert_eq!(c.missions_per_config, 100);
+        let sizes: Vec<usize> = c.configs.iter().map(|x| x.swarm_size).collect();
+        assert!(sizes.contains(&5) && sizes.contains(&10) && sizes.contains(&15));
+    }
+
+    #[test]
+    fn config_display_matches_paper_notation() {
+        let c = SwarmConfig { swarm_size: 5, deviation: 5.0 };
+        assert_eq!(c.to_string(), "5d-5m");
+    }
+
+    #[test]
+    fn report_aggregations() {
+        let c5 = SwarmConfig { swarm_size: 5, deviation: 10.0 };
+        let c10 = SwarmConfig { swarm_size: 10, deviation: 10.0 };
+        let mk = |config, success, evals| MissionResult {
+            config,
+            mission_seed: 0,
+            vdo: 2.0,
+            success,
+            finding: None,
+            evaluations: evals,
+            seeds_tried: 1,
+        };
+        let report = CampaignReport {
+            missions: vec![mk(c5, true, 5), mk(c5, false, 20), mk(c10, true, 10)],
+        };
+        assert_eq!(report.success_rate(c5), Some(0.5));
+        assert_eq!(report.mean_iterations(c5), Some(12.5));
+        assert_eq!(report.success_rate(c10), Some(1.0));
+        assert_eq!(report.success_rate(SwarmConfig { swarm_size: 15, deviation: 5.0 }), None);
+    }
+
+    #[test]
+    fn campaign_mission_uses_config_size() {
+        let spec = campaign_mission(SwarmConfig { swarm_size: 7, deviation: 5.0 }, 3);
+        assert_eq!(spec.swarm_size, 7);
+    }
+}

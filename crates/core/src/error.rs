@@ -1,0 +1,74 @@
+use std::fmt;
+
+use swarm_sim::{CollisionEvent, SimError};
+
+/// Errors produced by the fuzzing pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzError {
+    /// The underlying simulation rejected the mission or attack.
+    Sim(SimError),
+    /// The initial (no-attack) test collided — the mission violates the
+    /// paper's precondition that unattacked missions are collision-free, so
+    /// there is nothing meaningful to fuzz.
+    BaselineCollision(CollisionEvent),
+    /// The mission's world contains no obstacle, so the SPV objective
+    /// (victim-to-obstacle distance) is undefined.
+    NoObstacle,
+    /// The swarm is too small to form a target–victim pair.
+    SwarmTooSmall(usize),
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::Sim(e) => write!(f, "simulation error: {e}"),
+            FuzzError::BaselineCollision(c) => {
+                write!(f, "initial no-attack test collided at t={:.2}s: {:?}", c.time, c.kind)
+            }
+            FuzzError::NoObstacle => write!(f, "mission has no obstacle to crash victims into"),
+            FuzzError::SwarmTooSmall(n) => {
+                write!(f, "swarm of {n} drones cannot form a target-victim pair")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuzzError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FuzzError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for FuzzError {
+    fn from(e: SimError) -> Self {
+        FuzzError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_sim::{CollisionKind, DroneId};
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = FuzzError::BaselineCollision(CollisionEvent {
+            time: 1.5,
+            kind: CollisionKind::DroneObstacle { drone: DroneId(0), obstacle: 0 },
+        });
+        assert!(e.to_string().contains("1.50"));
+        assert!(!FuzzError::NoObstacle.to_string().is_empty());
+        assert!(FuzzError::SwarmTooSmall(1).to_string().contains('1'));
+    }
+
+    #[test]
+    fn sim_error_converts_and_chains() {
+        let e: FuzzError = SimError::InvalidMission("bad".into()).into();
+        assert!(matches!(e, FuzzError::Sim(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&FuzzError::NoObstacle).is_none());
+    }
+}

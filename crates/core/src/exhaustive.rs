@@ -1,0 +1,171 @@
+//! Exhaustive grid search — approximate ground truth for coverage studies.
+//!
+//! The paper notes that measuring SwarmFuzz against the *maximum* number of
+//! SPVs "requires exhaustive sampling of the input space, which is
+//! prohibitively expensive" (§V-B). On this Rust simulator a coarse grid is
+//! merely expensive, not prohibitive, so this module provides it: enumerate
+//! every seed `<T, θ>` (victims are implicit — any non-target crash counts)
+//! against a grid of spoofing windows, and report every attack that crashes
+//! a victim. Benches use it on small mission samples to estimate what
+//! fraction of exploitable missions SwarmFuzz's 20-iteration budget finds.
+
+use swarm_sim::dynamics::Dynamics;
+use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::{DroneId, Simulation, SwarmController};
+
+use crate::FuzzError;
+
+/// Grid resolution for the exhaustive sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Spacing between start-time samples (s).
+    pub start_step: f64,
+    /// Spacing between duration samples (s).
+    pub duration_step: f64,
+    /// Largest duration to try (s).
+    pub max_duration: f64,
+    /// Stop after this many attacks crash a victim (0 = collect all).
+    pub stop_after: usize,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig { start_step: 5.0, duration_step: 5.0, max_duration: 30.0, stop_after: 1 }
+    }
+}
+
+/// The result of an exhaustive sweep over one mission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOutcome {
+    /// Every crashing attack found (bounded by `stop_after` when non-zero).
+    pub crashing_attacks: Vec<SpoofingAttack>,
+    /// Total simulated missions spent.
+    pub evaluations: usize,
+}
+
+impl GridOutcome {
+    /// `true` when at least one SPV exists at this grid resolution.
+    pub fn is_exploitable(&self) -> bool {
+        !self.crashing_attacks.is_empty()
+    }
+}
+
+/// Sweeps the attack grid against the mission simulated by `sim`.
+///
+/// `mission_duration` bounds the start-time axis (use the baseline record's
+/// duration). Every probe is one simulated mission.
+///
+/// # Errors
+///
+/// Propagates simulation failures as [`FuzzError::Sim`].
+pub fn grid_search<C: SwarmController, D: Dynamics>(
+    sim: &Simulation<C, D>,
+    deviation: f64,
+    mission_duration: f64,
+    config: &GridConfig,
+) -> Result<GridOutcome, FuzzError> {
+    let n = sim.spec().swarm_size;
+    let mut crashing = Vec::new();
+    let mut evaluations = 0usize;
+    'sweep: for target in 0..n {
+        for direction in SpoofDirection::BOTH {
+            let mut start = 0.0;
+            while start < mission_duration {
+                let mut duration = config.duration_step;
+                while duration <= config.max_duration {
+                    let attack = SpoofingAttack::new(
+                        DroneId(target),
+                        direction,
+                        start,
+                        duration,
+                        deviation,
+                    )?;
+                    evaluations += 1;
+                    let out = sim.run(Some(&attack))?;
+                    if out.spv_collision(DroneId(target)).is_some() {
+                        crashing.push(attack);
+                        if config.stop_after > 0 && crashing.len() >= config.stop_after {
+                            break 'sweep;
+                        }
+                    }
+                    duration += config.duration_step;
+                }
+                start += config.start_step;
+            }
+        }
+    }
+    Ok(GridOutcome { crashing_attacks: crashing, evaluations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_math::{Vec2, Vec3};
+    use swarm_sim::mission::MissionSpec;
+    use swarm_sim::{ControlContext, PerceivedSelf};
+
+    /// Same deterministic follow rig as the objective/minimize tests.
+    struct FollowY;
+
+    impl SwarmController for FollowY {
+        fn desired_velocity(&self, ctx: &ControlContext<'_>) -> Vec3 {
+            let PerceivedSelf { position, .. } = ctx.self_state;
+            let forward = Vec3::new(2.0, 0.0, 0.0);
+            if ctx.id == DroneId(0) {
+                return forward;
+            }
+            let target_y = ctx
+                .neighbors
+                .iter()
+                .find(|n| n.id == DroneId(0))
+                .map_or(position.y, |n| n.position.y);
+            forward + Vec3::new(0.0, (target_y - position.y) * 0.8, 0.0)
+        }
+    }
+
+    fn exploitable_sim() -> Simulation<FollowY> {
+        let mut spec = MissionSpec::paper_delivery(2, 0);
+        spec.start_min = Vec2::new(60.0, 7.0);
+        spec.start_max = Vec2::new(80.0, 9.0);
+        spec.duration = 90.0;
+        Simulation::new(spec, FollowY).unwrap()
+    }
+
+    #[test]
+    fn grid_finds_the_known_spv() {
+        let sim = exploitable_sim();
+        let out = grid_search(&sim, 10.0, 90.0, &GridConfig::default()).unwrap();
+        assert!(out.is_exploitable(), "grid must find the follow-rig SPV");
+        assert_eq!(out.crashing_attacks.len(), 1, "stop_after=1 truncates");
+        assert!(out.evaluations >= 1);
+        // The reported attack replays.
+        let replay = sim.run(Some(&out.crashing_attacks[0])).unwrap();
+        assert!(replay.spv_collision(out.crashing_attacks[0].target).is_some());
+    }
+
+    #[test]
+    fn collect_all_finds_more_than_one() {
+        let sim = exploitable_sim();
+        let cfg = GridConfig { stop_after: 0, ..Default::default() };
+        let out = grid_search(&sim, 10.0, 90.0, &cfg).unwrap();
+        assert!(out.crashing_attacks.len() > 1, "the window family is wide");
+    }
+
+    #[test]
+    fn hover_mission_is_unexploitable() {
+        struct Hover;
+        impl SwarmController for Hover {
+            fn desired_velocity(&self, _: &ControlContext<'_>) -> Vec3 {
+                Vec3::ZERO
+            }
+        }
+        let mut spec = MissionSpec::paper_delivery(2, 1);
+        spec.duration = 20.0;
+        let sim = Simulation::new(spec, Hover).unwrap();
+        let cfg = GridConfig { start_step: 10.0, duration_step: 10.0, max_duration: 10.0, stop_after: 1 };
+        let out = grid_search(&sim, 10.0, 20.0, &cfg).unwrap();
+        assert!(!out.is_exploitable());
+        // 2 targets x 2 directions x 2 starts x 1 duration = 8 probes.
+        assert_eq!(out.evaluations, 8);
+    }
+}

@@ -1,0 +1,344 @@
+//! The fuzzer driver (paper Fig. 3).
+//!
+//! [`Fuzzer`] glues the pipeline together for one mission:
+//!
+//! 1. run the initial no-attack test and record mission information;
+//! 2. build the seedpool (SVG-guided or random, depending on the variant);
+//! 3. for each seed, search the spoofing window (gradient-guided or random)
+//!    until a collision is found or the mission's evaluation budget runs out.
+//!
+//! The four fuzzers of the paper's ablation (§V-C) are the four combinations
+//! of seed strategy × search strategy:
+//!
+//! | fuzzer     | seed scheduling | parameter search |
+//! |------------|-----------------|------------------|
+//! | SwarmFuzz  | SVG             | gradient         |
+//! | `R_Fuzz`   | random          | random           |
+//! | `G_Fuzz`   | random          | gradient         |
+//! | `S_Fuzz`   | SVG             | random           |
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use swarm_math::rng::{rng_for, streams};
+use swarm_sim::dynamics::Dynamics;
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::recorder::MissionRecord;
+use swarm_sim::{DroneId, Simulation, SwarmController};
+
+use crate::objective::Objective;
+use crate::schedule::{random_schedule, svg_schedule_with_centrality};
+use crate::search::{gradient_search, random_search, GradientConfig, SearchResult};
+use crate::seed::Seed;
+use crate::svg::CentralityKind;
+use crate::FuzzError;
+
+/// How seeds are ordered for fuzzing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedStrategy {
+    /// Swarm Vulnerability Graph + PageRank + VDO ordering (the paper's).
+    Svg,
+    /// Uniformly shuffled `(T, V, θ)` combinations (ablation baseline).
+    Random,
+}
+
+/// How the spoofing window is searched for each seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Gradient-guided optimization (the paper's).
+    Gradient,
+    /// Uniform random sampling (ablation baseline).
+    Random,
+}
+
+/// Configuration of a fuzzing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzerConfig {
+    /// Seed-scheduling strategy.
+    pub seed_strategy: SeedStrategy,
+    /// Window-search strategy.
+    pub search_strategy: SearchStrategy,
+    /// Centrality measure scoring the SVG (PageRank is the paper's choice;
+    /// the alternatives exist for the centrality ablation).
+    pub centrality: CentralityKind,
+    /// GPS spoofing deviation `d` in metres (the paper uses 5 and 10).
+    pub deviation: f64,
+    /// Total mission-level budget of search iterations (simulated missions);
+    /// the paper caps search iterations at 20.
+    pub eval_budget: usize,
+    /// How long before the victim's closest approach the initial window
+    /// guess starts (seconds).
+    pub lead_time: f64,
+    /// Initial window duration guess (seconds).
+    pub initial_duration: f64,
+    /// Largest window duration the random search may draw (seconds).
+    pub max_duration: f64,
+    /// Root seed for the fuzzer's own randomness (random variants).
+    pub rng_seed: u64,
+}
+
+impl FuzzerConfig {
+    /// The full SwarmFuzz configuration (SVG + gradient).
+    pub fn swarmfuzz(deviation: f64) -> Self {
+        FuzzerConfig {
+            seed_strategy: SeedStrategy::Svg,
+            search_strategy: SearchStrategy::Gradient,
+            centrality: CentralityKind::PageRank,
+            deviation,
+            eval_budget: 20,
+            lead_time: 20.0,
+            initial_duration: 12.0,
+            max_duration: 30.0,
+            rng_seed: 0,
+        }
+    }
+
+    /// `R_Fuzz`: random seeds, random search.
+    pub fn r_fuzz(deviation: f64) -> Self {
+        FuzzerConfig {
+            seed_strategy: SeedStrategy::Random,
+            search_strategy: SearchStrategy::Random,
+            ..Self::swarmfuzz(deviation)
+        }
+    }
+
+    /// `G_Fuzz`: random seeds, gradient search.
+    pub fn g_fuzz(deviation: f64) -> Self {
+        FuzzerConfig {
+            seed_strategy: SeedStrategy::Random,
+            search_strategy: SearchStrategy::Gradient,
+            ..Self::swarmfuzz(deviation)
+        }
+    }
+
+    /// `S_Fuzz`: SVG seeds, random search.
+    pub fn s_fuzz(deviation: f64) -> Self {
+        FuzzerConfig {
+            seed_strategy: SeedStrategy::Svg,
+            search_strategy: SearchStrategy::Random,
+            ..Self::swarmfuzz(deviation)
+        }
+    }
+
+    /// A short human-readable variant name ("SwarmFuzz", "R_Fuzz", ...).
+    pub fn variant_name(&self) -> &'static str {
+        match (self.seed_strategy, self.search_strategy) {
+            (SeedStrategy::Svg, SearchStrategy::Gradient) => "SwarmFuzz",
+            (SeedStrategy::Random, SearchStrategy::Random) => "R_Fuzz",
+            (SeedStrategy::Random, SearchStrategy::Gradient) => "G_Fuzz",
+            (SeedStrategy::Svg, SearchStrategy::Random) => "S_Fuzz",
+        }
+    }
+}
+
+/// A successfully discovered Swarm Propagation Vulnerability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpvFinding {
+    /// The seed that produced the collision.
+    pub seed: Seed,
+    /// Spoofing start time `t_s`.
+    pub start: f64,
+    /// Spoofing duration `Δt`.
+    pub duration: f64,
+    /// Spoofing deviation `d`.
+    pub deviation: f64,
+    /// The drone that actually crashed into the obstacle.
+    pub actual_victim: DroneId,
+    /// Collision time within the mission.
+    pub collision_time: f64,
+}
+
+/// The result of fuzzing one mission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// The discovered SPV, when fuzzing succeeded.
+    pub finding: Option<SpvFinding>,
+    /// Total search iterations (attacked missions simulated).
+    pub evaluations: usize,
+    /// Number of seeds the fuzzer worked through.
+    pub seeds_tried: usize,
+    /// The mission's VDO (closest any drone came to the obstacle in the
+    /// no-attack test).
+    pub mission_vdo: f64,
+    /// The drone attaining the mission VDO.
+    pub vdo_drone: DroneId,
+    /// Duration of the no-attack mission in seconds.
+    pub baseline_duration: f64,
+}
+
+impl FuzzReport {
+    /// `true` when an SPV was found.
+    pub fn is_success(&self) -> bool {
+        self.finding.is_some()
+    }
+}
+
+/// A configured fuzzer bound to a swarm controller.
+#[derive(Debug, Clone)]
+pub struct Fuzzer<C> {
+    controller: C,
+    config: FuzzerConfig,
+}
+
+impl<C: SwarmController + Clone> Fuzzer<C> {
+    /// Creates a fuzzer for the given controller and configuration.
+    pub fn new(controller: C, config: FuzzerConfig) -> Self {
+        Fuzzer { controller, config }
+    }
+
+    /// The fuzzer configuration.
+    pub fn config(&self) -> &FuzzerConfig {
+        &self.config
+    }
+
+    /// Fuzzes one mission end-to-end: initial test, seed scheduling, window
+    /// search. See the module docs for the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzError::BaselineCollision`] when the no-attack mission already
+    ///   collides (nothing meaningful to fuzz);
+    /// * [`FuzzError::NoObstacle`] / [`FuzzError::SwarmTooSmall`] for
+    ///   malformed missions;
+    /// * [`FuzzError::Sim`] for simulation-level failures.
+    pub fn fuzz(&self, spec: &MissionSpec) -> Result<FuzzReport, FuzzError> {
+        let sim = Simulation::new(spec.clone(), self.controller.clone())?;
+
+        // Step 1: initial no-attack test.
+        let baseline = sim.run(None)?;
+        if let Some(c) = baseline.first_collision() {
+            return Err(FuzzError::BaselineCollision(*c));
+        }
+        let record = &baseline.record;
+        let (vdo_drone, mission_vdo) =
+            record.mission_vdo().ok_or(FuzzError::NoObstacle)?;
+
+        // Step 2: seed scheduling.
+        let mut rng = rng_for(self.config.rng_seed ^ spec.seed, streams::FUZZER);
+        let pool = match self.config.seed_strategy {
+            SeedStrategy::Svg => svg_schedule_with_centrality(
+                &self.controller,
+                spec,
+                record,
+                self.config.deviation,
+                self.config.centrality,
+            )?,
+            SeedStrategy::Random => random_schedule(record, &mut rng)?,
+        };
+
+        // Step 3: per-seed window search under a mission-level budget.
+        let t_mission = record.duration();
+        let mut evaluations = 0usize;
+        let mut seeds_tried = 0usize;
+        let mut finding = None;
+
+        for seed in pool.iter() {
+            if evaluations >= self.config.eval_budget {
+                break;
+            }
+            seeds_tried += 1;
+            let remaining = self.config.eval_budget - evaluations;
+            let result = self.search_seed(&sim, record, *seed, remaining, t_mission, &mut rng)?;
+            evaluations += result.evaluations;
+            if let Some(s) = result.success {
+                finding = Some(SpvFinding {
+                    seed: *seed,
+                    start: s.start,
+                    duration: s.duration,
+                    deviation: self.config.deviation,
+                    actual_victim: s.victim,
+                    collision_time: s.collision_time,
+                });
+                break;
+            }
+        }
+
+        Ok(FuzzReport {
+            finding,
+            evaluations,
+            seeds_tried,
+            mission_vdo,
+            vdo_drone,
+            baseline_duration: t_mission,
+        })
+    }
+
+    fn search_seed<D: Dynamics>(
+        &self,
+        sim: &Simulation<C, D>,
+        record: &MissionRecord,
+        seed: Seed,
+        budget: usize,
+        t_mission: f64,
+        rng: &mut StdRng,
+    ) -> Result<SearchResult, FuzzError> {
+        let objective = Objective::new(sim, seed, self.config.deviation);
+        let mut eval = |ts: f64, dt: f64| objective.evaluate(ts, dt);
+        match self.config.search_strategy {
+            SearchStrategy::Gradient => {
+                // Initial guess: start the spoofing window `lead_time`
+                // seconds before the victim's recorded closest approach.
+                let t_close = record.vdo_time(seed.victim).unwrap_or(t_mission / 2.0);
+                let ts0 = (t_close - self.config.lead_time).max(0.0);
+                let dt0 = self.config.initial_duration;
+                let first = gradient_search(
+                    &mut eval,
+                    (ts0, dt0),
+                    budget,
+                    t_mission,
+                    &GradientConfig::default(),
+                )?;
+                if first.success.is_some() || first.evaluations >= budget {
+                    return Ok(first);
+                }
+                // Multi-start: the objective is convex in the window for a
+                // fixed interaction geometry, but different windows engage
+                // different geometries; restart once from an earlier, longer
+                // window with the remaining budget.
+                let ts1 = (t_close - 1.6 * self.config.lead_time).max(0.0);
+                let dt1 = 1.5 * self.config.initial_duration;
+                let second = gradient_search(
+                    &mut eval,
+                    (ts1, dt1),
+                    budget - first.evaluations,
+                    t_mission,
+                    &GradientConfig::default(),
+                )?;
+                Ok(SearchResult {
+                    success: second.success,
+                    evaluations: first.evaluations + second.evaluations,
+                    converged: second.converged,
+                    best_value: first.best_value.min(second.best_value),
+                })
+            }
+            SearchStrategy::Random => {
+                random_search(eval, budget, t_mission, self.config.max_duration, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_cover_ablation_matrix() {
+        assert_eq!(FuzzerConfig::swarmfuzz(10.0).variant_name(), "SwarmFuzz");
+        assert_eq!(FuzzerConfig::r_fuzz(10.0).variant_name(), "R_Fuzz");
+        assert_eq!(FuzzerConfig::g_fuzz(10.0).variant_name(), "G_Fuzz");
+        assert_eq!(FuzzerConfig::s_fuzz(10.0).variant_name(), "S_Fuzz");
+    }
+
+    #[test]
+    fn variants_share_budget_and_deviation() {
+        for cfg in [
+            FuzzerConfig::swarmfuzz(5.0),
+            FuzzerConfig::r_fuzz(5.0),
+            FuzzerConfig::g_fuzz(5.0),
+            FuzzerConfig::s_fuzz(5.0),
+        ] {
+            assert_eq!(cfg.deviation, 5.0);
+            assert_eq!(cfg.eval_budget, 20);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Attack minimization — shrink a discovered SPV to its minimal form.
+//!
+//! Classic fuzzers minimize crashing inputs; SwarmFuzz's analogue is
+//! shrinking the spoofing window and deviation while preserving the victim
+//! collision. A minimal attack is the right artifact to hand to a defender:
+//! it bounds the attacker's cheapest option (shortest exposure, smallest
+//! transmit-power advantage) for the mission under audit.
+//!
+//! Minimization is greedy bisection, one parameter at a time, each probe
+//! being one simulated mission:
+//!
+//! 1. shrink the duration `Δt` to the smallest value that still crashes the
+//!    victim (binary search over `[0, Δt]`);
+//! 2. re-anchor the start `t_s` as late as possible;
+//! 3. shrink the deviation `d` the same way.
+
+use swarm_sim::dynamics::Dynamics;
+use swarm_sim::spoof::SpoofingAttack;
+use swarm_sim::{Simulation, SwarmController};
+
+use crate::fuzzer::SpvFinding;
+use crate::FuzzError;
+
+/// Options for the minimization passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimizeConfig {
+    /// Bisection resolution for times (s).
+    pub time_resolution: f64,
+    /// Bisection resolution for the deviation (m).
+    pub deviation_resolution: f64,
+    /// Maximum simulated missions to spend.
+    pub budget: usize,
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> Self {
+        MinimizeConfig { time_resolution: 0.5, deviation_resolution: 0.5, budget: 60 }
+    }
+}
+
+/// A minimized attack together with the cost of minimizing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimizedAttack {
+    /// The smallest attack that still reproduces the victim collision.
+    pub attack: SpoofingAttack,
+    /// Simulated missions spent on minimization.
+    pub evaluations: usize,
+    /// The original finding's window length, for reporting.
+    pub original_duration: f64,
+    /// The original finding's deviation.
+    pub original_deviation: f64,
+}
+
+impl MinimizedAttack {
+    /// Fraction of the original window the minimal attack needs (0..=1).
+    pub fn duration_ratio(&self) -> f64 {
+        if self.original_duration > 0.0 {
+            self.attack.duration / self.original_duration
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Minimizes `finding` against the mission simulated by `sim`.
+///
+/// # Errors
+///
+/// * [`FuzzError::Sim`] if a probe mission fails to run;
+/// * [`FuzzError::InvalidAttack`]-wrapped errors cannot occur (parameters
+///   stay within the original's bounds).
+///
+/// # Panics
+///
+/// Panics if `finding` does not reproduce on `sim` (minimization of a
+/// non-reproducing finding indicates mismatched mission/config).
+pub fn minimize_attack<C: SwarmController, D: Dynamics>(
+    sim: &Simulation<C, D>,
+    finding: &SpvFinding,
+    config: &MinimizeConfig,
+) -> Result<MinimizedAttack, FuzzError> {
+    let evals = std::cell::Cell::new(0usize);
+    let crashes = |attack: &SpoofingAttack| -> Result<bool, FuzzError> {
+        evals.set(evals.get() + 1);
+        let out = sim.run(Some(attack))?;
+        Ok(out.spv_collision(attack.target).is_some())
+    };
+
+    let original = SpoofingAttack::new(
+        finding.seed.target,
+        finding.seed.direction,
+        finding.start,
+        finding.duration,
+        finding.deviation,
+    )?;
+    assert!(
+        crashes(&original)?,
+        "finding must reproduce before minimization: {original}"
+    );
+
+    // Pass 1: shrink the duration. Invariant: `hi` crashes, `lo` does not
+    // (lo = 0 is attack-off, which cannot crash a screened mission).
+    let mut best = original;
+    let (mut lo, mut hi) = (0.0f64, best.duration);
+    while hi - lo > config.time_resolution && evals.get() < config.budget {
+        let mid = (lo + hi) / 2.0;
+        let probe = best.with_window(best.start, mid)?;
+        if crashes(&probe)? {
+            hi = mid;
+            best = probe;
+        } else {
+            lo = mid;
+        }
+    }
+
+    // Pass 2: push the start as late as possible while keeping the (now
+    // minimal) duration. Invariant: current start crashes.
+    let (mut lo, mut hi) = (best.start, best.start + best.duration + 30.0);
+    while hi - lo > config.time_resolution && evals.get() < config.budget {
+        let mid = (lo + hi) / 2.0;
+        let probe = best.with_window(mid, best.duration)?;
+        if crashes(&probe)? {
+            lo = mid;
+            best = probe;
+        } else {
+            hi = mid;
+        }
+    }
+
+    // Pass 3: shrink the deviation.
+    let (mut lo, mut hi) = (0.0f64, best.deviation);
+    while hi - lo > config.deviation_resolution && evals.get() < config.budget {
+        let mid = (lo + hi) / 2.0;
+        let probe = SpoofingAttack::new(
+            best.target,
+            best.direction,
+            best.start,
+            best.duration,
+            mid,
+        )?;
+        if crashes(&probe)? {
+            hi = mid;
+            best = probe;
+        } else {
+            lo = mid;
+        }
+    }
+
+    Ok(MinimizedAttack {
+        attack: best,
+        evaluations: evals.get(),
+        original_duration: finding.duration,
+        original_deviation: finding.deviation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_math::{Vec2, Vec3};
+    use swarm_sim::mission::MissionSpec;
+    use swarm_sim::spoof::SpoofDirection;
+    use swarm_sim::{ControlContext, DroneId, PerceivedSelf};
+
+    use crate::seed::Seed;
+
+    /// Deterministic two-drone controller: drone 1 chases drone 0's
+    /// broadcast lateral position (same rig as the objective tests). A
+    /// spoofing window of at least ~15 s drags drone 1 into the obstacle.
+    struct FollowY;
+
+    impl swarm_sim::SwarmController for FollowY {
+        fn desired_velocity(&self, ctx: &ControlContext<'_>) -> Vec3 {
+            let PerceivedSelf { position, .. } = ctx.self_state;
+            let forward = Vec3::new(2.0, 0.0, 0.0);
+            if ctx.id == DroneId(0) {
+                return forward;
+            }
+            let target_y = ctx
+                .neighbors
+                .iter()
+                .find(|n| n.id == DroneId(0))
+                .map_or(position.y, |n| n.position.y);
+            forward + Vec3::new(0.0, (target_y - position.y) * 0.8, 0.0)
+        }
+    }
+
+    fn rig() -> (Simulation<FollowY>, SpvFinding) {
+        let mut spec = MissionSpec::paper_delivery(2, 0);
+        spec.start_min = Vec2::new(60.0, 7.0);
+        spec.start_max = Vec2::new(80.0, 9.0);
+        spec.duration = 90.0;
+        let sim = Simulation::new(spec, FollowY).unwrap();
+        let finding = SpvFinding {
+            seed: Seed {
+                target: DroneId(0),
+                victim: DroneId(1),
+                direction: SpoofDirection::Right,
+                influence: 1.0,
+                victim_vdo: 4.0,
+            },
+            start: 5.0,
+            duration: 60.0,
+            deviation: 10.0,
+            actual_victim: DroneId(1),
+            collision_time: 40.0,
+        };
+        (sim, finding)
+    }
+
+    #[test]
+    fn minimization_shrinks_and_still_crashes() {
+        let (sim, finding) = rig();
+        let min = minimize_attack(&sim, &finding, &MinimizeConfig::default()).unwrap();
+        assert!(
+            min.attack.duration < finding.duration,
+            "duration must shrink: {} -> {}",
+            finding.duration,
+            min.attack.duration
+        );
+        assert!(min.duration_ratio() < 1.0);
+        // The minimized attack still reproduces.
+        let out = sim.run(Some(&min.attack)).unwrap();
+        assert!(out.spv_collision(min.attack.target).is_some());
+        assert!(min.evaluations > 0);
+    }
+
+    #[test]
+    fn minimization_respects_budget() {
+        let (sim, finding) = rig();
+        let cfg = MinimizeConfig { budget: 5, ..Default::default() };
+        let min = minimize_attack(&sim, &finding, &cfg).unwrap();
+        // Initial reproduction check + at most `budget` probes.
+        assert!(min.evaluations <= 6, "evaluations {}", min.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "must reproduce")]
+    fn non_reproducing_finding_panics() {
+        let (sim, mut finding) = rig();
+        finding.duration = 0.1; // far too short to crash anything
+        let _ = minimize_attack(&sim, &finding, &MinimizeConfig::default());
+    }
+}

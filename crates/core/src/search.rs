@@ -1,0 +1,320 @@
+//! Search strategies over the spoofing window `(t_s, Δt)` (paper §IV-C).
+//!
+//! [`gradient_search`] implements the paper's gradient-guided optimization:
+//! partial derivatives of the convex objective `f(t_s, Δt)` are estimated by
+//! forward finite differences (each probe = one simulated mission = one
+//! *search iteration*), and the projected update of Eq. 1 is applied until a
+//! collision is found, the iteration budget runs out, or the search
+//! converges without success (which is how the paper's gradient fuzzers stop
+//! early while the random fuzzers always exhaust their budget).
+//!
+//! [`random_search`] implements the ablation baseline: uniform sampling of
+//! the window, used by R_Fuzz and S_Fuzz.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use swarm_sim::DroneId;
+
+use crate::objective::{EvalOutcome, Evaluation};
+use crate::FuzzError;
+
+/// Tuning of the gradient-guided search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientConfig {
+    /// Learning rate `lr` of the projected update (Eq. 1).
+    pub learning_rate: f64,
+    /// Finite-difference probe step in seconds.
+    pub fd_step: f64,
+    /// Largest parameter change per descent step in seconds.
+    pub max_step: f64,
+    /// Convergence: stop when the objective improves by less than this many
+    /// metres over one descent step.
+    pub tolerance: f64,
+}
+
+impl Default for GradientConfig {
+    fn default() -> Self {
+        GradientConfig { learning_rate: 20.0, fd_step: 1.0, max_step: 10.0, tolerance: 0.05 }
+    }
+}
+
+/// A successful SPV discovered by a search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSuccess {
+    /// Spoofing start time that triggered the collision.
+    pub start: f64,
+    /// Spoofing duration that triggered the collision.
+    pub duration: f64,
+    /// The drone that actually crashed (may differ from the seed's expected
+    /// victim).
+    pub victim: DroneId,
+    /// Collision time in seconds.
+    pub collision_time: f64,
+}
+
+/// Result of searching one seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// The SPV, when one was found.
+    pub success: Option<SearchSuccess>,
+    /// Number of objective evaluations (simulated missions) spent.
+    pub evaluations: usize,
+    /// `true` when a gradient search stopped because it converged without a
+    /// collision (random searches never set this).
+    pub converged: bool,
+    /// Best (lowest) objective value seen.
+    pub best_value: f64,
+}
+
+fn success_of(e: &Evaluation) -> Option<SearchSuccess> {
+    match e.outcome {
+        EvalOutcome::SpvCollision { victim, time } => Some(SearchSuccess {
+            start: e.start,
+            duration: e.duration,
+            victim,
+            collision_time: time,
+        }),
+        _ => None,
+    }
+}
+
+/// Gradient-guided search from an initial window guess.
+///
+/// `objective` maps `(t_s, Δt)` to an [`Evaluation`]; `budget` caps the
+/// number of evaluations; `t_mission` bounds `t_s + Δt` (the paper's timing
+/// constraint).
+///
+/// # Errors
+///
+/// Propagates the first [`FuzzError`] returned by `objective`.
+pub fn gradient_search<F>(
+    mut objective: F,
+    initial: (f64, f64),
+    budget: usize,
+    t_mission: f64,
+    config: &GradientConfig,
+) -> Result<SearchResult, FuzzError>
+where
+    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    let (mut ts, mut dt) = initial;
+    let mut evals = 0usize;
+    let mut best = f64::INFINITY;
+
+    macro_rules! probe {
+        ($ts:expr, $dt:expr) => {{
+            let e = objective($ts, $dt)?;
+            evals += 1;
+            best = best.min(e.value);
+            if let Some(s) = success_of(&e) {
+                return Ok(SearchResult {
+                    success: Some(s),
+                    evaluations: evals,
+                    converged: false,
+                    best_value: best,
+                });
+            }
+            e
+        }};
+    }
+
+    let mut current = probe!(ts, dt);
+
+    while evals + 2 <= budget {
+        // Forward finite differences (each probe is one mission).
+        let h = config.fd_step;
+        let e_ts = probe!(ts + h, dt);
+        let e_dt = probe!(ts, dt + h);
+        let g_ts = (e_ts.value - current.value) / h;
+        let g_dt = (e_dt.value - current.value) / h;
+
+        if !g_ts.is_finite() || !g_dt.is_finite() {
+            // Victim vanished from the objective (e.g. target crash ended the
+            // mission immediately); nothing to descend on.
+            return Ok(SearchResult {
+                success: None,
+                evaluations: evals,
+                converged: true,
+                best_value: best,
+            });
+        }
+
+        // Projected update (paper Eq. 1a/1b), with a per-step trust region.
+        let step_ts = swarm_math::clamp(config.learning_rate * g_ts, -config.max_step, config.max_step);
+        let step_dt = swarm_math::clamp(config.learning_rate * g_dt, -config.max_step, config.max_step);
+        ts = (ts - step_ts).max(0.0);
+        dt = (dt - step_dt).max(0.0);
+        // Timing constraint t_s + Δt < t_mission.
+        if ts + dt >= t_mission {
+            dt = (t_mission - ts - 1.0).max(0.0);
+        }
+
+        if evals >= budget {
+            break;
+        }
+        let next = probe!(ts, dt);
+
+        let improvement = current.value - next.value;
+        current = next;
+        if improvement.abs() < config.tolerance && step_ts.abs() < 1e-9 && step_dt.abs() < 1e-9 {
+            // Flat gradient and no movement: converged without a collision.
+            return Ok(SearchResult {
+                success: None,
+                evaluations: evals,
+                converged: true,
+                best_value: best,
+            });
+        }
+        if improvement < config.tolerance && improvement > -config.tolerance {
+            // Objective stopped moving: converged.
+            return Ok(SearchResult {
+                success: None,
+                evaluations: evals,
+                converged: true,
+                best_value: best,
+            });
+        }
+    }
+
+    Ok(SearchResult { success: None, evaluations: evals, converged: false, best_value: best })
+}
+
+/// Random-sampling search (the ablation baseline): draws `(t_s, Δt)`
+/// uniformly with `t_s ∈ [0, t_mission)` and `Δt ∈ [1, max_duration]` until
+/// the budget is spent.
+///
+/// # Errors
+///
+/// Propagates the first [`FuzzError`] returned by `objective`.
+pub fn random_search<F>(
+    mut objective: F,
+    budget: usize,
+    t_mission: f64,
+    max_duration: f64,
+    rng: &mut StdRng,
+) -> Result<SearchResult, FuzzError>
+where
+    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    let mut best = f64::INFINITY;
+    for evals in 1..=budget {
+        let ts = rng.gen_range(0.0..t_mission.max(1.0));
+        let dt = rng.gen_range(1.0..max_duration.max(2.0));
+        let e = objective(ts, dt)?;
+        best = best.min(e.value);
+        if let Some(s) = success_of(&e) {
+            return Ok(SearchResult {
+                success: Some(s),
+                evaluations: evals,
+                converged: false,
+                best_value: best,
+            });
+        }
+    }
+    Ok(SearchResult { success: None, evaluations: budget, converged: false, best_value: best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A synthetic convex objective: bowl over (ts, dt) with minimum at
+    /// (20, 10) reaching `floor`; collision when the value dips below 0.
+    fn bowl(floor: f64) -> impl FnMut(f64, f64) -> Result<Evaluation, FuzzError> {
+        move |ts: f64, dt: f64| {
+            let value = floor + 0.02 * ((ts - 20.0).powi(2) + (dt - 10.0).powi(2));
+            let outcome = if value <= 0.0 {
+                EvalOutcome::SpvCollision { victim: DroneId(1), time: ts + dt }
+            } else {
+                EvalOutcome::NoCollision
+            };
+            Ok(Evaluation { value, outcome, start: ts, duration: dt })
+        }
+    }
+
+    #[test]
+    fn gradient_descends_to_collision() {
+        // Floor below zero: the bowl's minimum is a collision.
+        let r = gradient_search(bowl(-2.0), (5.0, 3.0), 40, 120.0, &GradientConfig::default())
+            .unwrap();
+        let s = r.success.expect("must find the collision");
+        assert!((s.start - 20.0).abs() < 11.0, "ts={}", s.start);
+        assert!(r.evaluations <= 40);
+    }
+
+    #[test]
+    fn gradient_converges_early_on_unreachable_minimum() {
+        // Floor above zero: optimum exists but no collision; the search must
+        // stop early (converged) instead of burning the whole budget.
+        let r = gradient_search(bowl(1.5), (18.0, 9.0), 100, 120.0, &GradientConfig::default())
+            .unwrap();
+        assert!(r.success.is_none());
+        assert!(r.converged, "gradient search must detect convergence");
+        assert!(r.evaluations < 40, "evaluations={}", r.evaluations);
+        assert!(r.best_value >= 1.5);
+    }
+
+    #[test]
+    fn gradient_respects_budget() {
+        // Steep bowl far away: runs out of budget before converging.
+        let r = gradient_search(bowl(0.5), (100.0, 60.0), 5, 200.0, &GradientConfig::default())
+            .unwrap();
+        assert!(r.evaluations <= 5);
+        assert!(r.success.is_none());
+    }
+
+    #[test]
+    fn gradient_respects_timing_constraint() {
+        let t_mission = 50.0;
+        let mut max_seen: f64 = 0.0;
+        let r = gradient_search(
+            |ts, dt| {
+                max_seen = max_seen.max(ts + dt);
+                bowl(1.0)(ts, dt)
+            },
+            (40.0, 9.0),
+            30,
+            t_mission,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        // Probes may exceed by the fd step only.
+        assert!(max_seen <= t_mission + 1.5, "t_s+Δt reached {max_seen}");
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn random_search_finds_large_basin() {
+        // Collision basin covers a big chunk of the space.
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = random_search(bowl(-6.0), 50, 60.0, 30.0, &mut rng).unwrap();
+        assert!(r.success.is_some());
+    }
+
+    #[test]
+    fn random_search_exhausts_budget_without_success() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = random_search(bowl(5.0), 20, 120.0, 30.0, &mut rng).unwrap();
+        assert!(r.success.is_none());
+        assert_eq!(r.evaluations, 20, "random search never stops early");
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn search_counts_every_probe() {
+        let mut calls = 0usize;
+        let r = gradient_search(
+            |ts, dt| {
+                calls += 1;
+                bowl(2.0)(ts, dt)
+            },
+            (0.0, 0.0),
+            9,
+            120.0,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(calls, r.evaluations);
+    }
+}

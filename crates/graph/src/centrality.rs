@@ -1,0 +1,269 @@
+//! Centrality measures over a [`DiGraph`].
+//!
+//! SwarmFuzz ranks drones with *PageRank* computed by the power method
+//! (paper §IV-B), chosen over degree and eigenvector centrality for its
+//! handling of multi-hop influence and dangling nodes. All three are
+//! implemented here so the choice can be evaluated (and ablated in the bench
+//! suite).
+
+use crate::{DiGraph, NodeId};
+
+/// Parameters of the PageRank power iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (probability of following an edge); 0.85 is the
+    /// classic value used by the paper's MATLAB `centrality(..,'pagerank')`.
+    pub damping: f64,
+    /// Maximum number of power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance between successive iterates.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, max_iterations: 200, tolerance: 1e-10 }
+    }
+}
+
+/// Weighted PageRank of every node, computed with the power method.
+///
+/// Edge weights act as transition probabilities after per-node normalization;
+/// dangling nodes (no outgoing edges) redistribute uniformly. The returned
+/// vector sums to 1 (for non-empty graphs).
+///
+/// # Panics
+///
+/// Panics if `config.damping` is outside `[0, 1)`.
+///
+/// ```
+/// use swarm_graph::{centrality::{pagerank, PageRankConfig}, DiGraph};
+/// let mut g = DiGraph::new(2);
+/// g.add_edge(0, 1, 1.0).unwrap();
+/// let pr = pagerank(&g, &PageRankConfig::default());
+/// assert!(pr[1] > pr[0]);
+/// ```
+pub fn pagerank(graph: &DiGraph, config: &PageRankConfig) -> Vec<f64> {
+    assert!(
+        (0.0..1.0).contains(&config.damping),
+        "damping must be in [0,1), got {}",
+        config.damping
+    );
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+
+    // Pre-compute outgoing weight sums; zero marks a dangling node.
+    let out_sums: Vec<f64> = (0..n).map(|u| graph.out_weight(u)).collect();
+
+    for _ in 0..config.max_iterations {
+        let mut dangling_mass = 0.0;
+        for u in 0..n {
+            if out_sums[u] <= 0.0 {
+                dangling_mass += rank[u];
+            }
+        }
+        let base = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for u in 0..n {
+            if out_sums[u] > 0.0 {
+                let share = config.damping * rank[u] / out_sums[u];
+                for &(v, w) in graph.out_edges(u) {
+                    next[v] += share * w;
+                }
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// Weighted degree centrality.
+///
+/// Returns, for each node, the sum of incident edge weights in the requested
+/// [`Direction`]. This is the cheapest centrality and serves as the ablation
+/// baseline for PageRank.
+pub fn weighted_degree(graph: &DiGraph, direction: Direction) -> Vec<f64> {
+    (0..graph.node_count())
+        .map(|u| match direction {
+            Direction::Incoming => graph.in_weight(u),
+            Direction::Outgoing => graph.out_weight(u),
+            Direction::Total => graph.in_weight(u) + graph.out_weight(u),
+        })
+        .collect()
+}
+
+/// Which incident edges count toward [`weighted_degree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Incoming edges only.
+    Incoming,
+    /// Outgoing edges only.
+    Outgoing,
+    /// Both directions.
+    Total,
+}
+
+/// Eigenvector centrality via power iteration on the (weighted) adjacency
+/// matrix transpose — a node is central when *pointed at* by central nodes.
+///
+/// A diagonal shift of 0.5 is applied during iteration (iterating `M + ½I`
+/// instead of `M`), which preserves the eigenvectors but breaks the
+/// period-two oscillation the plain power method exhibits on bipartite-like
+/// graphs.
+///
+/// Returns the L2-normalized dominant eigenvector, or a uniform vector when
+/// the graph has no edges. `max_iterations`/`tolerance` mirror
+/// [`PageRankConfig`].
+pub fn eigenvector(graph: &DiGraph, max_iterations: usize, tolerance: f64) -> Vec<f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    if graph.edge_count() == 0 {
+        return vec![1.0 / (n as f64).sqrt(); n];
+    }
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0; n];
+    // Diagonal shift: guarantees a single dominant eigenvalue so the power
+    // method converges instead of oscillating (period 2) on bipartite graphs.
+    const SHIFT: f64 = 0.5;
+    for _ in 0..max_iterations {
+        for (x, &vi) in next.iter_mut().zip(&v) {
+            *x = SHIFT * vi;
+        }
+        for u in 0..n {
+            for &(to, w) in graph.out_edges(u) {
+                // Influence flows along the edge: u -> to contributes u's
+                // score to `to`.
+                next[to] += w * v[u];
+            }
+        }
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            // All mass drained (e.g. a DAG); fall back to the last iterate.
+            return v;
+        }
+        next.iter_mut().for_each(|x| *x /= norm);
+        let delta: f64 = v.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut v, &mut next);
+        if delta < tolerance {
+            break;
+        }
+    }
+    v
+}
+
+/// Returns node ids sorted by descending score; ties break toward the smaller
+/// id so results are deterministic.
+///
+/// ```
+/// let order = swarm_graph::centrality::rank_order(&[0.1, 0.9, 0.9]);
+/// assert_eq!(order, vec![1, 2, 0]);
+/// ```
+pub fn rank_order(scores: &[f64]) -> Vec<NodeId> {
+    let mut idx: Vec<NodeId> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = chain(5);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+    }
+
+    #[test]
+    fn pagerank_sink_dominates_chain() {
+        let g = chain(4);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr.windows(2).all(|w| w[0] < w[1]), "rank must increase along the chain: {pr:?}");
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        let pr = pagerank(&DiGraph::new(0), &PageRankConfig::default());
+        assert!(pr.is_empty());
+    }
+
+    #[test]
+    fn pagerank_no_edges_is_uniform() {
+        let pr = pagerank(&DiGraph::new(4), &PageRankConfig::default());
+        assert!(pr.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn pagerank_respects_weights() {
+        // 0 points strongly at 1 and weakly at 2.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 10.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr[1] > pr[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn pagerank_rejects_bad_damping() {
+        pagerank(&DiGraph::new(1), &PageRankConfig { damping: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    fn weighted_degree_directions() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 2.0).unwrap();
+        g.add_edge(2, 1, 3.0).unwrap();
+        assert_eq!(weighted_degree(&g, Direction::Incoming), vec![0.0, 5.0, 0.0]);
+        assert_eq!(weighted_degree(&g, Direction::Outgoing), vec![2.0, 0.0, 3.0]);
+        assert_eq!(weighted_degree(&g, Direction::Total), vec![2.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn eigenvector_identifies_hub_in_star() {
+        // Everyone points at node 0.
+        let mut g = DiGraph::new(5);
+        for i in 1..5 {
+            g.add_edge(i, 0, 1.0).unwrap();
+            g.add_edge(0, i, 0.1).unwrap();
+        }
+        let ev = eigenvector(&g, 500, 1e-12);
+        for i in 1..5 {
+            assert!(ev[0] > ev[i], "hub must dominate: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_no_edges_uniform() {
+        let ev = eigenvector(&DiGraph::new(4), 100, 1e-12);
+        assert!(ev.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rank_order_breaks_ties_deterministically() {
+        assert_eq!(rank_order(&[1.0, 1.0, 2.0]), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Strongly connected components (Tarjan) and reachability.
+//!
+//! Used to analyze the *structure* of Swarm Vulnerability Graphs: a strongly
+//! connected SVG means every drone can (transitively) maliciously influence
+//! every other — the worst case for a defender; isolated condensation sinks
+//! are the drones an attacker cannot reach at all.
+
+use crate::{DiGraph, NodeId};
+
+/// Strongly connected components of `graph`, each a sorted list of nodes;
+/// components are returned in reverse topological order of the condensation
+/// (Tarjan's natural output order).
+pub fn strongly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut state = Tarjan {
+        graph,
+        index: 0,
+        indices: vec![None; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        components: Vec::new(),
+    };
+    for v in 0..n {
+        if state.indices[v].is_none() {
+            state.strongconnect(v);
+        }
+    }
+    for c in &mut state.components {
+        c.sort_unstable();
+    }
+    state.components
+}
+
+struct Tarjan<'a> {
+    graph: &'a DiGraph,
+    index: usize,
+    indices: Vec<Option<usize>>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<NodeId>,
+    components: Vec<Vec<NodeId>>,
+}
+
+impl Tarjan<'_> {
+    fn strongconnect(&mut self, v: NodeId) {
+        // Iterative Tarjan (explicit work stack) to avoid deep recursion on
+        // long chains.
+        enum Frame {
+            Enter(NodeId),
+            Resume(NodeId, usize),
+        }
+        let mut work = vec![Frame::Enter(v)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    self.indices[v] = Some(self.index);
+                    self.lowlink[v] = self.index;
+                    self.index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let mut descended = false;
+                    while i < self.graph.out_degree(v) {
+                        let (w, _) = self.graph.out_edges(v)[i];
+                        i += 1;
+                        match self.indices[w] {
+                            None => {
+                                work.push(Frame::Resume(v, i));
+                                work.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            }
+                            Some(wi) => {
+                                if self.on_stack[w] {
+                                    self.lowlink[v] = self.lowlink[v].min(wi);
+                                }
+                            }
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors processed: close the component if root.
+                    if self.lowlink[v] == self.indices[v].expect("visited") {
+                        let mut component = Vec::new();
+                        while let Some(w) = self.stack.pop() {
+                            self.on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        self.components.push(component);
+                    }
+                    // Propagate lowlink to the parent Resume frame, if any.
+                    if let Some(Frame::Resume(p, _)) = work.last() {
+                        let p = *p;
+                        self.lowlink[p] = self.lowlink[p].min(self.lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `true` when the whole graph is one strongly connected component.
+pub fn is_strongly_connected(graph: &DiGraph) -> bool {
+    graph.node_count() <= 1 || strongly_connected_components(graph).len() == 1
+}
+
+/// The set of nodes reachable from `source` (including itself) via directed
+/// edges.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn reachable_from(graph: &DiGraph, source: NodeId) -> Vec<NodeId> {
+    assert!(source < graph.node_count(), "source out of range");
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![source];
+    seen[source] = true;
+    while let Some(u) = stack.pop() {
+        for &(v, _) in graph.out_edges(u) {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    (0..graph.node_count()).filter(|&v| seen[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = cycle(5);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.len(), 1);
+        assert_eq!(scc[0], vec![0, 1, 2, 3, 4]);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn chain_is_n_components() {
+        let mut g = DiGraph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.len(), 4);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way() {
+        // 0<->1 and 2<->3 with a bridge 1 -> 2.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 0, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        g.add_edge(3, 2, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        let mut scc = strongly_connected_components(&g);
+        scc.sort();
+        assert_eq!(scc, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert_eq!(strongly_connected_components(&DiGraph::new(3)).len(), 3);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_stack() {
+        let n = 50_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        assert_eq!(strongly_connected_components(&g).len(), n);
+    }
+
+    #[test]
+    fn reachability_follows_edges() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        assert_eq!(reachable_from(&g, 0), vec![0, 1, 2]);
+        assert_eq!(reachable_from(&g, 2), vec![2]);
+        assert_eq!(reachable_from(&g, 3), vec![3]);
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        let g = cycle(7);
+        let scc = strongly_connected_components(&g);
+        let mut all: Vec<NodeId> = scc.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+}

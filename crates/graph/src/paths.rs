@@ -1,0 +1,255 @@
+//! Shortest paths and path-based centralities.
+//!
+//! PageRank is the paper's centrality of choice for the Swarm Vulnerability
+//! Graph, motivated by three properties (§IV-B). To evaluate that choice,
+//! the centrality-ablation bench compares it against the path-based
+//! alternatives implemented here: closeness centrality and Brandes'
+//! betweenness centrality. Both operate on the same weighted digraphs; edge
+//! weights are interpreted as *strengths*, so path lengths use their
+//! reciprocals (strong influence = short distance).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{DiGraph, NodeId};
+
+/// A `(distance, node)` entry for the Dijkstra heap with reversed ordering.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance (reverse of the default max-heap).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Single-source shortest path distances with edge length `1/weight`
+/// (Dijkstra). Unreachable nodes get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn shortest_distances(graph: &DiGraph, source: NodeId) -> Vec<f64> {
+    let n = graph.node_count();
+    assert!(source < n, "source {source} out of range for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue;
+        }
+        for &(next, w) in graph.out_edges(node) {
+            if w <= 0.0 {
+                continue;
+            }
+            let nd = d + 1.0 / w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapEntry { dist: nd, node: next });
+            }
+        }
+    }
+    dist
+}
+
+/// Closeness centrality: for each node, the reciprocal of its mean shortest
+/// distance to the nodes it can reach (0 for nodes that reach nothing).
+///
+/// Uses the Wasserman–Faust normalization `(r/(n−1)) · (r/Σd)` where `r` is
+/// the number of reached nodes, which keeps scores comparable across
+/// disconnected graphs.
+pub fn closeness(graph: &DiGraph) -> Vec<f64> {
+    let n = graph.node_count();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|u| {
+            let dist = shortest_distances(graph, u);
+            let mut sum = 0.0;
+            let mut reached = 0usize;
+            for (v, &d) in dist.iter().enumerate() {
+                if v != u && d.is_finite() {
+                    sum += d;
+                    reached += 1;
+                }
+            }
+            if reached == 0 || sum == 0.0 {
+                0.0
+            } else {
+                let r = reached as f64;
+                (r / (n as f64 - 1.0)) * (r / sum)
+            }
+        })
+        .collect()
+}
+
+/// Betweenness centrality via Brandes' algorithm adapted to weighted
+/// digraphs (edge length `1/weight`). Scores are unnormalized dependency
+/// sums; relative order is what callers use.
+pub fn betweenness(graph: &DiGraph) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut centrality = vec![0.0; n];
+    for s in 0..n {
+        // Dijkstra with shortest-path counting.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut order: Vec<NodeId> = Vec::new();
+        dist[s] = 0.0;
+        sigma[s] = 1.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, node: s });
+        let mut settled = vec![false; n];
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if settled[u] || d > dist[u] {
+                continue;
+            }
+            settled[u] = true;
+            order.push(u);
+            for &(v, w) in graph.out_edges(u) {
+                if w <= 0.0 {
+                    continue;
+                }
+                let nd = d + 1.0 / w;
+                if nd < dist[v] - 1e-12 {
+                    dist[v] = nd;
+                    sigma[v] = sigma[u];
+                    preds[v] = vec![u];
+                    heap.push(HeapEntry { dist: nd, node: v });
+                } else if (nd - dist[v]).abs() <= 1e-12 {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        // Dependency accumulation in reverse settle order.
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in &preds[w] {
+                if sigma[w] > 0.0 {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path_graph(4);
+        let d = shortest_distances(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+        // Directed: nothing reaches backwards.
+        let d3 = shortest_distances(&g, 3);
+        assert!(d3[0].is_infinite() && d3[1].is_infinite() && d3[2].is_infinite());
+    }
+
+    #[test]
+    fn heavier_edges_are_shorter() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 0.5).unwrap(); // length 2
+        g.add_edge(0, 2, 1.0).unwrap(); // length 1
+        g.add_edge(2, 1, 1.0).unwrap(); // 0->2->1 total 2
+        let d = shortest_distances(&g, 0);
+        assert!((d[1] - 2.0).abs() < 1e-12);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_prefers_indirect_strong_route() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 0.1).unwrap(); // direct, length 10
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 1, 1.0).unwrap(); // via 2, length 2
+        let d = shortest_distances(&g, 0);
+        assert!((d[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_center_of_star_dominates() {
+        // Node 0 points at everyone: it reaches all in one hop.
+        let mut g = DiGraph::new(5);
+        for i in 1..5 {
+            g.add_edge(0, i, 1.0).unwrap();
+            g.add_edge(i, 0, 0.2).unwrap();
+        }
+        let c = closeness(&g);
+        for i in 1..5 {
+            assert!(c[0] > c[i], "hub must be closest: {c:?}");
+        }
+    }
+
+    #[test]
+    fn closeness_of_isolated_node_is_zero() {
+        let g = DiGraph::new(3); // no edges
+        assert_eq!(closeness(&g), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn betweenness_bridge_node_dominates() {
+        // 0 -> 1 -> 2 and 3 -> 1 -> 4: node 1 carries all paths.
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(3, 1, 1.0).unwrap();
+        g.add_edge(1, 4, 1.0).unwrap();
+        let b = betweenness(&g);
+        for i in [0usize, 2, 3, 4] {
+            assert!(b[1] > b[i], "bridge must dominate: {b:?}");
+        }
+    }
+
+    #[test]
+    fn betweenness_counts_multiple_shortest_paths() {
+        // Two equal-length routes 0->1->3 and 0->2->3: each carries half.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(1, 3, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let b = betweenness(&g);
+        assert!((b[1] - 0.5).abs() < 1e-9, "{b:?}");
+        assert!((b[2] - 0.5).abs() < 1e-9, "{b:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        shortest_distances(&DiGraph::new(2), 5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fixed-step integrators for second-order point dynamics.
+//!
+//! The simulator integrates each drone's translational state
+//! `(position, velocity)` under an acceleration field. Semi-implicit
+//! (symplectic) Euler is the default — it is what SwarmLab effectively uses
+//! and is stable for the stiff repulsion terms of the flocking controller.
+//! RK4 is provided for accuracy cross-checks in tests.
+
+use crate::Vec3;
+
+/// Translational state of a rigid body treated as a point mass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct State {
+    /// Position in metres.
+    pub position: Vec3,
+    /// Velocity in m/s.
+    pub velocity: Vec3,
+}
+
+impl State {
+    /// Creates a state from position and velocity.
+    pub fn new(position: Vec3, velocity: Vec3) -> Self {
+        State { position, velocity }
+    }
+}
+
+/// Advances `state` by `dt` using explicit (forward) Euler under the
+/// acceleration `accel(state)`.
+pub fn euler_step<F>(state: State, dt: f64, accel: F) -> State
+where
+    F: Fn(&State) -> Vec3,
+{
+    let a = accel(&state);
+    State {
+        position: state.position + state.velocity * dt,
+        velocity: state.velocity + a * dt,
+    }
+}
+
+/// Advances `state` by `dt` using semi-implicit (symplectic) Euler: velocity
+/// first, then position with the *new* velocity. Energy-stable for the
+/// spring-like repulsion forces in flocking controllers.
+pub fn semi_implicit_euler_step<F>(state: State, dt: f64, accel: F) -> State
+where
+    F: Fn(&State) -> Vec3,
+{
+    let a = accel(&state);
+    let velocity = state.velocity + a * dt;
+    State { position: state.position + velocity * dt, velocity }
+}
+
+/// Advances `state` by `dt` with classic fourth-order Runge–Kutta.
+pub fn rk4_step<F>(state: State, dt: f64, accel: F) -> State
+where
+    F: Fn(&State) -> Vec3,
+{
+    let deriv = |s: &State| (s.velocity, accel(s));
+
+    let (k1p, k1v) = deriv(&state);
+    let s2 = State::new(state.position + k1p * (dt / 2.0), state.velocity + k1v * (dt / 2.0));
+    let (k2p, k2v) = deriv(&s2);
+    let s3 = State::new(state.position + k2p * (dt / 2.0), state.velocity + k2v * (dt / 2.0));
+    let (k3p, k3v) = deriv(&s3);
+    let s4 = State::new(state.position + k3p * dt, state.velocity + k3v * dt);
+    let (k4p, k4v) = deriv(&s4);
+
+    State {
+        position: state.position + (k1p + k2p * 2.0 + k3p * 2.0 + k4p) * (dt / 6.0),
+        velocity: state.velocity + (k1v + k2v * 2.0 + k3v * 2.0 + k4v) * (dt / 6.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: Vec3 = Vec3 { x: 0.0, y: 0.0, z: -9.81 };
+
+    #[test]
+    fn free_fall_matches_closed_form() {
+        let mut s = State::default();
+        let dt = 1e-4;
+        for _ in 0..10_000 {
+            s = semi_implicit_euler_step(s, dt, |_| G);
+        }
+        // After 1 s: v = -9.81, z ≈ -4.905.
+        assert!((s.velocity.z + 9.81).abs() < 1e-9);
+        assert!((s.position.z + 4.905).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rk4_is_more_accurate_than_euler_on_oscillator() {
+        // Harmonic oscillator x'' = -x starting at (1, 0); exact x(t) = cos t.
+        let spring = |s: &State| -s.position;
+        let dt = 0.05;
+        let steps = (std::f64::consts::TAU / dt) as usize;
+        let mut e = State::new(Vec3::X, Vec3::ZERO);
+        let mut r = State::new(Vec3::X, Vec3::ZERO);
+        for _ in 0..steps {
+            e = euler_step(e, dt, spring);
+            r = rk4_step(r, dt, spring);
+        }
+        let t = steps as f64 * dt;
+        let exact = t.cos();
+        assert!((r.position.x - exact).abs() < (e.position.x - exact).abs());
+        assert!((r.position.x - exact).abs() < 1e-4);
+    }
+
+    #[test]
+    fn symplectic_euler_bounds_oscillator_energy() {
+        let spring = |s: &State| -s.position;
+        let mut s = State::new(Vec3::X, Vec3::ZERO);
+        for _ in 0..100_000 {
+            s = semi_implicit_euler_step(s, 0.01, spring);
+        }
+        let energy = 0.5 * s.velocity.norm_squared() + 0.5 * s.position.norm_squared();
+        assert!(energy < 0.6, "symplectic integration must not blow up, energy={energy}");
+    }
+}

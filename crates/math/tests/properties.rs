@@ -1,0 +1,136 @@
+//! Property-based tests for the math substrate: algebraic identities of the
+//! vector types, invariants of the statistics helpers, and convergence
+//! properties of the integrators.
+
+use proptest::prelude::*;
+use swarm_math::integrate::{rk4_step, semi_implicit_euler_step, State};
+use swarm_math::stats::{cumulative_rate_by_threshold, mean, median, min_max, percentile, Ecdf};
+use swarm_math::{Vec2, Vec3};
+
+fn fin() -> impl Strategy<Value = f64> {
+    -1e6f64..1e6
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (fin(), fin(), fin()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn vec2() -> impl Strategy<Value = Vec2> {
+    (fin(), fin()).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vec3_addition_commutes(a in vec3(), b in vec3()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn vec3_scalar_distributes(a in vec3(), b in vec3(), s in -1e3f64..1e3) {
+        let lhs = (a + b) * s;
+        let rhs = a * s + b * s;
+        prop_assert!((lhs - rhs).norm() <= 1e-6 * (1.0 + lhs.norm()));
+    }
+
+    #[test]
+    fn vec3_dot_is_symmetric_and_cauchy_schwarz(a in vec3(), b in vec3()) {
+        prop_assert_eq!(a.dot(b), b.dot(a));
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        let scale = a.norm() * b.norm();
+        prop_assert!(c.dot(a).abs() <= 1e-6 * (1.0 + scale * a.norm()));
+        prop_assert!(c.dot(b).abs() <= 1e-6 * (1.0 + scale * b.norm()));
+    }
+
+    #[test]
+    fn vec3_triangle_inequality(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn vec3_normalized_is_unit_or_zero(a in vec3()) {
+        let n = a.normalized().norm();
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec3_clamp_norm_never_exceeds(a in vec3(), max in 0.0f64..1e3) {
+        prop_assert!(a.clamp_norm(max).norm() <= max * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn vec2_perp_is_rotation(a in vec2()) {
+        let p = a.perp();
+        prop_assert!(a.dot(p).abs() <= 1e-9 * (1.0 + a.norm_squared()));
+        prop_assert!((p.norm() - a.norm()).abs() <= 1e-9 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn vec2_rotation_preserves_norm(a in vec2(), angle in -10.0f64..10.0) {
+        prop_assert!((a.rotated(angle).norm() - a.norm()).abs() <= 1e-6 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        let m = mean(&xs).unwrap();
+        let (lo, hi) = min_max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn median_is_a_percentile(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        prop_assert_eq!(median(&xs), percentile(&xs, 50.0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..64),
+                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&xs, lo).unwrap() <= percentile(&xs, hi).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_of_sample_max_is_one(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cdf = Ecdf::new(xs);
+        prop_assert_eq!(cdf.eval(max), 1.0);
+    }
+
+    #[test]
+    fn cumulative_rate_is_a_valid_probability(
+        data in prop::collection::vec((-100.0f64..100.0, any::<bool>()), 0..40),
+        thresholds in prop::collection::vec(-100.0f64..100.0, 1..10),
+    ) {
+        for (_, rate) in cumulative_rate_by_threshold(&data, &thresholds) {
+            if let Some(r) = rate {
+                prop_assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn integrators_agree_on_constant_acceleration(
+        px in -10.0f64..10.0, vx in -10.0f64..10.0, ax in -10.0f64..10.0,
+    ) {
+        // Under constant acceleration both integrators land near the
+        // closed-form solution after many small steps.
+        let accel = Vec3::new(ax, 0.0, 0.0);
+        let mut euler = State::new(Vec3::new(px, 0.0, 0.0), Vec3::new(vx, 0.0, 0.0));
+        let mut rk = euler;
+        let dt = 1e-3;
+        for _ in 0..1000 {
+            euler = semi_implicit_euler_step(euler, dt, |_| accel);
+            rk = rk4_step(rk, dt, |_| accel);
+        }
+        let t = 1.0;
+        let exact = px + vx * t + 0.5 * ax * t * t;
+        prop_assert!((rk.position.x - exact).abs() < 1e-6);
+        prop_assert!((euler.position.x - exact).abs() < 2e-2 * (1.0 + ax.abs()));
+    }
+}

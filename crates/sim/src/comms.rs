@@ -1,0 +1,235 @@
+//! The swarm's state-broadcast communication system.
+//!
+//! Distributed drone swarms exchange physical states among members every
+//! control period (workflow step 2 in Fig. 1 of the paper). This module
+//! models that exchange: each drone broadcasts its perceived `(position,
+//! velocity)`, and every other drone keeps the most recent state it has heard
+//! from each peer in a neighbor table.
+//!
+//! The bus is ideal by default (zero delay, no loss, unlimited range), which
+//! matches the paper's SwarmLab setup. Delay, loss and a radio range are
+//! available for failure-injection tests — the attacker of the threat model
+//! explicitly *cannot* tamper with these messages (they may be encrypted), so
+//! imperfection here is an environmental property, not an attack channel.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swarm_math::Vec3;
+
+use crate::DroneId;
+
+/// Configuration of the communication bus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommsConfig {
+    /// Delivery delay in whole control ticks (0 = delivered the same tick).
+    pub delay_ticks: usize,
+    /// Independent per-receiver probability of losing a message.
+    pub drop_probability: f64,
+    /// Radio range in metres; `None` for unlimited.
+    pub range: Option<f64>,
+}
+
+impl Default for CommsConfig {
+    fn default() -> Self {
+        CommsConfig { delay_ticks: 0, drop_probability: 0.0, range: None }
+    }
+}
+
+/// A state broadcast from one swarm member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateMessage {
+    /// The broadcasting drone.
+    pub sender: DroneId,
+    /// The sender's perceived (GPS) position.
+    pub position: Vec3,
+    /// The sender's perceived velocity.
+    pub velocity: Vec3,
+    /// Send timestamp in seconds.
+    pub time: f64,
+}
+
+/// The broadcast bus plus each drone's neighbor table.
+#[derive(Debug, Clone)]
+pub struct CommsBus {
+    config: CommsConfig,
+    swarm_size: usize,
+    /// `in_flight[k]` holds messages due in `k` more ticks.
+    in_flight: VecDeque<Vec<StateMessage>>,
+    /// `tables[receiver][sender]` = latest state heard from `sender`.
+    tables: Vec<Vec<Option<StateMessage>>>,
+}
+
+impl CommsBus {
+    /// Creates a bus for `swarm_size` drones.
+    pub fn new(swarm_size: usize, config: CommsConfig) -> Self {
+        let mut in_flight = VecDeque::with_capacity(config.delay_ticks + 1);
+        for _ in 0..=config.delay_ticks {
+            in_flight.push_back(Vec::new());
+        }
+        CommsBus {
+            config,
+            swarm_size,
+            in_flight,
+            tables: vec![vec![None; swarm_size]; swarm_size],
+        }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &CommsConfig {
+        &self.config
+    }
+
+    /// Advances the bus one control tick: enqueues this tick's broadcasts,
+    /// then delivers messages whose delay has elapsed into the neighbor
+    /// tables. `receiver_positions` are the drones' true positions, used for
+    /// the radio-range check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver_positions.len()` differs from the swarm size.
+    pub fn step(
+        &mut self,
+        broadcasts: Vec<StateMessage>,
+        receiver_positions: &[Vec3],
+        rng: &mut StdRng,
+    ) {
+        assert_eq!(
+            receiver_positions.len(),
+            self.swarm_size,
+            "receiver position count must equal swarm size"
+        );
+        self.in_flight
+            .back_mut()
+            .expect("in_flight always has delay_ticks+1 slots")
+            .extend(broadcasts);
+
+        let due = self.in_flight.pop_front().expect("in_flight never empty");
+        self.in_flight.push_back(Vec::new());
+
+        for msg in due {
+            for receiver in 0..self.swarm_size {
+                if receiver == msg.sender.index() {
+                    continue;
+                }
+                if let Some(range) = self.config.range {
+                    if receiver_positions[receiver].distance(msg.position) > range {
+                        continue;
+                    }
+                }
+                if self.config.drop_probability > 0.0
+                    && rng.gen::<f64>() < self.config.drop_probability
+                {
+                    continue;
+                }
+                let slot = &mut self.tables[receiver][msg.sender.index()];
+                // Keep the newest message only.
+                if slot.map_or(true, |old| old.time <= msg.time) {
+                    *slot = Some(msg);
+                }
+            }
+        }
+    }
+
+    /// The latest states `receiver` has heard from every other drone
+    /// (excluding itself), in sender order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver` is outside the swarm.
+    pub fn neighbors_of(&self, receiver: DroneId) -> Vec<StateMessage> {
+        self.tables[receiver.index()]
+            .iter()
+            .enumerate()
+            .filter(|(sender, _)| *sender != receiver.index())
+            .filter_map(|(_, msg)| *msg)
+            .collect()
+    }
+
+    /// The latest state `receiver` has heard from `sender`, if any.
+    pub fn last_heard(&self, receiver: DroneId, sender: DroneId) -> Option<StateMessage> {
+        self.tables[receiver.index()][sender.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn msg(sender: usize, t: f64) -> StateMessage {
+        StateMessage {
+            sender: DroneId(sender),
+            position: Vec3::new(sender as f64, 0.0, 0.0),
+            velocity: Vec3::ZERO,
+            time: t,
+        }
+    }
+
+    #[test]
+    fn ideal_bus_delivers_same_tick() {
+        let mut bus = CommsBus::new(3, CommsConfig::default());
+        bus.step(vec![msg(0, 0.0), msg(1, 0.0)], &[Vec3::ZERO; 3], &mut rng());
+        let n = bus.neighbors_of(DroneId(2));
+        assert_eq!(n.len(), 2);
+        assert!(bus.last_heard(DroneId(2), DroneId(0)).is_some());
+        // A drone never hears itself.
+        assert!(bus.neighbors_of(DroneId(0)).iter().all(|m| m.sender != DroneId(0)));
+    }
+
+    #[test]
+    fn delayed_bus_delivers_after_delay() {
+        let mut bus = CommsBus::new(2, CommsConfig { delay_ticks: 2, ..Default::default() });
+        let pos = [Vec3::ZERO; 2];
+        bus.step(vec![msg(0, 0.0)], &pos, &mut rng());
+        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+        bus.step(Vec::new(), &pos, &mut rng());
+        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+        bus.step(Vec::new(), &pos, &mut rng());
+        assert_eq!(bus.neighbors_of(DroneId(1)).len(), 1);
+    }
+
+    #[test]
+    fn full_drop_blocks_everything() {
+        let mut bus = CommsBus::new(2, CommsConfig { drop_probability: 1.0, ..Default::default() });
+        for t in 0..10 {
+            bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut rng());
+        }
+        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_receiver_misses_message() {
+        let mut bus = CommsBus::new(2, CommsConfig { range: Some(10.0), ..Default::default() });
+        let positions = [Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
+        bus.step(vec![msg(0, 0.0)], &positions, &mut rng());
+        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+    }
+
+    #[test]
+    fn newer_message_replaces_older() {
+        let mut bus = CommsBus::new(2, CommsConfig::default());
+        let pos = [Vec3::ZERO; 2];
+        bus.step(vec![msg(0, 0.0)], &pos, &mut rng());
+        let mut newer = msg(0, 1.0);
+        newer.position = Vec3::new(9.0, 9.0, 9.0);
+        bus.step(vec![newer], &pos, &mut rng());
+        assert_eq!(bus.last_heard(DroneId(1), DroneId(0)).unwrap().position, newer.position);
+    }
+
+    #[test]
+    fn partial_drop_eventually_delivers() {
+        let mut bus = CommsBus::new(2, CommsConfig { drop_probability: 0.5, ..Default::default() });
+        let mut r = rng();
+        for t in 0..50 {
+            bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut r);
+        }
+        assert!(bus.last_heard(DroneId(1), DroneId(0)).is_some());
+    }
+}

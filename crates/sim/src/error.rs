@@ -1,0 +1,48 @@
+use std::fmt;
+
+use crate::DroneId;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The mission specification is inconsistent (empty swarm, non-positive
+    /// timestep, etc.). The payload describes the problem.
+    InvalidMission(String),
+    /// A spoofing attack references a drone outside the swarm.
+    UnknownTarget {
+        /// The referenced drone.
+        target: DroneId,
+        /// The swarm size.
+        swarm_size: usize,
+    },
+    /// A spoofing attack has an invalid parameter (negative time, NaN, ...).
+    InvalidAttack(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidMission(msg) => write!(f, "invalid mission: {msg}"),
+            SimError::UnknownTarget { target, swarm_size } => {
+                write!(f, "attack target {target} outside swarm of {swarm_size} drones")
+            }
+            SimError::InvalidAttack(msg) => write!(f, "invalid attack: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = SimError::UnknownTarget { target: DroneId(9), swarm_size: 5 };
+        assert!(e.to_string().contains("drone9"));
+        assert!(e.to_string().contains('5'));
+        assert!(!SimError::InvalidMission("x".into()).to_string().is_empty());
+        assert!(!SimError::InvalidAttack("y".into()).to_string().is_empty());
+    }
+}

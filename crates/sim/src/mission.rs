@@ -1,0 +1,282 @@
+//! Mission specifications.
+//!
+//! [`MissionSpec`] bundles everything needed to fly one swarm mission: the
+//! swarm size, initial placement area, destination, environment, timing and
+//! sensor/communication configuration. [`MissionSpec::paper_delivery`] builds
+//! the exact scenario of the paper's evaluation (§V-A): a delivery mission to
+//! a destination 233.5 m away with a single on-path cylindrical obstacle at
+//! roughly the half-way mark, and the swarm's start positions randomly drawn
+//! from a 0–50 m box.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use swarm_math::rng::{rng_for, streams};
+use swarm_math::{Vec2, Vec3};
+
+use crate::comms::CommsConfig;
+use crate::dynamics::DroneParams;
+use crate::sensors::GpsConfig;
+use crate::wind::WindConfig;
+use crate::world::{Obstacle, World};
+use crate::SimError;
+
+/// Length of the paper's delivery mission in metres.
+pub const PAPER_MISSION_LENGTH: f64 = 233.5;
+
+/// Cruise altitude used by the reproduction missions (metres).
+pub const CRUISE_ALTITUDE: f64 = 10.0;
+
+/// A complete description of one swarm mission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionSpec {
+    /// Number of drones in the swarm.
+    pub swarm_size: usize,
+    /// Start-area corner (minimum x/y) at cruise altitude.
+    pub start_min: Vec2,
+    /// Start-area corner (maximum x/y).
+    pub start_max: Vec2,
+    /// Minimum pairwise separation enforced between initial positions (m).
+    pub min_start_separation: f64,
+    /// Mission destination.
+    pub destination: Vec3,
+    /// Radius around the destination that counts as "arrived" (m).
+    pub arrival_radius: f64,
+    /// The static environment.
+    pub world: World,
+    /// Maximum mission duration in seconds.
+    pub duration: f64,
+    /// Physics integration step in seconds.
+    pub physics_dt: f64,
+    /// Control (and communication) period in seconds.
+    pub control_period: f64,
+    /// GPS receiver configuration.
+    pub gps: GpsConfig,
+    /// Communication bus configuration.
+    pub comms: CommsConfig,
+    /// Drone physical parameters.
+    pub drone: DroneParams,
+    /// Wind/disturbance model (calm by default, as in the paper).
+    pub wind: WindConfig,
+    /// Neighbor states older than this are ignored by controllers (s).
+    pub max_neighbor_age: f64,
+    /// Root seed for all mission randomness (placement, noise, comms).
+    pub seed: u64,
+}
+
+impl MissionSpec {
+    /// Builds the paper's delivery mission (§V-A) for the given swarm size
+    /// and seed.
+    ///
+    /// Geometry: the swarm starts in a 30 m box whose lateral placement is
+    /// randomized within the paper's 0–50 m start range, flies to a
+    /// destination [`PAPER_MISSION_LENGTH`] metres down the +x axis, and must
+    /// pass a cylindrical obstacle of radius 4 m sitting on the flight
+    /// corridor at roughly the half-way mark.
+    pub fn paper_delivery(swarm_size: usize, seed: u64) -> Self {
+        // The paper randomizes the swarm's initial location within a 0–50 m
+        // range of the starting point; shifting the whole start box laterally
+        // reproduces the resulting spread of closest-approach distances
+        // (VDOs) across missions.
+        let mut rng = rng_for(seed, streams::MISSION_OFFSET);
+        let y_offset: f64 = rng.gen_range(-18.0..=18.0);
+        MissionSpec {
+            swarm_size,
+            start_min: Vec2::new(0.0, -15.0 + y_offset),
+            start_max: Vec2::new(30.0, 15.0 + y_offset),
+            min_start_separation: 5.0,
+            destination: Vec3::new(PAPER_MISSION_LENGTH, 0.0, CRUISE_ALTITUDE),
+            arrival_radius: 20.0,
+            world: World::with_obstacles(vec![Obstacle::Cylinder {
+                center: Vec2::new(130.0, 0.0),
+                radius: 4.0,
+            }]),
+            duration: 150.0,
+            physics_dt: 0.01,
+            control_period: 0.1,
+            gps: GpsConfig::default(),
+            comms: CommsConfig::default(),
+            drone: DroneParams::default(),
+            wind: WindConfig::default(),
+            max_neighbor_age: 1.0,
+            seed,
+        }
+    }
+
+    /// Unit vector of the mission's horizontal axis (start-area centre to
+    /// destination); spoofing directions are defined relative to this.
+    pub fn mission_axis(&self) -> Vec2 {
+        let center = (self.start_min + self.start_max) * 0.5;
+        (self.destination.xy() - center).normalized()
+    }
+
+    /// Deterministically draws the swarm's initial positions from the start
+    /// box, enforcing [`MissionSpec::min_start_separation`] by rejection
+    /// sampling (falls back to accepting the last candidate after 10 000
+    /// attempts so pathological specs still terminate).
+    pub fn initial_positions(&self) -> Vec<Vec3> {
+        let mut rng = rng_for(self.seed, streams::MISSION_LAYOUT);
+        let mut positions: Vec<Vec3> = Vec::with_capacity(self.swarm_size);
+        for _ in 0..self.swarm_size {
+            let mut candidate = Vec3::ZERO;
+            for attempt in 0..10_000 {
+                candidate = Vec3::new(
+                    rng.gen_range(self.start_min.x..=self.start_max.x),
+                    rng.gen_range(self.start_min.y..=self.start_max.y),
+                    CRUISE_ALTITUDE,
+                );
+                let ok = positions
+                    .iter()
+                    .all(|p| p.distance(candidate) >= self.min_start_separation);
+                if ok || attempt == 9_999 {
+                    break;
+                }
+            }
+            positions.push(candidate);
+        }
+        positions
+    }
+
+    /// Number of physics steps in the mission.
+    pub fn physics_steps(&self) -> usize {
+        (self.duration / self.physics_dt).round() as usize
+    }
+
+    /// Number of physics steps per control tick (at least 1).
+    pub fn steps_per_control(&self) -> usize {
+        ((self.control_period / self.physics_dt).round() as usize).max(1)
+    }
+
+    /// Number of physics steps per GPS sample (at least 1).
+    pub fn steps_per_gps(&self) -> usize {
+        ((self.gps.period() / self.physics_dt).round() as usize).max(1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidMission`] describing the first problem
+    /// found (empty swarm, non-positive timing values, start box inverted,
+    /// destination inside an obstacle, ...).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.swarm_size == 0 {
+            return Err(SimError::InvalidMission("swarm size must be at least 1".into()));
+        }
+        if !(self.physics_dt > 0.0) {
+            return Err(SimError::InvalidMission(format!(
+                "physics_dt must be positive, got {}",
+                self.physics_dt
+            )));
+        }
+        if self.control_period < self.physics_dt {
+            return Err(SimError::InvalidMission(
+                "control_period must be >= physics_dt".into(),
+            ));
+        }
+        if !(self.duration > 0.0) {
+            return Err(SimError::InvalidMission("duration must be positive".into()));
+        }
+        if self.start_min.x > self.start_max.x || self.start_min.y > self.start_max.y {
+            return Err(SimError::InvalidMission("start box corners are inverted".into()));
+        }
+        if !(self.arrival_radius > 0.0) {
+            return Err(SimError::InvalidMission("arrival radius must be positive".into()));
+        }
+        for (i, o) in self.world.obstacles.iter().enumerate() {
+            if o.surface_distance(self.destination) <= 0.0 {
+                return Err(SimError::InvalidMission(format!(
+                    "destination lies inside obstacle {i}"
+                )));
+            }
+            if !(o.radius() > 0.0) {
+                return Err(SimError::InvalidMission(format!(
+                    "obstacle {i} has non-positive radius"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mission_validates() {
+        for n in [1, 5, 10, 15] {
+            MissionSpec::paper_delivery(n, 0).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_mission_geometry() {
+        let m = MissionSpec::paper_delivery(5, 1);
+        assert_eq!(m.destination.x, PAPER_MISSION_LENGTH);
+        assert_eq!(m.world.obstacles.len(), 1);
+        // Obstacle roughly half-way.
+        let ox = m.world.obstacles[0].center().x;
+        assert!(ox > 80.0 && ox < 160.0);
+        // Mission axis is predominantly +x (small lateral offset allowed).
+        assert!(m.mission_axis().x > 0.95);
+    }
+
+    #[test]
+    fn initial_positions_deterministic_and_separated() {
+        let m = MissionSpec::paper_delivery(15, 42);
+        let a = m.initial_positions();
+        let b = m.initial_positions();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 15);
+        for i in 0..a.len() {
+            assert!(a[i].x >= m.start_min.x && a[i].x <= m.start_max.x);
+            assert!(a[i].y >= m.start_min.y && a[i].y <= m.start_max.y);
+            assert_eq!(a[i].z, CRUISE_ALTITUDE);
+            for j in 0..i {
+                assert!(
+                    a[i].distance(a[j]) >= m.min_start_separation,
+                    "drones {i} and {j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_layouts() {
+        let a = MissionSpec::paper_delivery(5, 1).initial_positions();
+        let b = MissionSpec::paper_delivery(5, 2).initial_positions();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn step_counts() {
+        let m = MissionSpec::paper_delivery(5, 0);
+        assert_eq!(m.physics_steps(), 15_000);
+        assert_eq!(m.steps_per_control(), 10);
+        assert_eq!(m.steps_per_gps(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.swarm_size = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.physics_dt = -0.01;
+        assert!(m.validate().is_err());
+
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.control_period = 0.001;
+        assert!(m.validate().is_err());
+
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.start_min = Vec2::new(100.0, 0.0);
+        m.start_max = Vec2::new(0.0, 10.0);
+        assert!(m.validate().is_err());
+
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.destination = Vec3::new(130.0, 0.0, CRUISE_ALTITUDE);
+        assert!(m.validate().is_err(), "destination inside obstacle must be rejected");
+    }
+}

@@ -1,0 +1,189 @@
+//! Terminal (ASCII) rendering of missions — a top-down view of trajectories,
+//! obstacles and collisions, used by examples and for debugging fuzzing
+//! findings without a plotting stack.
+
+use swarm_math::Vec3;
+
+use crate::recorder::MissionRecord;
+use crate::world::World;
+use crate::CollisionKind;
+
+/// Renders a top-down (x/y) view of a recorded mission.
+///
+/// Each drone's trajectory is drawn with its id digit (ids ≥ 10 wrap to
+/// `a`, `b`, ...), obstacles with `#`, collisions with `X`. The canvas
+/// bounds fit the trajectories and obstacles with a small margin.
+#[derive(Debug, Clone)]
+pub struct TopDownRenderer {
+    /// Canvas width in characters.
+    pub width: usize,
+    /// Canvas height in characters.
+    pub height: usize,
+}
+
+impl Default for TopDownRenderer {
+    fn default() -> Self {
+        TopDownRenderer { width: 100, height: 28 }
+    }
+}
+
+impl TopDownRenderer {
+    /// Creates a renderer with an explicit canvas size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is below 8 (nothing useful fits).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "canvas too small: {width}x{height}");
+        TopDownRenderer { width, height }
+    }
+
+    /// Renders `record` over `world` to a multi-line string.
+    pub fn render(&self, record: &MissionRecord, world: &World) -> String {
+        let mut min = Vec3::new(f64::INFINITY, f64::INFINITY, 0.0);
+        let mut max = Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, 0.0);
+        let mut expand = |p: Vec3| {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        };
+        for tick in 0..record.len() {
+            for &p in record.positions_at(tick) {
+                expand(p);
+            }
+        }
+        for o in &world.obstacles {
+            let c = o.center();
+            expand(c + Vec3::new(o.radius(), o.radius(), 0.0));
+            expand(c - Vec3::new(o.radius(), o.radius(), 0.0));
+        }
+        if !min.x.is_finite() {
+            return String::from("(empty record)\n");
+        }
+        // Margin and degenerate-extent guards.
+        let span_x = (max.x - min.x).max(1.0);
+        let span_y = (max.y - min.y).max(1.0);
+        let (min_x, min_y) = (min.x - 0.05 * span_x, min.y - 0.05 * span_y);
+        let (span_x, span_y) = (span_x * 1.1, span_y * 1.1);
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        let to_cell = |p: Vec3| -> (usize, usize) {
+            let cx = ((p.x - min_x) / span_x * (self.width - 1) as f64).round() as usize;
+            // y grows upward; rows grow downward.
+            let cy = ((p.y - min_y) / span_y * (self.height - 1) as f64).round() as usize;
+            (cx.min(self.width - 1), self.height - 1 - cy.min(self.height - 1))
+        };
+
+        // Obstacles first (drawn under trajectories).
+        for o in &world.obstacles {
+            let c = o.center();
+            let r = o.radius();
+            let steps = (self.width * 2).max(64);
+            for i in 0..steps {
+                let a = i as f64 / steps as f64 * std::f64::consts::TAU;
+                let p = c + Vec3::new(r * a.cos(), r * a.sin(), 0.0);
+                let (x, y) = to_cell(p);
+                canvas[y][x] = '#';
+            }
+        }
+
+        // Trajectories.
+        for tick in 0..record.len() {
+            for (d, &p) in record.positions_at(tick).iter().enumerate() {
+                let (x, y) = to_cell(p);
+                canvas[y][x] = char::from_digit(d as u32 % 36, 36).unwrap_or('?');
+            }
+        }
+
+        // Collisions on top.
+        for c in record.collisions() {
+            if let CollisionKind::DroneObstacle { drone, .. } = c.kind {
+                // Mark the drone's last recorded position.
+                if let Some(p) = record.trajectory(drone).last() {
+                    let (x, y) = to_cell(*p);
+                    canvas[y][x] = 'X';
+                }
+            }
+        }
+
+        let mut out = String::with_capacity((self.width + 1) * self.height + 64);
+        for row in canvas {
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "x: [{min_x:.0}, {:.0}] m   y: [{min_y:.0}, {:.0}] m   {} ticks\n",
+            min_x + span_x,
+            min_y + span_y,
+            record.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_math::Vec2;
+    use crate::world::Obstacle;
+
+    fn sample_record() -> MissionRecord {
+        let mut r = MissionRecord::new(2, 0.1);
+        for i in 0..20 {
+            let t = i as f64;
+            let pos = [
+                Vec3::new(t * 5.0, 10.0, 10.0),
+                Vec3::new(t * 5.0, -10.0, 10.0),
+            ];
+            r.push_sample(t * 0.1, &pos, &[Vec3::ZERO; 2], &[50.0; 2]);
+        }
+        r
+    }
+
+    #[test]
+    fn render_contains_all_drone_digits_and_obstacle() {
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: Vec2::new(50.0, 0.0),
+            radius: 5.0,
+        }]);
+        let s = TopDownRenderer::default().render(&sample_record(), &world);
+        assert!(s.contains('0'));
+        assert!(s.contains('1'));
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 28);
+    }
+
+    #[test]
+    fn empty_record_renders_placeholder() {
+        let s = TopDownRenderer::default().render(&MissionRecord::new(1, 0.1), &World::new());
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn collision_is_marked() {
+        use crate::{CollisionEvent, DroneId};
+        let mut r = sample_record();
+        r.push_collision(CollisionEvent {
+            time: 1.9,
+            kind: CollisionKind::DroneObstacle { drone: DroneId(0), obstacle: 0 },
+        });
+        let s = TopDownRenderer::default().render(&r, &World::new());
+        assert!(s.contains('X'));
+    }
+
+    #[test]
+    fn canvas_size_is_respected() {
+        let s = TopDownRenderer::new(40, 12).render(&sample_record(), &World::new());
+        let first = s.lines().next().unwrap();
+        assert_eq!(first.chars().count(), 40);
+        // 12 canvas rows + 1 caption.
+        assert_eq!(s.lines().count(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_panics() {
+        TopDownRenderer::new(4, 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! A uniform-grid spatial index for neighbor queries.
+//!
+//! The paper's swarms (≤ 15 drones) are small enough for brute-force O(n²)
+//! pair scans, which is what the runner uses by default. This index is the
+//! substrate for scaling the simulator to hundreds of drones (e.g. the
+//! 30-drone hardware swarm the Vásárhelyi paper flew, or larger synthetic
+//! stress tests): queries within a radius cost O(occupied cells) instead of
+//! O(n).
+
+use std::collections::HashMap;
+
+use swarm_math::Vec3;
+
+use crate::DroneId;
+
+/// A rebuild-per-tick uniform grid over horizontal space.
+///
+/// Cells are square with side `cell_size`; entries are bucketed by their
+/// horizontal (x, y) position. The index borrows nothing: positions are
+/// copied in, so it can outlive the slice it was built from.
+///
+/// ```
+/// use swarm_math::Vec3;
+/// use swarm_sim::spatial::SpatialGrid;
+/// use swarm_sim::DroneId;
+///
+/// let positions = vec![Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(50.0, 0.0, 0.0)];
+/// let grid = SpatialGrid::build(&positions, 10.0);
+/// let near: Vec<_> = grid.within(Vec3::ZERO, 5.0).collect();
+/// assert_eq!(near.len(), 2); // self + the drone 3 m away
+/// assert!(near.iter().any(|&(id, _)| id == DroneId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<(DroneId, Vec3)>>,
+    len: usize,
+}
+
+impl SpatialGrid {
+    /// Builds the grid from drone positions (index = drone id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn build(positions: &[Vec3], cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive, got {cell_size}");
+        let mut cells: HashMap<(i64, i64), Vec<(DroneId, Vec3)>> = HashMap::new();
+        for (i, &p) in positions.iter().enumerate() {
+            cells.entry(Self::key(p, cell_size)).or_default().push((DroneId(i), p));
+        }
+        SpatialGrid { cell_size, cells, len: positions.len() }
+    }
+
+    fn key(p: Vec3, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed drones.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no drones are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All drones within horizontal distance `radius` of `center`
+    /// (including a drone exactly at `center`).
+    ///
+    /// Scans the ring of candidate cells when that is small, and falls back
+    /// to scanning the occupied cells directly when the query radius spans
+    /// more cells than the grid occupies (avoids a quadratic blow-up for
+    /// huge radii over sparse grids).
+    pub fn within(&self, center: Vec3, radius: f64) -> impl Iterator<Item = (DroneId, Vec3)> + '_ {
+        let r_cells = (radius / self.cell_size).ceil() as i64;
+        let (cx, cy) = Self::key(center, self.cell_size);
+        let radius2 = radius * radius;
+        let ring_cells = (2 * r_cells + 1).pow(2) as usize;
+        let scan_all = ring_cells > self.cells.len().saturating_mul(4);
+        let ring = if scan_all {
+            None
+        } else {
+            Some(
+                (-r_cells..=r_cells)
+                    .flat_map(move |dx| (-r_cells..=r_cells).map(move |dy| (cx + dx, cy + dy)))
+                    .filter_map(|k| self.cells.get(&k)),
+            )
+        };
+        let all = if scan_all { Some(self.cells.values()) } else { None };
+        ring.into_iter()
+            .flatten()
+            .chain(all.into_iter().flatten())
+            .flatten()
+            .copied()
+            .filter(move |(_, p)| {
+                let dx = p.x - center.x;
+                let dy = p.y - center.y;
+                dx * dx + dy * dy <= radius2
+            })
+    }
+
+    /// The `k` nearest drones to `center` other than `exclude`, ordered by
+    /// ascending horizontal distance. Falls back to a full scan, widening
+    /// the search ring until enough candidates are found.
+    pub fn k_nearest(&self, center: Vec3, k: usize, exclude: Option<DroneId>) -> Vec<(DroneId, Vec3)> {
+        let mut radius = self.cell_size;
+        loop {
+            let mut found: Vec<(DroneId, Vec3)> = self
+                .within(center, radius)
+                .filter(|&(id, _)| Some(id) != exclude)
+                .collect();
+            if found.len() >= k || radius > 1e6 {
+                found.sort_by(|a, b| {
+                    center
+                        .horizontal_distance(a.1)
+                        .partial_cmp(&center.horizontal_distance(b.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                found.truncate(k);
+                return found;
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::new(i as f64 * spacing, 0.0, 10.0)).collect()
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let positions = line(20, 3.0);
+        let grid = SpatialGrid::build(&positions, 5.0);
+        for &radius in &[1.0, 4.0, 10.0, 100.0] {
+            for (i, &c) in positions.iter().enumerate() {
+                let mut got: Vec<usize> =
+                    grid.within(c, radius).map(|(id, _)| id.index()).collect();
+                got.sort_unstable();
+                let mut expect: Vec<usize> = positions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.horizontal_distance(c) <= radius)
+                    .map(|(j, _)| j)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "query {i} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_ignores_altitude() {
+        let positions = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 500.0)];
+        let grid = SpatialGrid::build(&positions, 10.0);
+        assert_eq!(grid.within(Vec3::ZERO, 2.0).count(), 2);
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let positions = line(10, 2.0);
+        let grid = SpatialGrid::build(&positions, 3.0);
+        let near = grid.k_nearest(positions[0], 3, Some(DroneId(0)));
+        let ids: Vec<usize> = near.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn k_nearest_with_fewer_than_k_drones() {
+        let positions = line(2, 2.0);
+        let grid = SpatialGrid::build(&positions, 3.0);
+        let near = grid.k_nearest(positions[0], 5, None);
+        assert_eq!(near.len(), 2);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = SpatialGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.within(Vec3::ZERO, 100.0).count(), 0);
+        assert!(grid.k_nearest(Vec3::ZERO, 3, None).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let positions = vec![Vec3::new(-0.5, -0.5, 0.0), Vec3::new(0.5, 0.5, 0.0)];
+        let grid = SpatialGrid::build(&positions, 1.0);
+        assert_eq!(grid.within(Vec3::ZERO, 1.0).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_panics() {
+        SpatialGrid::build(&[], 0.0);
+    }
+}

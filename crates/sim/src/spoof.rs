@@ -1,0 +1,229 @@
+//! The GPS spoofing attack model (paper §IV-A, "horizontal constant
+//! spoofing").
+//!
+//! A test-run in SwarmFuzz is the tuple `<T-V, t_s, Δt, θ>` plus the global
+//! spoofing deviation `d`. This module describes the part injected into the
+//! simulator: the target drone, the spoofing window `[t_s, t_s + Δt)`, the
+//! horizontal direction θ ∈ {left, right} and the constant offset distance
+//! `d`. While the window is active the target's GPS reading (and therefore
+//! both its own control input and the state it broadcasts to the swarm) is
+//! displaced by `d` in direction θ, perpendicular to the mission axis —
+//! exactly how the paper injects spoofing in SwarmLab ("manipulating the GPS
+//! reading to GPS + d at the GPS sampling rate").
+
+use serde::{Deserialize, Serialize};
+use swarm_math::{Vec2, Vec3};
+
+use crate::{DroneId, SimError};
+
+/// Horizontal spoofing direction θ relative to the mission axis.
+///
+/// With the mission flying along +x, [`SpoofDirection::Left`] displaces the
+/// perceived position toward +y and [`SpoofDirection::Right`] toward −y. The
+/// paper encodes these as θ = −1 (left) and θ = +1 (right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpoofDirection {
+    /// Displace perceived position to the left of the mission axis (θ = −1).
+    Left,
+    /// Displace perceived position to the right of the mission axis (θ = +1).
+    Right,
+}
+
+impl SpoofDirection {
+    /// Both directions, in the deterministic order used by seed schedulers.
+    pub const BOTH: [SpoofDirection; 2] = [SpoofDirection::Right, SpoofDirection::Left];
+
+    /// The paper's numeric encoding: +1 for right, −1 for left.
+    pub fn theta(self) -> i8 {
+        match self {
+            SpoofDirection::Right => 1,
+            SpoofDirection::Left => -1,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn flipped(self) -> SpoofDirection {
+        match self {
+            SpoofDirection::Left => SpoofDirection::Right,
+            SpoofDirection::Right => SpoofDirection::Left,
+        }
+    }
+
+    /// Unit offset vector for a mission flying along `mission_axis`
+    /// (horizontal). Left is +90° counter-clockwise from the axis.
+    pub fn offset_direction(self, mission_axis: Vec2) -> Vec3 {
+        let left = mission_axis.normalized().perp();
+        let dir = match self {
+            SpoofDirection::Left => left,
+            SpoofDirection::Right => -left,
+        };
+        Vec3::new(dir.x, dir.y, 0.0)
+    }
+}
+
+impl std::fmt::Display for SpoofDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpoofDirection::Left => write!(f, "left"),
+            SpoofDirection::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// A fully specified GPS spoofing attack against one swarm member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpoofingAttack {
+    /// The drone whose GPS is spoofed (the paper's *target* drone).
+    pub target: DroneId,
+    /// Spoofing direction θ.
+    pub direction: SpoofDirection,
+    /// Attack start time `t_s` in seconds.
+    pub start: f64,
+    /// Attack duration `Δt` in seconds.
+    pub duration: f64,
+    /// Constant spoofing deviation `d` in metres (e.g. 5 or 10).
+    pub deviation: f64,
+}
+
+impl SpoofingAttack {
+    /// Creates an attack, validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAttack`] when `start`, `duration` or
+    /// `deviation` is negative or non-finite.
+    pub fn new(
+        target: DroneId,
+        direction: SpoofDirection,
+        start: f64,
+        duration: f64,
+        deviation: f64,
+    ) -> Result<Self, SimError> {
+        for (name, v) in [("start", start), ("duration", duration), ("deviation", deviation)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SimError::InvalidAttack(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(SpoofingAttack { target, direction, start, duration, deviation })
+    }
+
+    /// End of the spoofing window (`t_s + Δt`).
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+
+    /// `true` while the attack is active at time `t` (half-open window).
+    pub fn is_active(&self, t: f64) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// The GPS offset applied to `drone` at time `t` for a mission flying
+    /// along `mission_axis`; zero when the attack is inactive or aimed at a
+    /// different drone.
+    pub fn offset_for(&self, drone: DroneId, t: f64, mission_axis: Vec2) -> Vec3 {
+        if drone == self.target && self.is_active(t) {
+            self.direction.offset_direction(mission_axis) * self.deviation
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Returns a copy with a different spoofing window, re-validated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpoofingAttack::new`].
+    pub fn with_window(&self, start: f64, duration: f64) -> Result<Self, SimError> {
+        SpoofingAttack::new(self.target, self.direction, start, duration, self.deviation)
+    }
+}
+
+impl std::fmt::Display for SpoofingAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spoof {} {} by {:.1} m during [{:.2}, {:.2}) s",
+            self.target,
+            self.direction,
+            self.deviation,
+            self.start,
+            self.end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attack() -> SpoofingAttack {
+        SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 5.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let a = attack();
+        assert!(!a.is_active(9.999));
+        assert!(a.is_active(10.0));
+        assert!(a.is_active(14.999));
+        assert!(!a.is_active(15.0));
+    }
+
+    #[test]
+    fn offset_only_for_target_in_window() {
+        let a = attack();
+        let axis = Vec2::X;
+        assert_eq!(a.offset_for(DroneId(0), 12.0, axis), Vec3::ZERO);
+        assert_eq!(a.offset_for(DroneId(2), 2.0, axis), Vec3::ZERO);
+        let o = a.offset_for(DroneId(2), 12.0, axis);
+        // Right of +x is -y.
+        assert!((o.y + 10.0).abs() < 1e-12, "offset={o}");
+        assert!(o.x.abs() < 1e-12);
+    }
+
+    #[test]
+    fn left_and_right_are_opposite() {
+        let l = SpoofDirection::Left.offset_direction(Vec2::X);
+        let r = SpoofDirection::Right.offset_direction(Vec2::X);
+        assert_eq!(l, -r);
+        assert_eq!(SpoofDirection::Left.flipped(), SpoofDirection::Right);
+    }
+
+    #[test]
+    fn theta_encoding_matches_paper() {
+        assert_eq!(SpoofDirection::Right.theta(), 1);
+        assert_eq!(SpoofDirection::Left.theta(), -1);
+    }
+
+    #[test]
+    fn direction_follows_rotated_axis() {
+        // Mission along +y: left of +y is -x.
+        let l = SpoofDirection::Left.offset_direction(Vec2::Y);
+        assert!((l.x + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_negative_parameters() {
+        assert!(SpoofingAttack::new(DroneId(0), SpoofDirection::Left, -1.0, 1.0, 5.0).is_err());
+        assert!(SpoofingAttack::new(DroneId(0), SpoofDirection::Left, 0.0, f64::NAN, 5.0).is_err());
+        assert!(SpoofingAttack::new(DroneId(0), SpoofDirection::Left, 0.0, 1.0, -5.0).is_err());
+    }
+
+    #[test]
+    fn with_window_preserves_identity() {
+        let a = attack().with_window(1.0, 2.0).unwrap();
+        assert_eq!(a.target, DroneId(2));
+        assert_eq!(a.start, 1.0);
+        assert_eq!(a.duration, 2.0);
+        assert_eq!(a.deviation, 10.0);
+    }
+
+    #[test]
+    fn display_mentions_target_and_window() {
+        let s = attack().to_string();
+        assert!(s.contains("drone2"));
+        assert!(s.contains("right"));
+    }
+}

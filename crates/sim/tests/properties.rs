@@ -1,0 +1,137 @@
+//! Property-based tests for the simulator substrate: obstacle geometry
+//! consistency, comms-bus delivery semantics, spatial-index equivalence with
+//! brute force, and PID/dynamics boundedness.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swarm_math::{Vec2, Vec3};
+use swarm_sim::comms::{CommsBus, CommsConfig, StateMessage};
+use swarm_sim::dynamics::{DroneParams, DroneState, Dynamics, PointMass};
+use swarm_sim::pid::{Pid, PidConfig};
+use swarm_sim::spatial::SpatialGrid;
+use swarm_sim::world::Obstacle;
+use swarm_sim::DroneId;
+
+fn point() -> impl Strategy<Value = Vec3> {
+    (-500.0f64..500.0, -500.0f64..500.0, 0.0f64..50.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn obstacle() -> impl Strategy<Value = Obstacle> {
+    prop_oneof![
+        ((-200.0f64..200.0, -200.0f64..200.0), 0.5f64..30.0)
+            .prop_map(|((x, y), r)| Obstacle::Cylinder { center: Vec2::new(x, y), radius: r }),
+        (point(), 0.5f64..30.0).prop_map(|(c, r)| Obstacle::Sphere { center: c, radius: r }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The closest surface point really is on the surface, and its distance
+    /// from the query point equals |surface_distance| (outside the body).
+    #[test]
+    fn obstacle_geometry_is_consistent(o in obstacle(), p in point()) {
+        let sd = o.surface_distance(p);
+        let cp = o.closest_surface_point(p);
+        prop_assert!(o.surface_distance(cp).abs() < 1e-6, "closest point must lie on surface");
+        if sd > 0.0 {
+            let gap = match o {
+                Obstacle::Cylinder { .. } => p.horizontal_distance(cp),
+                Obstacle::Sphere { .. } => p.distance(cp),
+            };
+            prop_assert!((gap - sd).abs() < 1e-6, "gap {gap} vs sd {sd}");
+        }
+    }
+
+    /// The outward normal is a unit vector and walking along it increases
+    /// the surface distance.
+    #[test]
+    fn outward_normal_points_outward(o in obstacle(), p in point()) {
+        let n = o.outward_normal(p);
+        prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+        let sd = o.surface_distance(p);
+        let sd_stepped = o.surface_distance(p + n * 0.5);
+        prop_assert!(sd_stepped >= sd - 1e-9, "stepping outward must not approach");
+    }
+
+    /// An ideal bus delivers every broadcast to every other drone, and never
+    /// to the sender.
+    #[test]
+    fn ideal_bus_delivers_to_all_others(n in 2usize..8, senders in prop::collection::vec(0usize..8, 1..8)) {
+        let mut bus = CommsBus::new(n, CommsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let positions = vec![Vec3::ZERO; n];
+        let msgs: Vec<StateMessage> = senders
+            .iter()
+            .filter(|&&s| s < n)
+            .map(|&s| StateMessage {
+                sender: DroneId(s),
+                position: Vec3::ZERO,
+                velocity: Vec3::ZERO,
+                time: 0.0,
+            })
+            .collect();
+        let sent: std::collections::BTreeSet<usize> =
+            msgs.iter().map(|m| m.sender.index()).collect();
+        bus.step(msgs, &positions, &mut rng);
+        for r in 0..n {
+            let heard: std::collections::BTreeSet<usize> =
+                bus.neighbors_of(DroneId(r)).iter().map(|m| m.sender.index()).collect();
+            let expected: std::collections::BTreeSet<usize> =
+                sent.iter().copied().filter(|&s| s != r).collect();
+            prop_assert_eq!(heard, expected);
+        }
+    }
+
+    /// The spatial grid returns exactly the brute-force neighbor set.
+    #[test]
+    fn spatial_grid_matches_brute_force(
+        positions in prop::collection::vec(point(), 1..24),
+        cell in 1.0f64..40.0,
+        radius in 0.5f64..120.0,
+        q in 0usize..24,
+    ) {
+        let q = q % positions.len();
+        let center = positions[q];
+        let grid = SpatialGrid::build(&positions, cell);
+        let mut got: Vec<usize> = grid.within(center, radius).map(|(id, _)| id.index()).collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.horizontal_distance(center) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// PID output respects its limit for arbitrary error sequences.
+    #[test]
+    fn pid_output_is_bounded(errors in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        let mut pid = Pid::new(PidConfig {
+            kp: 2.0, ki: 0.8, kd: 0.3, integral_limit: 5.0, output_limit: 7.0,
+        });
+        for e in errors {
+            let u = pid.update(e, 0.05);
+            prop_assert!(u.abs() <= 7.0 + 1e-12);
+            prop_assert!(u.is_finite());
+        }
+    }
+
+    /// The point-mass model never exceeds its speed limit and never produces
+    /// non-finite state, whatever commands arrive.
+    #[test]
+    fn point_mass_respects_limits(commands in prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0, -20.0f64..20.0), 1..128)) {
+        let params = DroneParams::default();
+        let mut model = PointMass::new(params);
+        let mut s = DroneState::default();
+        for (x, y, z) in commands {
+            s = model.step(&s, Vec3::new(x, y, z), 0.01);
+            prop_assert!(s.position.is_finite() && s.velocity.is_finite());
+            prop_assert!(s.velocity.norm() <= params.max_speed + 1e-9);
+        }
+    }
+}

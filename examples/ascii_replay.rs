@@ -1,0 +1,65 @@
+//! ASCII replay: visualize a discovered SPV in the terminal.
+//!
+//! ```text
+//! cargo run --release --example ascii_replay
+//! ```
+//!
+//! Finds an exploitable mission, then renders two top-down views of the
+//! swarm's trajectories — the clean run and the attacked run — so the
+//! victim's deflection into the obstacle (`X`) is visible at a glance.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::render::TopDownRenderer;
+use swarm_sim::spoof::SpoofingAttack;
+use swarm_sim::Simulation;
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+
+fn main() -> Result<(), FuzzError> {
+    let controller = VasarhelyiController::new(VasarhelyiParams::default());
+    let fuzzer = Fuzzer::new(controller, FuzzerConfig::swarmfuzz(10.0));
+
+    let mut found = None;
+    for seed in 0..120u64 {
+        let spec = MissionSpec::paper_delivery(10, seed);
+        if let Ok(report) = fuzzer.fuzz(&spec) {
+            if report.is_success() {
+                found = Some((spec, report));
+                break;
+            }
+        }
+    }
+    let Some((spec, report)) = found else {
+        println!("no exploitable mission found in the scanned seed range");
+        return Ok(());
+    };
+    let finding = report.finding.expect("selected for success");
+
+    let sim = Simulation::new(spec.clone(), controller)?;
+    let renderer = TopDownRenderer::new(110, 24);
+
+    println!("=== clean mission (seed {}) ===", spec.seed);
+    let clean = sim.run(None)?;
+    print!("{}", renderer.render(&clean.record, &spec.world));
+
+    let attack = SpoofingAttack::new(
+        finding.seed.target,
+        finding.seed.direction,
+        finding.start,
+        finding.duration,
+        finding.deviation,
+    )
+    .map_err(FuzzError::from)?;
+    println!(
+        "\n=== under attack: {attack} (victim {}) ===",
+        finding.actual_victim
+    );
+    let attacked = sim.run(Some(&attack))?;
+    print!("{}", renderer.render(&attacked.record, &spec.world));
+    println!(
+        "\nlegend: digits = drone trajectories, # = obstacle, X = crash site \
+         (drone {})",
+        finding.actual_victim.index()
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! The paper's motivating example (Fig. 2): a 5-drone delivery mission where
+//! GPS-spoofing one drone makes a *different* drone crash into the obstacle.
+//!
+//! ```text
+//! cargo run --release --example motivating_example
+//! ```
+//!
+//! The example (1) flies the mission cleanly and prints the sub-velocity
+//! decomposition (the three goals of the swarm control algorithm) for the
+//! drone closest to the obstacle, then (2) fuzzes the mission and (3)
+//! replays the discovered attack, tracing how the victim is driven into the
+//! obstacle while the *target* flies on unharmed.
+
+use parking_lot::Mutex;
+use swarm_control::{VasarhelyiController, VasarhelyiParams, VelocityTerms};
+use swarm_math::Vec3;
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::SpoofingAttack;
+use swarm_sim::{ControlContext, DroneId, Simulation, SwarmController};
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+
+/// Wraps the controller to capture the traced drone's goal decomposition.
+struct GoalTracer {
+    inner: VasarhelyiController,
+    traced: DroneId,
+    log: Mutex<Vec<(f64, VelocityTerms)>>,
+}
+
+impl SwarmController for GoalTracer {
+    fn desired_velocity(&self, ctx: &ControlContext<'_>) -> Vec3 {
+        let terms = self.inner.compute_terms(ctx);
+        if ctx.id == self.traced {
+            self.log.lock().push((ctx.time, terms));
+        }
+        terms.total
+    }
+}
+
+fn main() -> Result<(), FuzzError> {
+    let controller = VasarhelyiController::new(VasarhelyiParams::default());
+
+    // Pick a mission seed whose baseline is clean and which the fuzzer can
+    // exploit, so the example reliably demonstrates the attack.
+    let mut chosen = None;
+    for seed in 0..80u64 {
+        let spec = MissionSpec::paper_delivery(5, seed);
+        let fuzzer = Fuzzer::new(controller, FuzzerConfig::swarmfuzz(10.0));
+        match fuzzer.fuzz(&spec) {
+            Ok(report) if report.is_success() => {
+                chosen = Some((spec, report));
+                break;
+            }
+            Ok(_) | Err(FuzzError::BaselineCollision(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let Some((spec, report)) = chosen else {
+        println!("no exploitable 5-drone mission in the scanned seed range");
+        return Ok(());
+    };
+    let finding = report.finding.expect("selected for success");
+
+    // --- Part 1: the clean mission and its goal balance -------------------
+    let victim = finding.actual_victim;
+    let tracer = GoalTracer { inner: controller, traced: victim, log: Mutex::new(Vec::new()) };
+    let sim = Simulation::new(spec.clone(), &tracer)?;
+    let clean = sim.run(None)?;
+    println!("== no attack ==");
+    println!(
+        "mission completes in {:.0} s; closest obstacle approach {:.2} m by {}",
+        clean.record.duration(),
+        report.mission_vdo,
+        report.vdo_drone
+    );
+
+    // Print the goal decomposition at the victim's closest approach.
+    let t_close = clean.record.vdo_time(victim).unwrap_or(0.0);
+    let log = tracer.log.lock();
+    if let Some((t, terms)) = log
+        .iter()
+        .min_by(|a, b| {
+            (a.0 - t_close).abs().partial_cmp(&(b.0 - t_close).abs()).expect("finite times")
+        })
+        .copied()
+    {
+        println!("goal balance of {victim} at its closest approach (t = {t:.1} s):");
+        println!("  goal 1 mission-driven      |v| = {:.2} m/s", terms.self_propulsion.norm());
+        println!(
+            "  goal 2 collision avoidance |v| = {:.2} m/s (repulsion {:.2} + obstacle {:.2})",
+            terms.collision_avoidance().norm(),
+            terms.repulsion.norm(),
+            terms.obstacle.norm()
+        );
+        println!(
+            "  goal 3 cohesive formation  |v| = {:.2} m/s (friction {:.2} + attraction {:.2})",
+            terms.cohesion().norm(),
+            terms.friction.norm(),
+            terms.attraction.norm()
+        );
+    }
+    drop(log);
+
+    // --- Part 2: the discovered SPV ---------------------------------------
+    println!("\n== SwarmFuzz finding ({} search iterations) ==", report.evaluations);
+    println!(
+        "spoof {} {} by {:.0} m during [{:.1}, {:.1}) s",
+        finding.seed.target,
+        finding.seed.direction,
+        finding.deviation,
+        finding.start,
+        finding.start + finding.duration
+    );
+
+    // --- Part 3: replay the attack ----------------------------------------
+    let attack = SpoofingAttack::new(
+        finding.seed.target,
+        finding.seed.direction,
+        finding.start,
+        finding.duration,
+        finding.deviation,
+    )
+    .map_err(FuzzError::from)?;
+    let attacked = sim.run(Some(&attack))?;
+    println!("\n== under attack ==");
+    let (crashed, when) = attacked
+        .spv_collision(finding.seed.target)
+        .expect("the finding must replay deterministically");
+    println!("{crashed} crashes into the obstacle at t = {when:.1} s");
+    println!(
+        "the spoofed target ({}) is NOT the drone that crashes — the \"bad apple\" is hidden",
+        finding.seed.target
+    );
+
+    // Show how the victim's obstacle distance evolved in both runs.
+    println!("\nvictim obstacle distance (m), clean vs attacked:");
+    let obstacle = &spec.world.obstacles[0];
+    let step = (attacked.record.len() / 12).max(1);
+    for tick in (0..attacked.record.len()).step_by(step) {
+        let t = attacked.record.times()[tick];
+        let clean_tick = tick.min(clean.record.len() - 1);
+        let d_clean = obstacle.surface_distance(clean.record.positions_at(clean_tick)[victim.index()]);
+        let d_attacked = obstacle.surface_distance(attacked.record.positions_at(tick)[victim.index()]);
+        println!("  t={t:5.1}s  clean {d_clean:6.2}  attacked {d_attacked:6.2}");
+    }
+    Ok(())
+}

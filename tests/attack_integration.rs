@@ -1,0 +1,134 @@
+//! Attack-path integration tests: GPS spoofing propagates through the swarm
+//! exactly as the paper's threat model describes — the target's *perceived*
+//! and broadcast state is displaced while only control feedback moves its
+//! physical trajectory, and spoofing one drone measurably perturbs others.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::{DroneId, Simulation};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+fn spec(n: usize, seed: u64, duration: f64) -> MissionSpec {
+    let mut spec = MissionSpec::paper_delivery(n, seed);
+    spec.duration = duration;
+    spec
+}
+
+/// Maximum over ticks of the distance between the two runs' positions of
+/// `drone`.
+fn max_divergence(
+    a: &swarm_sim::recorder::MissionRecord,
+    b: &swarm_sim::recorder::MissionRecord,
+    drone: DroneId,
+) -> f64 {
+    let ticks = a.len().min(b.len());
+    (0..ticks)
+        .map(|t| a.positions_at(t)[drone.index()].distance(b.positions_at(t)[drone.index()]))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn spoofing_physically_deviates_the_target() {
+    let sim = Simulation::new(spec(5, 17, 60.0), controller()).unwrap();
+    let clean = sim.run(None).unwrap();
+    let attack =
+        SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 15.0, 10.0).unwrap();
+    let attacked = sim.run(Some(&attack)).unwrap();
+    let dev = max_divergence(&clean.record, &attacked.record, DroneId(2));
+    assert!(dev > 1.0, "target must physically deviate, got {dev:.2} m");
+    // The physical deviation is bounded by the spoofing magnitude scale — a
+    // constant 10 m offset cannot teleport the drone across the arena.
+    assert!(dev < 40.0, "implausibly large deviation: {dev:.2} m");
+}
+
+#[test]
+fn spoofing_one_drone_perturbs_other_swarm_members() {
+    // The essence of a Swarm Propagation Vulnerability: victims react to the
+    // target's falsified broadcast state.
+    let sim = Simulation::new(spec(5, 17, 60.0), controller()).unwrap();
+    let clean = sim.run(None).unwrap();
+    let attack =
+        SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 15.0, 10.0).unwrap();
+    let attacked = sim.run(Some(&attack)).unwrap();
+    let max_other = (0..5)
+        .filter(|&d| d != 2)
+        .map(|d| max_divergence(&clean.record, &attacked.record, DroneId(d)))
+        .fold(0.0, f64::max);
+    assert!(
+        max_other > 0.5,
+        "spoofing must propagate to non-target drones, max divergence {max_other:.2} m"
+    );
+}
+
+#[test]
+fn larger_deviation_perturbs_more() {
+    let sim = Simulation::new(spec(5, 23, 60.0), controller()).unwrap();
+    let clean = sim.run(None).unwrap();
+    let perturbation = |d: f64| {
+        let attack =
+            SpoofingAttack::new(DroneId(1), SpoofDirection::Left, 10.0, 15.0, d).unwrap();
+        let attacked = sim.run(Some(&attack)).unwrap();
+        (0..5)
+            .map(|i| max_divergence(&clean.record, &attacked.record, DroneId(i)))
+            .sum::<f64>()
+    };
+    let small = perturbation(2.0);
+    let large = perturbation(10.0);
+    assert!(
+        large > small,
+        "10 m spoofing must disturb the swarm more than 2 m: {large:.2} vs {small:.2}"
+    );
+}
+
+#[test]
+fn direction_flips_the_lateral_response() {
+    let sim = Simulation::new(spec(3, 29, 40.0), controller()).unwrap();
+    let clean = sim.run(None).unwrap();
+    let lateral_shift = |dir: SpoofDirection| {
+        let attack = SpoofingAttack::new(DroneId(0), dir, 5.0, 10.0, 10.0).unwrap();
+        let attacked = sim.run(Some(&attack)).unwrap();
+        // Signed lateral displacement of the target at the end of the window.
+        let tick = (15.0 / attacked.record.sample_dt()) as usize;
+        let tick = tick.min(attacked.record.len() - 1).min(clean.record.len() - 1);
+        attacked.record.positions_at(tick)[0].y - clean.record.positions_at(tick)[0].y
+    };
+    let right = lateral_shift(SpoofDirection::Right);
+    let left = lateral_shift(SpoofDirection::Left);
+    assert!(
+        right * left < 0.0,
+        "left/right spoofing must deviate the target in opposite lateral directions: \
+         right={right:.2}, left={left:.2}"
+    );
+}
+
+#[test]
+fn attack_before_mission_start_equals_attack_at_zero() {
+    // t_s is clamped at zero by the attack constructor path used by the
+    // optimizer; an attack starting at exactly 0 must be valid and run.
+    let sim = Simulation::new(spec(3, 31, 30.0), controller()).unwrap();
+    let attack = SpoofingAttack::new(DroneId(0), SpoofDirection::Left, 0.0, 5.0, 10.0).unwrap();
+    let out = sim.run(Some(&attack)).unwrap();
+    assert!(out.record.len() > 10);
+}
+
+#[test]
+fn spoofed_gps_does_not_break_altitude_hold() {
+    // Horizontal spoofing must not leak into the vertical channel.
+    let sim = Simulation::new(spec(3, 37, 40.0), controller()).unwrap();
+    let attack =
+        SpoofingAttack::new(DroneId(1), SpoofDirection::Right, 5.0, 20.0, 10.0).unwrap();
+    let out = sim.run(Some(&attack)).unwrap();
+    for t in 0..out.record.len() {
+        for p in out.record.positions_at(t) {
+            assert!(
+                (p.z - 10.0).abs() < 2.0,
+                "altitude must stay near cruise under horizontal spoofing, got {}",
+                p.z
+            );
+        }
+    }
+}

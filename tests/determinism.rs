@@ -1,0 +1,85 @@
+//! End-to-end determinism: identical seeds must produce bit-identical
+//! trajectories, fuzzing decisions and campaign results — the property that
+//! makes every experiment in this repository reproducible.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::{DroneId, Simulation};
+use swarmfuzz::{Fuzzer, FuzzerConfig};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+fn short_spec(n: usize, seed: u64) -> MissionSpec {
+    let mut spec = MissionSpec::paper_delivery(n, seed);
+    spec.duration = 40.0;
+    spec
+}
+
+#[test]
+fn identical_missions_produce_identical_records() {
+    let sim = Simulation::new(short_spec(5, 7), controller()).unwrap();
+    let a = sim.run(None).unwrap();
+    let b = sim.run(None).unwrap();
+    assert_eq!(a.record, b.record);
+}
+
+#[test]
+fn identical_attacked_missions_are_identical() {
+    let sim = Simulation::new(short_spec(5, 7), controller()).unwrap();
+    let attack = SpoofingAttack::new(DroneId(1), SpoofDirection::Left, 5.0, 8.0, 10.0).unwrap();
+    let a = sim.run(Some(&attack)).unwrap();
+    let b = sim.run(Some(&attack)).unwrap();
+    assert_eq!(a.record, b.record);
+}
+
+#[test]
+fn different_mission_seeds_differ() {
+    let a = Simulation::new(short_spec(5, 1), controller()).unwrap().run(None).unwrap();
+    let b = Simulation::new(short_spec(5, 2), controller()).unwrap().run(None).unwrap();
+    assert_ne!(a.record.positions_at(0), b.record.positions_at(0));
+}
+
+#[test]
+fn gps_noise_is_seed_deterministic() {
+    let mut spec = short_spec(3, 11);
+    spec.gps.position_noise_std = 0.5;
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let a = sim.run(None).unwrap();
+    let b = sim.run(None).unwrap();
+    assert_eq!(a.record, b.record, "noisy GPS must still be reproducible");
+}
+
+#[test]
+fn fuzzer_reports_are_reproducible() {
+    let spec = short_spec(4, 21);
+    for config in [FuzzerConfig::swarmfuzz(10.0), FuzzerConfig::r_fuzz(10.0)] {
+        let fuzzer = Fuzzer::new(controller(), config);
+        let a = fuzzer.fuzz(&spec).unwrap();
+        let b = fuzzer.fuzz(&spec).unwrap();
+        assert_eq!(a, b, "fuzzing with {} must be deterministic", config.variant_name());
+    }
+}
+
+#[test]
+fn attack_window_outside_mission_is_noop() {
+    // An attack scheduled entirely after the mission ends must not change
+    // the trajectories at all.
+    let sim = Simulation::new(short_spec(4, 3), controller()).unwrap();
+    let clean = sim.run(None).unwrap();
+    let late =
+        SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 1000.0, 10.0, 10.0).unwrap();
+    let attacked = sim.run(Some(&late)).unwrap();
+    assert_eq!(clean.record, attacked.record);
+}
+
+#[test]
+fn zero_deviation_attack_is_noop() {
+    let sim = Simulation::new(short_spec(4, 3), controller()).unwrap();
+    let clean = sim.run(None).unwrap();
+    let null = SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 5.0, 10.0, 0.0).unwrap();
+    let attacked = sim.run(Some(&null)).unwrap();
+    assert_eq!(clean.record, attacked.record);
+}

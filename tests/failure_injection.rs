@@ -1,0 +1,133 @@
+//! Failure injection: the simulation and fuzzing pipeline keep working (and
+//! stay deterministic) under degraded communications, GPS noise, and
+//! degenerate mission geometry.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_math::Vec2;
+use swarm_sim::comms::CommsConfig;
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::world::{Obstacle, World};
+use swarm_sim::Simulation;
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+fn short_spec(n: usize, seed: u64) -> MissionSpec {
+    let mut spec = MissionSpec::paper_delivery(n, seed);
+    spec.duration = 50.0;
+    spec
+}
+
+#[test]
+fn mission_survives_lossy_comms() {
+    let mut spec = short_spec(5, 41);
+    spec.comms = CommsConfig { drop_probability: 0.3, ..Default::default() };
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    assert!(out.record.len() > 100, "mission must progress under 30% message loss");
+}
+
+#[test]
+fn mission_survives_delayed_comms() {
+    let mut spec = short_spec(5, 43);
+    spec.comms = CommsConfig { delay_ticks: 3, ..Default::default() };
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    assert!(out.record.len() > 100);
+}
+
+#[test]
+fn total_comms_blackout_degrades_to_independent_flight() {
+    // With 100% loss every drone flies on its own (no neighbors): the
+    // mission still runs and the controller receives empty neighbor lists.
+    let mut spec = short_spec(3, 47);
+    spec.comms = CommsConfig { drop_probability: 1.0, ..Default::default() };
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    // Drones still make forward progress from self-propulsion alone.
+    let last = out.record.len() - 1;
+    let progress = out.record.positions_at(last)[0].x - out.record.positions_at(0)[0].x;
+    assert!(progress > 30.0, "progress {progress}");
+}
+
+#[test]
+fn mission_survives_gps_noise() {
+    let mut spec = short_spec(5, 53);
+    spec.gps.position_noise_std = 1.0;
+    spec.gps.velocity_noise_std = 0.2;
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    assert!(out.record.len() > 100);
+    for t in 0..out.record.len() {
+        for p in out.record.positions_at(t) {
+            assert!(p.is_finite(), "NaN position under GPS noise");
+        }
+    }
+}
+
+#[test]
+fn radio_range_limits_neighbor_visibility_without_crashing() {
+    let mut spec = short_spec(5, 59);
+    spec.comms = CommsConfig { range: Some(15.0), ..Default::default() };
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    assert!(out.record.len() > 100);
+}
+
+#[test]
+fn fuzzing_missions_without_obstacles_is_rejected() {
+    let mut spec = short_spec(3, 61);
+    spec.world = World::new();
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(10.0));
+    assert!(matches!(fuzzer.fuzz(&spec), Err(FuzzError::NoObstacle)));
+}
+
+#[test]
+fn off_path_obstacle_mission_is_resilient() {
+    // Obstacle far off the corridor: the fuzzer should run its budget and
+    // (almost surely) report no SPV — and must not crash doing so.
+    let mut spec = short_spec(3, 67);
+    spec.world = World::with_obstacles(vec![Obstacle::Cylinder {
+        center: Vec2::new(130.0, 400.0),
+        radius: 4.0,
+    }]);
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(10.0));
+    let report = fuzzer.fuzz(&spec).unwrap();
+    assert!(!report.is_success(), "an obstacle 400 m off path cannot be hit");
+}
+
+#[test]
+fn multiple_obstacles_are_supported() {
+    // Paper §VI: modelling more obstacles only changes the world input.
+    let mut spec = short_spec(5, 71);
+    spec.world = World::with_obstacles(vec![
+        Obstacle::Cylinder { center: Vec2::new(100.0, -6.0), radius: 4.0 },
+        Obstacle::Cylinder { center: Vec2::new(160.0, 6.0), radius: 4.0 },
+    ]);
+    spec.duration = 120.0;
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    assert!(out.record.len() > 100);
+    // VDO reflects the nearest of the two obstacles.
+    let (_, vdo) = out.record.mission_vdo().unwrap();
+    assert!(vdo.is_finite());
+}
+
+#[test]
+fn coincident_start_positions_do_not_produce_nan() {
+    // Degenerate geometry: disable the separation constraint and use a
+    // minuscule box so drones start (nearly) on top of each other.
+    let mut spec = short_spec(3, 73);
+    spec.start_min = Vec2::new(10.0, 0.0);
+    spec.start_max = Vec2::new(10.001, 0.001);
+    spec.min_start_separation = 0.0;
+    let sim = Simulation::new(spec, controller()).unwrap();
+    let out = sim.run(None).unwrap();
+    for t in 0..out.record.len() {
+        for p in out.record.positions_at(t) {
+            assert!(p.is_finite());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Fuzzer end-to-end tests: the full SwarmFuzz pipeline on real missions —
+//! initial test, SVG scheduling, gradient search — plus the ablation
+//! variants and the campaign runner.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::Simulation;
+use swarmfuzz::campaign::{run_campaign, CampaignConfig, SwarmConfig};
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+/// Finds a clean-baseline mission seed starting from `start`.
+fn clean_seed(n: usize, start: u64) -> u64 {
+    for seed in start..start + 50 {
+        let sim = Simulation::new(MissionSpec::paper_delivery(n, seed), controller()).unwrap();
+        if sim.run(None).unwrap().collision_free() {
+            return seed;
+        }
+    }
+    panic!("no clean seed from {start}");
+}
+
+#[test]
+fn fuzzer_respects_evaluation_budget() {
+    let seed = clean_seed(5, 900);
+    let spec = MissionSpec::paper_delivery(5, seed);
+    for config in [
+        FuzzerConfig::swarmfuzz(10.0),
+        FuzzerConfig::r_fuzz(10.0),
+        FuzzerConfig::g_fuzz(10.0),
+        FuzzerConfig::s_fuzz(10.0),
+    ] {
+        let fuzzer = Fuzzer::new(controller(), config);
+        let report = fuzzer.fuzz(&spec).unwrap();
+        assert!(
+            report.evaluations <= config.eval_budget,
+            "{} used {} evaluations with budget {}",
+            config.variant_name(),
+            report.evaluations,
+            config.eval_budget
+        );
+        assert!(report.seeds_tried >= 1);
+        assert!(report.mission_vdo > 0.0);
+    }
+}
+
+#[test]
+fn fuzzer_rejects_baseline_colliding_missions() {
+    // Hunt for a seed whose baseline collides (they exist for crowded
+    // swarms); the fuzzer must refuse it with BaselineCollision.
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(10.0));
+    for seed in 0..300 {
+        let spec = MissionSpec::paper_delivery(15, seed);
+        let sim = Simulation::new(spec.clone(), controller()).unwrap();
+        if !sim.run(None).unwrap().collision_free() {
+            match fuzzer.fuzz(&spec) {
+                Err(FuzzError::BaselineCollision(_)) => return,
+                other => panic!("expected BaselineCollision, got {other:?}"),
+            }
+        }
+    }
+    // All baselines clean: nothing to assert against (acceptable).
+}
+
+#[test]
+fn fuzzer_rejects_single_drone_swarm() {
+    let spec = MissionSpec::paper_delivery(1, clean_seed(1, 10));
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(10.0));
+    assert!(matches!(fuzzer.fuzz(&spec), Err(FuzzError::SwarmTooSmall(1))));
+}
+
+#[test]
+fn successful_finding_is_replayable() {
+    // Fuzz missions until one SPV is found, then replay the reported attack
+    // and confirm the collision reproduces exactly.
+    use swarm_sim::spoof::SpoofingAttack;
+
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(10.0));
+    let mut seed = 0u64;
+    for _ in 0..40 {
+        seed = clean_seed(10, seed.max(1));
+        let spec = MissionSpec::paper_delivery(10, seed);
+        let report = fuzzer.fuzz(&spec).unwrap();
+        if let Some(f) = report.finding {
+            let attack = SpoofingAttack::new(
+                f.seed.target,
+                f.seed.direction,
+                f.start,
+                f.duration,
+                f.deviation,
+            )
+            .unwrap();
+            let sim = Simulation::new(spec, controller()).unwrap();
+            let out = sim.run(Some(&attack)).unwrap();
+            let (victim, time) = out
+                .spv_collision(f.seed.target)
+                .expect("reported SPV must reproduce on replay");
+            assert_eq!(victim, f.actual_victim);
+            assert!((time - f.collision_time).abs() < 1e-9);
+            return;
+        }
+        seed += 1;
+    }
+    panic!("SwarmFuzz found no SPV in 40 ten-drone missions — tuning regression");
+}
+
+#[test]
+fn campaign_runs_small_grid_and_aggregates() {
+    let campaign = CampaignConfig {
+        configs: vec![SwarmConfig { swarm_size: 5, deviation: 10.0 }],
+        missions_per_config: 3,
+        base_seed: 77,
+        workers: 2,
+    };
+    let report =
+        run_campaign(&campaign, |d| Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(d)))
+            .unwrap();
+    assert_eq!(report.missions.len(), 3);
+    let cfg = campaign.configs[0];
+    assert!(report.success_rate(cfg).is_some());
+    assert!(report.mean_iterations(cfg).unwrap() <= 20.0);
+    // Campaign results are reproducible.
+    let report2 =
+        run_campaign(&campaign, |d| Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(d)))
+            .unwrap();
+    assert_eq!(report, report2);
+}

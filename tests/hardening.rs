@@ -1,0 +1,51 @@
+//! Mitigation validation: the paper suggests defenders can "take actions
+//! (e.g., tuning the parameters in the control algorithm)" once SwarmFuzz
+//! flags a mission. This test runs the fuzzer against the hardened
+//! controller preset and checks the attack surface actually shrinks.
+
+use swarm_control::{presets, VasarhelyiController};
+use swarm_sim::mission::MissionSpec;
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+
+/// Fuzzes `missions` clean-baseline missions, returning
+/// (successes, audited).
+fn audit(params: swarm_control::VasarhelyiParams, missions: usize) -> (usize, usize) {
+    let fuzzer =
+        Fuzzer::new(VasarhelyiController::new(params), FuzzerConfig::swarmfuzz(10.0));
+    let mut successes = 0;
+    let mut audited = 0;
+    let mut seed = 0u64;
+    while audited < missions && seed < 200 {
+        let spec = MissionSpec::paper_delivery(10, seed);
+        seed += 1;
+        match fuzzer.fuzz(&spec) {
+            Err(FuzzError::BaselineCollision(_)) => continue,
+            Err(e) => panic!("fuzz failed: {e}"),
+            Ok(report) => {
+                audited += 1;
+                if report.is_success() {
+                    successes += 1;
+                }
+            }
+        }
+    }
+    (successes, audited)
+}
+
+#[test]
+fn hardened_preset_reduces_attack_success() {
+    let missions = 8;
+    let (paper_hits, paper_audited) = audit(presets::paper(), missions);
+    let (hard_hits, hard_audited) = audit(presets::hardened(), missions);
+    assert_eq!(paper_audited, missions);
+    assert_eq!(hard_audited, missions);
+    assert!(
+        paper_hits > 0,
+        "the paper preset must be exploitable for this test to mean anything"
+    );
+    assert!(
+        hard_hits < paper_hits,
+        "hardening must shrink the attack surface: paper {paper_hits}/{missions}, \
+         hardened {hard_hits}/{missions}"
+    );
+}
