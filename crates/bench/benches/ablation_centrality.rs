@@ -8,7 +8,9 @@
 use swarmfuzz::campaign::{run_campaign, CampaignConfig, SwarmConfig};
 use swarmfuzz::report::write_csv;
 use swarmfuzz::{CentralityKind, Fuzzer, FuzzerConfig};
-use swarmfuzz_bench::{missions_per_config, paper_controller, percent, print_table, results_dir, workers};
+use swarmfuzz_bench::{
+    missions_per_config, paper_controller, percent, print_table, results_dir, workers,
+};
 
 fn main() {
     let controller = paper_controller();

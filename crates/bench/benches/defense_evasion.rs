@@ -60,10 +60,8 @@ fn main() {
                 dt,
                 |t| {
                     if t >= atk.start && t < atk.start + atk.duration {
-                        swarm_sim::spoof::SpoofDirection::offset_direction(
-                            atk.seed.direction,
-                            axis,
-                        ) * atk.deviation
+                        swarm_sim::spoof::SpoofDirection::offset_direction(atk.seed.direction, axis)
+                            * atk.deviation
                     } else {
                         swarm_math::Vec3::ZERO
                     }
@@ -124,11 +122,7 @@ fn main() {
          on clean missions — the paper's stealthiness argument in numbers."
     );
     let path = results_dir().join("defense_evasion.csv");
-    write_csv(
-        &path,
-        &["threshold_m", "false_positive_rate", "detect_5m", "detect_10m"],
-        &csv_rows,
-    )
-    .expect("write csv");
+    write_csv(&path, &["threshold_m", "false_positive_rate", "detect_5m", "detect_10m"], &csv_rows)
+        .expect("write csv");
     println!("csv: {}", path.display());
 }

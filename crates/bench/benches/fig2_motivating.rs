@@ -9,7 +9,7 @@
 //! same decomposition under attack — where the cohesion/repulsion terms
 //! outweigh the obstacle term, exactly the imbalance the paper describes.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use swarm_control::{VasarhelyiController, VelocityTerms};
 use swarm_math::Vec3;
 use swarm_sim::mission::MissionSpec;
@@ -33,16 +33,16 @@ impl SwarmController for Tracer {
                 .world
                 .nearest_obstacle(ctx.self_state.position)
                 .map_or(f64::INFINITY, |(_, d)| d);
-            self.log.lock().push((ctx.time, terms, od));
+            self.log.lock().unwrap().push((ctx.time, terms, od));
         }
         terms.total
     }
 }
 
-fn decomposition_at_closest(log: &[(f64, VelocityTerms, f64)]) -> Option<(f64, VelocityTerms, f64)> {
-    log.iter()
-        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances"))
-        .copied()
+fn decomposition_at_closest(
+    log: &[(f64, VelocityTerms, f64)],
+) -> Option<(f64, VelocityTerms, f64)> {
+    log.iter().min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances")).copied()
 }
 
 fn print_terms(label: &str, t: f64, terms: &VelocityTerms, od: f64) {
@@ -94,11 +94,11 @@ fn main() {
     let tracer = Tracer { inner: controller, traced: victim, log: Mutex::new(Vec::new()) };
     let sim = Simulation::new(spec.clone(), &tracer).expect("valid spec");
     sim.run(None).expect("clean run");
-    let clean = decomposition_at_closest(&tracer.log.lock()).expect("non-empty log");
+    let clean = decomposition_at_closest(&tracer.log.lock().unwrap()).expect("non-empty log");
     print_terms("no attack: victim balanced around the obstacle", clean.0, &clean.1, clean.2);
 
     // Attacked decomposition.
-    tracer.log.lock().clear();
+    tracer.log.lock().unwrap().clear();
     let attack = SpoofingAttack::new(
         finding.seed.target,
         finding.seed.direction,
@@ -108,8 +108,13 @@ fn main() {
     )
     .expect("valid attack");
     let out = sim.run(Some(&attack)).expect("attacked run");
-    let attacked = decomposition_at_closest(&tracer.log.lock()).expect("non-empty log");
-    print_terms("under attack: other goals outweigh avoidance", attacked.0, &attacked.1, attacked.2);
+    let attacked = decomposition_at_closest(&tracer.log.lock().unwrap()).expect("non-empty log");
+    print_terms(
+        "under attack: other goals outweigh avoidance",
+        attacked.0,
+        &attacked.1,
+        attacked.2,
+    );
     let (crashed, when) = out.spv_collision(finding.seed.target).expect("SPV replays");
     println!("\n=> {crashed} collides with the obstacle at t = {when:.1} s (paper Fig. 2-(c))");
 
@@ -136,7 +141,15 @@ fn main() {
     let path = results_dir().join("fig2_motivating.csv");
     write_csv(
         &path,
-        &["run", "self_propulsion", "repulsion", "friction", "attraction", "obstacle", "obstacle_distance"],
+        &[
+            "run",
+            "self_propulsion",
+            "repulsion",
+            "friction",
+            "attraction",
+            "obstacle",
+            "obstacle_distance",
+        ],
         &rows,
     )
     .expect("write fig2 csv");

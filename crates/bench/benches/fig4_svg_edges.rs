@@ -33,7 +33,9 @@ fn main() {
 
     let builder = SvgBuilder::new(&controller, &spec, &record, 10.0);
     let mut rows = Vec::new();
-    println!("Fig 4: SVG edges in the two-drone scenario (drone0 left of obstacle, drone1 right)\n");
+    println!(
+        "Fig 4: SVG edges in the two-drone scenario (drone0 left of obstacle, drone1 right)\n"
+    );
     for dir in SpoofDirection::BOTH {
         let svg = builder.build(dir).expect("SVG builds");
         println!("spoofing direction: {dir} (θ = {})", dir.theta());
@@ -58,14 +60,8 @@ fn main() {
         }
         println!(
             "  target scores {:?}  victim scores {:?}\n",
-            svg.target_scores
-                .iter()
-                .map(|x| (x * 1000.0).round() / 1000.0)
-                .collect::<Vec<_>>(),
-            svg.victim_scores
-                .iter()
-                .map(|x| (x * 1000.0).round() / 1000.0)
-                .collect::<Vec<_>>(),
+            svg.target_scores.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+            svg.victim_scores.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
         );
     }
     println!(

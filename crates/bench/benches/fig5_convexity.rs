@@ -69,7 +69,11 @@ fn main() {
     println!(
         "\nvalley bottom at Δt = {:.1} s (index {min_idx}/16): {}",
         min_idx as f64 * 2.5,
-        if min_idx > 0 && min_idx < 16 { "interior minimum — convex valley as in Fig. 5-(e)" } else { "boundary minimum" }
+        if min_idx > 0 && min_idx < 16 {
+            "interior minimum — convex valley as in Fig. 5-(e)"
+        } else {
+            "boundary minimum"
+        }
     );
 
     println!("\nobjective f(t_s, Δt fixed):");

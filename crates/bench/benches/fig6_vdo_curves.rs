@@ -65,11 +65,8 @@ fn main() {
     println!();
     for &n in &[5usize, 10, 15] {
         // Pool both deviations: VDO comes from the unattacked baseline.
-        let missions: Vec<_> = report
-            .missions
-            .iter()
-            .filter(|m| m.config.swarm_size == n)
-            .collect();
+        let missions: Vec<_> =
+            report.missions.iter().filter(|m| m.config.swarm_size == n).collect();
         let cdf = vdo_cdf(&missions);
         print!("{n:2}-drone    ");
         for &t in &thresholds {

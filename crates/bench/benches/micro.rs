@@ -1,82 +1,143 @@
-//! Criterion micro-benchmarks for the hot paths of the reproduction:
-//! PageRank power iteration, one full simulated mission, SVG construction,
-//! and a single objective evaluation (one fuzzing "search iteration").
+//! Micro-benchmarks for the hot paths of the reproduction: PageRank power
+//! iteration, one full simulated mission, SVG construction, a single
+//! objective evaluation (one fuzzing "search iteration"), and the overhead of
+//! the telemetry observer on the mission-step hot path (budget: < 5%).
+//!
+//! Hand-rolled harness (median of timed batches) — no external benchmark
+//! dependency. Results are printed per benchmark and written to
+//! `bench_results/micro.csv`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
-use swarm_sim::{DroneId, Simulation};
-use swarmfuzz::SvgBuilder;
-use swarmfuzz_bench::paper_controller;
+use swarm_sim::{DroneId, SimObserver, Simulation};
+use swarmfuzz::telemetry::Counter;
+use swarmfuzz::{SvgBuilder, Telemetry};
+use swarmfuzz_bench::{paper_controller, results_dir};
 
-fn bench_pagerank(c: &mut Criterion) {
-    use swarm_graph::centrality::{pagerank, PageRankConfig};
-    use swarm_graph::DiGraph;
-
-    let mut group = c.benchmark_group("pagerank");
-    for &n in &[5usize, 15, 100] {
-        // Ring + chords: every node points at the next and at node 0.
-        let mut g = DiGraph::new(n);
-        for i in 0..n {
-            let j = (i + 1) % n;
-            if i != j {
-                g.add_edge(i, j, 1.0).unwrap();
+/// Median ns/iteration over `batches` timed batches of `iters` calls each.
+fn bench<F: FnMut()>(name: &str, batches: usize, iters: usize, mut f: F) -> f64 {
+    // Warm-up.
+    f();
+    let mut per_iter: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
             }
-            if i != 0 {
-                g.add_edge(i, 0, 0.5).unwrap();
-            }
-        }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| pagerank(g, &PageRankConfig::default()))
-        });
-    }
-    group.finish();
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<40} {:>12.0} ns/iter", median);
+    median
 }
 
-fn bench_mission(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mission");
-    group.sample_size(10);
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        rows.push(vec![name.to_string(), format!("{ns:.0}")]);
+    };
+
+    // PageRank power iteration on ring+chord graphs.
+    {
+        use swarm_graph::centrality::{pagerank, PageRankConfig};
+        use swarm_graph::DiGraph;
+        for &n in &[5usize, 15, 100] {
+            let mut g = DiGraph::new(n);
+            for i in 0..n {
+                let j = (i + 1) % n;
+                if i != j {
+                    g.add_edge(i, j, 1.0).unwrap();
+                }
+                if i != 0 {
+                    g.add_edge(i, 0, 0.5).unwrap();
+                }
+            }
+            let ns = bench(&format!("pagerank/{n}"), 7, 200, || {
+                std::hint::black_box(pagerank(&g, &PageRankConfig::default()));
+            });
+            push(&format!("pagerank/{n}"), ns);
+        }
+    }
+
+    // One truncated (30 s) no-attack mission: steady-state stepping cost.
     for &n in &[5usize, 15] {
         let mut spec = MissionSpec::paper_delivery(n, 1);
-        spec.duration = 30.0; // truncated mission: steady-state stepping cost
+        spec.duration = 30.0;
         let sim = Simulation::new(spec, paper_controller()).unwrap();
-        group.bench_with_input(BenchmarkId::new("30s-no-attack", n), &sim, |b, sim| {
-            b.iter(|| sim.run(None).unwrap())
+        let ns = bench(&format!("mission/30s-no-attack/{n}"), 5, 3, || {
+            std::hint::black_box(sim.run(None).unwrap());
         });
+        push(&format!("mission/30s-no-attack/{n}"), ns);
     }
-    group.finish();
-}
 
-fn bench_svg_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("svg_build");
+    // SVG construction from a recorded mission.
     for &n in &[5usize, 15] {
         let spec = MissionSpec::paper_delivery(n, 1);
         let controller = paper_controller();
         let sim = Simulation::new(spec.clone(), controller).unwrap();
         let record = sim.run(None).unwrap().record;
-        group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| {
+        let ns = bench(&format!("svg_build/{n}"), 7, 20, || {
+            std::hint::black_box(
                 SvgBuilder::new(&controller, &spec, &record, 10.0)
                     .build(SpoofDirection::Right)
-                    .unwrap()
-            })
+                    .unwrap(),
+            );
         });
+        push(&format!("svg_build/{n}"), ns);
     }
-    group.finish();
-}
 
-fn bench_attack_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("attack_eval");
-    group.sample_size(10);
-    let spec = MissionSpec::paper_delivery(5, 1);
-    let sim = Simulation::new(spec, paper_controller()).unwrap();
-    let attack =
-        SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 20.0, 12.0, 10.0).unwrap();
-    group.bench_function("5d-10m-full-mission", |b| {
-        b.iter(|| sim.run(Some(&attack)).unwrap())
-    });
-    group.finish();
-}
+    // One full attacked mission (one objective evaluation).
+    {
+        let spec = MissionSpec::paper_delivery(5, 1);
+        let sim = Simulation::new(spec, paper_controller()).unwrap();
+        let attack =
+            SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 20.0, 12.0, 10.0).unwrap();
+        let ns = bench("attack_eval/5d-10m-full-mission", 5, 2, || {
+            std::hint::black_box(sim.run(Some(&attack)).unwrap());
+        });
+        push("attack_eval/5d-10m-full-mission", ns);
+    }
 
-criterion_group!(benches, bench_pagerank, bench_mission, bench_svg_build, bench_attack_eval);
-criterion_main!(benches);
+    // Telemetry observer overhead on the mission-step hot path: the same
+    // truncated mission with and without an enabled observer. Budget: < 5%.
+    {
+        let mut spec = MissionSpec::paper_delivery(5, 1);
+        spec.duration = 30.0;
+        let sim = Simulation::new(spec, paper_controller()).unwrap();
+        let plain = bench("observer_overhead/off", 7, 5, || {
+            std::hint::black_box(sim.run(None).unwrap());
+        });
+        let telemetry = Telemetry::enabled(1);
+        let observer: &dyn SimObserver = &telemetry;
+        let observed = bench("observer_overhead/on", 7, 5, || {
+            std::hint::black_box(sim.run_observed(None, Some(observer)).unwrap());
+        });
+        let overhead = (observed - plain) / plain * 100.0;
+        println!(
+            "observer overhead: {overhead:+.2}% ({} physics steps batched per run)",
+            telemetry.counter(Counter::SimPhysicsSteps)
+        );
+        push("observer_overhead/off", plain);
+        push("observer_overhead/on", observed);
+        rows.push(vec!["observer_overhead_pct".into(), format!("{overhead:.2}")]);
+        assert!(
+            overhead < 5.0,
+            "telemetry observer exceeded the 5% hot-path budget: {overhead:.2}%"
+        );
+    }
+
+    let path = results_dir().join("micro.csv");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    let mut csv = String::from("benchmark,ns_per_iter\n");
+    for row in &rows {
+        csv.push_str(&format!("{}\n", row.join(",")));
+    }
+    std::fs::write(&path, csv).expect("write micro csv");
+    println!("csv: {}", path.display());
+}

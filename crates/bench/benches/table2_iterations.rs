@@ -61,11 +61,7 @@ fn main() {
     println!("(every iteration = one simulated mission; budget = 20)");
 
     let path = results_dir().join("table2_iterations.csv");
-    write_csv(
-        &path,
-        &["swarm_size", "deviation_m", "iters_successful", "iters_all"],
-        &csv_rows,
-    )
-    .expect("write table2 csv");
+    write_csv(&path, &["swarm_size", "deviation_m", "iters_successful", "iters_all"], &csv_rows)
+        .expect("write table2 csv");
     println!("csv: {}", path.display());
 }

@@ -20,16 +20,14 @@ use swarm_control::VasarhelyiController;
 use swarmfuzz::campaign::{run_campaign, CampaignConfig, SwarmConfig};
 use swarmfuzz::report::write_csv;
 use swarmfuzz::{Fuzzer, FuzzerConfig};
-use swarmfuzz_bench::{missions_per_config, paper_controller, percent, print_table, results_dir, workers};
+use swarmfuzz_bench::{
+    missions_per_config, paper_controller, percent, print_table, results_dir, workers,
+};
 
 fn main() {
     let controller: VasarhelyiController = paper_controller();
-    let variants: [fn(f64) -> FuzzerConfig; 4] = [
-        FuzzerConfig::swarmfuzz,
-        FuzzerConfig::r_fuzz,
-        FuzzerConfig::g_fuzz,
-        FuzzerConfig::s_fuzz,
-    ];
+    let variants: [fn(f64) -> FuzzerConfig; 4] =
+        [FuzzerConfig::swarmfuzz, FuzzerConfig::r_fuzz, FuzzerConfig::g_fuzz, FuzzerConfig::s_fuzz];
 
     let mut csv_rows = Vec::new();
     for swarm_size in [5usize, 10] {
@@ -67,7 +65,9 @@ fn main() {
             &[success_row, iter_row],
         );
     }
-    println!("\npaper Table III (5 drones, 10 m): success 49/8/5/12%, iterations 6.93/19.52/6.75/19.85");
+    println!(
+        "\npaper Table III (5 drones, 10 m): success 49/8/5/12%, iterations 6.93/19.52/6.75/19.85"
+    );
 
     let path = results_dir().join("table3_ablation.csv");
     write_csv(&path, &["swarm_size", "fuzzer", "success_rate", "avg_iterations"], &csv_rows)

@@ -6,10 +6,8 @@ use swarmfuzz::campaign::{run_campaign, CampaignConfig, SwarmConfig};
 use swarmfuzz::{Fuzzer, FuzzerConfig};
 
 fn main() {
-    let missions: usize = std::env::var("SWARMFUZZ_MISSIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(15);
+    let missions: usize =
+        std::env::var("SWARMFUZZ_MISSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(15);
     let controller = VasarhelyiController::new(VasarhelyiParams::default());
     for swarm_size in [5usize, 10] {
         let campaign = CampaignConfig {
@@ -26,8 +24,7 @@ fn main() {
             FuzzerConfig::s_fuzz,
         ] {
             let cfg = make(10.0);
-            let report =
-                run_campaign(&campaign, |d| Fuzzer::new(controller, make(d))).unwrap();
+            let report = run_campaign(&campaign, |d| Fuzzer::new(controller, make(d))).unwrap();
             let c = campaign.configs[0];
             println!(
                 "{}\tsuccess {:.0}%\tavg iters {:.2}",

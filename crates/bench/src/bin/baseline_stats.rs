@@ -8,10 +8,8 @@ use swarm_sim::mission::MissionSpec;
 use swarm_sim::Simulation;
 
 fn main() {
-    let missions: usize = std::env::var("SWARMFUZZ_MISSIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30);
+    let missions: usize =
+        std::env::var("SWARMFUZZ_MISSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
     let controller = VasarhelyiController::new(VasarhelyiParams::default());
     println!("swarm\tcoll\tarrived\tvdo(min/med/max)\tP(vdo<=4m)\tdur");
     for &n in &[5usize, 10, 15] {

@@ -7,16 +7,12 @@ use swarmfuzz::campaign::{run_campaign, CampaignConfig};
 use swarmfuzz::{Fuzzer, FuzzerConfig};
 
 fn main() {
-    let missions: usize = std::env::var("SWARMFUZZ_MISSIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(15);
+    let missions: usize =
+        std::env::var("SWARMFUZZ_MISSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(15);
     let campaign = CampaignConfig::paper_grid(missions, 0xC0FFEE);
     let controller = VasarhelyiController::new(VasarhelyiParams::default());
-    let report = run_campaign(&campaign, |d| {
-        Fuzzer::new(controller, FuzzerConfig::swarmfuzz(d))
-    })
-    .unwrap();
+    let report =
+        run_campaign(&campaign, |d| Fuzzer::new(controller, FuzzerConfig::swarmfuzz(d))).unwrap();
     println!("config\tsuccess\tavg_iters\tmissions");
     for &config in &campaign.configs {
         println!(

@@ -19,9 +19,11 @@ use std::path::{Path, PathBuf};
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_sim::spoof::SpoofDirection;
 use swarm_sim::DroneId;
-use swarmfuzz::campaign::{run_campaign, CampaignConfig, CampaignReport, MissionResult, SwarmConfig};
+use swarmfuzz::campaign::{
+    run_campaign_with_telemetry, CampaignConfig, CampaignReport, MissionResult, SwarmConfig,
+};
 use swarmfuzz::seed::Seed;
-use swarmfuzz::{Fuzzer, FuzzerConfig, SpvFinding};
+use swarmfuzz::{Fuzzer, FuzzerConfig, SpvFinding, Telemetry};
 
 /// Default number of missions per configuration (kept modest so the full
 /// bench suite completes on a single CI core; the paper uses 100).
@@ -46,9 +48,7 @@ pub fn workers() -> usize {
     std::env::var("SWARMFUZZ_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// The paper's six-configuration campaign grid with env-tuned mission count.
@@ -92,8 +92,24 @@ pub fn cached_paper_campaign() -> CampaignReport {
         campaign.configs.len(),
         campaign.missions_per_config
     );
-    let report = run_campaign(&campaign, |d| swarmfuzz_fuzzer(d)).expect("campaign must run");
+    let telemetry = Telemetry::enabled_with_progress(
+        campaign.workers,
+        (campaign.missions_per_config as u64).max(5),
+    );
+    let report = run_campaign_with_telemetry(&campaign, swarmfuzz_fuzzer, &telemetry)
+        .expect("campaign must run");
     store_campaign_csv(&cache, &report);
+    if let Some(snapshot) = telemetry.snapshot() {
+        let stem = format!(
+            "telemetry_campaign_m{}_s{:x}",
+            campaign.missions_per_config, campaign.base_seed
+        );
+        let json = results_dir().join(format!("{stem}.json"));
+        let csv = results_dir().join(format!("{stem}.csv"));
+        std::fs::write(&json, snapshot.to_json()).ok();
+        std::fs::write(&csv, snapshot.to_csv()).ok();
+        eprintln!("[bench] telemetry: {} / {}", json.display(), csv.display());
+    }
     report
 }
 
@@ -140,10 +156,7 @@ fn load_campaign_csv(path: &Path) -> Option<CampaignReport> {
         if c.len() != 14 {
             return None;
         }
-        let config = SwarmConfig {
-            swarm_size: c[0].parse().ok()?,
-            deviation: c[1].parse().ok()?,
-        };
+        let config = SwarmConfig { swarm_size: c[0].parse().ok()?, deviation: c[1].parse().ok()? };
         let vdo: f64 = c[3].parse().ok()?;
         let success: bool = c[4].parse().ok()?;
         let finding = if success && !c[7].is_empty() {

@@ -75,10 +75,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
-                flag: format!("--{key}"),
-                value: v.clone(),
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue { flag: format!("--{key}"), value: v.clone() }),
         }
     }
 
@@ -91,10 +90,9 @@ impl Args {
     pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
         match self.values.get(key) {
             None => Err(ArgError::Required(format!("--{key}"))),
-            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
-                flag: format!("--{key}"),
-                value: v.clone(),
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue { flag: format!("--{key}"), value: v.clone() }),
         }
     }
 }
@@ -122,10 +120,7 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert_eq!(
-            Args::parse(toks("--drones")),
-            Err(ArgError::MissingValue("--drones".into()))
-        );
+        assert_eq!(Args::parse(toks("--drones")), Err(ArgError::MissingValue("--drones".into())));
     }
 
     #[test]

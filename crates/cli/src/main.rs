@@ -17,8 +17,8 @@ use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
 use swarm_sim::{DroneId, Simulation};
-use swarmfuzz::campaign::{run_campaign, CampaignConfig};
-use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
+use swarmfuzz::campaign::{run_campaign_with_telemetry, CampaignConfig};
+use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig, Telemetry};
 
 const USAGE: &str = "\
 swarmfuzz — discover GPS-spoofing attacks in drone swarms (DSN'23 reproduction)
@@ -29,8 +29,10 @@ USAGE:
 COMMANDS:
     audit     fuzz a batch of missions and report vulnerable ones
                 --drones N (10)  --deviation M (10)  --missions K (10)  --seed S (0)
+                --telemetry off|summary|json (off)
     campaign  run the paper's 6-configuration evaluation grid
                 --missions K (20)  --workers W (cores)
+                --telemetry off|summary|json (off)
     baseline  fly one mission without any attack and print statistics
                 --drones N (10)  --seed S (0)
     replay    replay a specific spoofing attack and report the outcome
@@ -41,6 +43,46 @@ COMMANDS:
 
 fn controller() -> VasarhelyiController {
     VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+/// How `--telemetry` renders the collected snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryMode {
+    Off,
+    Summary,
+    Json,
+}
+
+fn telemetry_mode(args: &Args) -> Result<TelemetryMode, CliError> {
+    match args.raw("telemetry") {
+        None | Some("off") => Ok(TelemetryMode::Off),
+        Some("summary") => Ok(TelemetryMode::Summary),
+        Some("json") => Ok(TelemetryMode::Json),
+        Some(other) => Err(CliError::Other(format!(
+            "--telemetry must be 'off', 'summary' or 'json', got {other:?}"
+        ))),
+    }
+}
+
+/// Prints the snapshot in the requested format (summary to stderr, JSON to
+/// stdout so it can be piped).
+fn emit_telemetry(mode: TelemetryMode, telemetry: &Telemetry) {
+    let Some(report) = telemetry.snapshot() else { return };
+    match mode {
+        TelemetryMode::Off => {}
+        TelemetryMode::Summary => eprint!("{}", report.summary()),
+        TelemetryMode::Json => print!("{}", report.to_json()),
+    }
+}
+
+/// Prints a human-readable result line. With `--telemetry json` the JSON
+/// report owns stdout, so everything else moves to stderr.
+fn human_line(mode: TelemetryMode, line: std::fmt::Arguments<'_>) {
+    if mode == TelemetryMode::Json {
+        eprintln!("{line}");
+    } else {
+        println!("{line}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -121,8 +163,12 @@ fn cmd_audit(args: &Args) -> Result<(), CliError> {
     let deviation: f64 = args.get_or("deviation", 10.0)?;
     let missions: usize = args.get_or("missions", 10)?;
     let base_seed: u64 = args.get_or("seed", 0)?;
+    let mode = telemetry_mode(args)?;
+    let telemetry =
+        if mode == TelemetryMode::Off { Telemetry::off() } else { Telemetry::enabled(1) };
 
-    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(deviation));
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(deviation))
+        .with_telemetry(telemetry.clone());
     let mut vulnerable = 0usize;
     let mut audited = 0usize;
     let mut seed = base_seed;
@@ -130,60 +176,87 @@ fn cmd_audit(args: &Args) -> Result<(), CliError> {
         let spec = MissionSpec::paper_delivery(drones, seed);
         seed += 1;
         match fuzzer.fuzz(&spec) {
-            Err(FuzzError::BaselineCollision(_)) => continue,
+            Err(FuzzError::BaselineCollision(_)) => {
+                telemetry.incr(swarmfuzz::telemetry::Counter::BaselineSkips);
+                continue;
+            }
             Err(e) => return Err(e.into()),
             Ok(report) => {
                 audited += 1;
                 match &report.finding {
                     Some(f) => {
                         vulnerable += 1;
-                        println!(
-                            "mission seed {:>4}: VULNERABLE  vdo={:.2}m  spoof {} {} \
-                             [{:.1},{:.1})s -> {} crashes at {:.1}s",
-                            seed - 1,
-                            report.mission_vdo,
-                            f.seed.target,
-                            f.seed.direction,
-                            f.start,
-                            f.start + f.duration,
-                            f.actual_victim,
-                            f.collision_time
+                        human_line(
+                            mode,
+                            format_args!(
+                                "mission seed {:>4}: VULNERABLE  vdo={:.2}m  spoof {} {} \
+                                 [{:.1},{:.1})s -> {} crashes at {:.1}s",
+                                seed - 1,
+                                report.mission_vdo,
+                                f.seed.target,
+                                f.seed.direction,
+                                f.start,
+                                f.start + f.duration,
+                                f.actual_victim,
+                                f.collision_time
+                            ),
                         );
                     }
-                    None => println!(
-                        "mission seed {:>4}: resilient   vdo={:.2}m  ({} iterations)",
-                        seed - 1,
-                        report.mission_vdo,
-                        report.evaluations
+                    None => human_line(
+                        mode,
+                        format_args!(
+                            "mission seed {:>4}: resilient   vdo={:.2}m  ({} iterations)",
+                            seed - 1,
+                            report.mission_vdo,
+                            report.evaluations
+                        ),
                     ),
                 }
             }
         }
     }
-    println!("\n{vulnerable}/{audited} missions vulnerable at {deviation:.0} m spoofing");
+    human_line(
+        mode,
+        format_args!("\n{vulnerable}/{audited} missions vulnerable at {deviation:.0} m spoofing"),
+    );
+    emit_telemetry(mode, &telemetry);
     Ok(())
 }
 
 fn cmd_campaign(args: &Args) -> Result<(), CliError> {
     let missions: usize = args.get_or("missions", 20)?;
-    let workers: usize = args.get_or(
-        "workers",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    )?;
+    let workers: usize =
+        args.get_or("workers", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))?;
+    let mode = telemetry_mode(args)?;
+    let telemetry = if mode == TelemetryMode::Off {
+        Telemetry::off()
+    } else {
+        // One progress line roughly every 10% of a worker's share.
+        let every = ((missions * 6 / workers.max(1)) as u64 / 10).max(5);
+        Telemetry::enabled_with_progress(workers, every)
+    };
     let mut campaign = CampaignConfig::paper_grid(missions, 0xC0FFEE);
     campaign.workers = workers;
     let ctrl = controller();
-    let report = run_campaign(&campaign, |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)))
-        .map_err(CliError::Fuzz)?;
-    println!("config\tsuccess\tavg_iterations\tmissions");
+    let report = run_campaign_with_telemetry(
+        &campaign,
+        |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)),
+        &telemetry,
+    )
+    .map_err(CliError::Fuzz)?;
+    human_line(mode, format_args!("config\tsuccess\tavg_iterations\tmissions"));
     for &config in &campaign.configs {
-        println!(
-            "{config}\t{:.0}%\t{:.2}\t{}",
-            report.success_rate(config).unwrap_or(0.0) * 100.0,
-            report.mean_iterations(config).unwrap_or(0.0),
-            report.for_config(config).len()
+        human_line(
+            mode,
+            format_args!(
+                "{config}\t{:.0}%\t{:.2}\t{}",
+                report.success_rate(config).unwrap_or(0.0) * 100.0,
+                report.mean_iterations(config).unwrap_or(0.0),
+                report.for_config(config).len()
+            ),
         );
     }
+    emit_telemetry(mode, &telemetry);
     Ok(())
 }
 
@@ -261,7 +334,9 @@ fn cmd_replay(args: &Args) -> Result<(), CliError> {
             }
         }
         None => match out.first_collision() {
-            Some(c) => println!("collision at t = {:.1} s but not a valid SPV: {:?}", c.time, c.kind),
+            Some(c) => {
+                println!("collision at t = {:.1} s but not a valid SPV: {:?}", c.time, c.kind)
+            }
             None => println!("no collision — attack ineffective on this mission"),
         },
     }

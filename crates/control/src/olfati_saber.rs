@@ -283,15 +283,13 @@ mod tests {
 
     #[test]
     fn obstacle_surface_repels() {
-        let world =
-            World::with_obstacles(vec![Obstacle::Cylinder { center: V2::new(8.0, 0.0), radius: 4.0 }]);
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: V2::new(8.0, 0.0),
+            radius: 4.0,
+        }]);
         let c = controller();
-        let with = c.acceleration(&ctx(
-            Vec3::new(0.0, 0.0, 10.0),
-            Vec3::new(2.0, 0.0, 0.0),
-            &[],
-            &world,
-        ));
+        let with =
+            c.acceleration(&ctx(Vec3::new(0.0, 0.0, 10.0), Vec3::new(2.0, 0.0, 0.0), &[], &world));
         let free = c.acceleration(&ctx(
             Vec3::new(0.0, 0.0, 10.0),
             Vec3::new(2.0, 0.0, 0.0),
@@ -317,12 +315,8 @@ mod tests {
         let world = World::new();
         let n: Vec<NeighborState> =
             (0..10).map(|i| neighbor(i + 1, Vec3::new(1.0, 0.0, 10.0), Vec3::ZERO)).collect();
-        let cmd = controller().desired_velocity(&ctx(
-            Vec3::new(0.0, 0.0, 10.0),
-            Vec3::ZERO,
-            &n,
-            &world,
-        ));
+        let cmd =
+            controller().desired_velocity(&ctx(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, &n, &world));
         assert!(cmd.horizontal().norm() <= p.v_max + 1e-9);
         assert!(cmd.is_finite());
     }

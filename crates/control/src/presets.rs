@@ -21,10 +21,10 @@ pub fn paper() -> VasarhelyiParams {
 pub fn hardened() -> VasarhelyiParams {
     VasarhelyiParams {
         v_flock: 3.0,
-        v_obs_max: 9.0,  // avoidance can override every other goal combined
+        v_obs_max: 9.0, // avoidance can override every other goal combined
         v_shill: 9.0,
-        a_shill: 2.0,    // conservative braking assumption: act early
-        p_att: 0.05,     // weaker cohesion = weaker attack lever
+        a_shill: 2.0, // conservative braking assumption: act early
+        p_att: 0.05,  // weaker cohesion = weaker attack lever
         v_att_max: 0.8,
         v_rep_max: 2.0,
         ..VasarhelyiParams::default()

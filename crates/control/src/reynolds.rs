@@ -121,7 +121,8 @@ impl SwarmController for ReynoldsController {
         for obs in &ctx.world.obstacles {
             let gap = obs.surface_distance(pos).max(0.1);
             if gap < p.obstacle_range {
-                avoid += obs.outward_normal(pos) * (p.k_obstacle / gap - p.k_obstacle / p.obstacle_range);
+                avoid += obs.outward_normal(pos)
+                    * (p.k_obstacle / gap - p.k_obstacle / p.obstacle_range);
             }
         }
 
@@ -204,8 +205,10 @@ mod tests {
 
     #[test]
     fn obstacle_field_pushes_outward() {
-        let world =
-            World::with_obstacles(vec![Obstacle::Cylinder { center: V2::new(6.0, 0.0), radius: 4.0 }]);
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: V2::new(6.0, 0.0),
+            radius: 4.0,
+        }]);
         let c = ReynoldsController::default();
         let with = c.desired_velocity(&ctx(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, &[], &world));
         let free =
@@ -216,8 +219,10 @@ mod tests {
     #[test]
     fn speed_is_bounded_and_finite() {
         let p = ReynoldsParams::default();
-        let world =
-            World::with_obstacles(vec![Obstacle::Cylinder { center: V2::new(0.5, 0.0), radius: 0.4 }]);
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: V2::new(0.5, 0.0),
+            radius: 0.4,
+        }]);
         let n: Vec<NeighborState> =
             (0..12).map(|i| neighbor(i + 1, Vec3::new(0.1, 0.1, 10.0), Vec3::ZERO)).collect();
         let cmd = ReynoldsController::default().desired_velocity(&ctx(

@@ -200,9 +200,7 @@ impl VasarhelyiController {
             // Goal 3: velocity alignment with braking-curve slack.
             let dv = nb.velocity - vel;
             let dv_norm = dv.norm();
-            let allowed = p
-                .v_fric
-                .max(braking_curve(dist - p.r0_fric, p.a_fric, p.p_fric));
+            let allowed = p.v_fric.max(braking_curve(dist - p.r0_fric, p.a_fric, p.p_fric));
             if dv_norm > allowed {
                 let brakes = dv.dot(vel) < 0.0;
                 if !p.braking_friction_only || brakes {
@@ -298,12 +296,8 @@ mod tests {
     #[test]
     fn lone_drone_heads_to_destination() {
         let world = World::new();
-        let terms = controller().compute_terms(&ctx(
-            Vec3::new(0.0, 0.0, 10.0),
-            Vec3::ZERO,
-            &[],
-            &world,
-        ));
+        let terms =
+            controller().compute_terms(&ctx(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, &[], &world));
         assert!(terms.self_propulsion.x > 0.0);
         assert_eq!(terms.repulsion, Vec3::ZERO);
         assert_eq!(terms.attraction, Vec3::ZERO);
@@ -346,8 +340,7 @@ mod tests {
         let world = World::new();
         let n = [neighbor(1, Vec3::new(0.0, 5.0, 10.0), Vec3::new(3.0, 0.0, 0.0))];
         let me_vel = Vec3::new(-3.0, 0.0, 0.0);
-        let terms =
-            controller().compute_terms(&ctx(Vec3::new(0.0, 0.0, 10.0), me_vel, &n, &world));
+        let terms = controller().compute_terms(&ctx(Vec3::new(0.0, 0.0, 10.0), me_vel, &n, &world));
         // Friction should push my velocity toward the neighbor's (+x).
         assert!(terms.friction.x > 0.0, "friction={}", terms.friction);
     }
@@ -363,8 +356,10 @@ mod tests {
 
     #[test]
     fn obstacle_ahead_triggers_avoidance() {
-        let world =
-            World::with_obstacles(vec![Obstacle::Cylinder { center: V2::new(10.0, 0.0), radius: 4.0 }]);
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: V2::new(10.0, 0.0),
+            radius: 4.0,
+        }]);
         // Flying straight at the obstacle at speed.
         let terms = controller().compute_terms(&ctx(
             Vec3::new(0.0, 0.0, 10.0),
@@ -413,19 +408,17 @@ mod tests {
     #[test]
     fn altitude_hold_corrects_vertical_error() {
         let world = World::new();
-        let terms = controller().compute_terms(&ctx(
-            Vec3::new(0.0, 0.0, 4.0),
-            Vec3::ZERO,
-            &[],
-            &world,
-        ));
+        let terms =
+            controller().compute_terms(&ctx(Vec3::new(0.0, 0.0, 4.0), Vec3::ZERO, &[], &world));
         assert!(terms.altitude.z > 0.0, "must climb back to 10 m");
     }
 
     #[test]
     fn goal_groupings_sum_their_terms() {
-        let world =
-            World::with_obstacles(vec![Obstacle::Cylinder { center: V2::new(5.0, 0.0), radius: 2.0 }]);
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: V2::new(5.0, 0.0),
+            radius: 2.0,
+        }]);
         let n = [
             neighbor(1, Vec3::new(0.0, 3.0, 10.0), Vec3::new(1.0, 1.0, 0.0)),
             neighbor(2, Vec3::new(0.0, 40.0, 10.0), Vec3::ZERO),

@@ -12,6 +12,7 @@ use swarm_sim::mission::MissionSpec;
 use swarm_sim::SwarmController;
 
 use crate::fuzzer::{Fuzzer, SpvFinding};
+use crate::telemetry::{Counter, Telemetry};
 use crate::FuzzError;
 
 /// One swarm configuration of the evaluation grid.
@@ -115,6 +116,24 @@ pub fn campaign_mission(config: SwarmConfig, seed: u64) -> MissionSpec {
     MissionSpec::paper_delivery(config.swarm_size, seed)
 }
 
+/// The first mission seed of `(config, index)` within a campaign: a
+/// SplitMix64-style hash chain over `(base_seed, swarm_size,
+/// deviation.to_bits(), index)`.
+///
+/// Hashing (rather than additive offsets) keeps seed streams disjoint across
+/// arbitrary grids: additive schemes collide as soon as two configurations
+/// straddle the offset radix (e.g. size 6 / dev 5 vs size 5 / dev 15), and
+/// truncating the deviation to an integer reuses one stream for every
+/// fractional deviation. Baseline-colliding seeds still advance by `+1` from
+/// this starting point; with hashed 64-bit starting points the probability of
+/// two missions' skip windows overlapping is negligible instead of certain.
+pub fn mission_base_seed(base_seed: u64, config: SwarmConfig, index: usize) -> u64 {
+    use swarm_math::rng::derive_seed;
+    let s = derive_seed(base_seed, config.swarm_size as u64);
+    let s = derive_seed(s, config.deviation.to_bits());
+    derive_seed(s, index as u64)
+}
+
 /// Runs a fuzzing campaign.
 ///
 /// For every configuration, missions are generated from consecutive seeds;
@@ -137,6 +156,31 @@ where
     C: SwarmController + Clone + Send + 'static,
     F: Fn(f64) -> Fuzzer<C> + Sync,
 {
+    run_campaign_with_telemetry(campaign, make_fuzzer, &Telemetry::off())
+}
+
+/// [`run_campaign`] with a telemetry handle attached to every worker's
+/// fuzzer.
+///
+/// Telemetry is purely observational — the returned [`CampaignReport`] is
+/// byte-identical to the uninstrumented run's (covered by the campaign
+/// determinism tests). Per-worker progress (missions done, SPVs found,
+/// evaluations spent) is tracked per worker slot, and periodic one-line
+/// progress reports go to stderr when the handle was built with
+/// [`Telemetry::enabled_with_progress`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign`].
+pub fn run_campaign_with_telemetry<C, F>(
+    campaign: &CampaignConfig,
+    make_fuzzer: F,
+    telemetry: &Telemetry,
+) -> Result<CampaignReport, FuzzError>
+where
+    C: SwarmController + Clone + Send + 'static,
+    F: Fn(f64) -> Fuzzer<C> + Sync,
+{
     // Work items: (config, mission index).
     let jobs: Vec<(SwarmConfig, usize)> = campaign
         .configs
@@ -154,14 +198,18 @@ where
     let (res_tx, res_rx) = channel::unbounded::<Result<MissionResult, FuzzError>>();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let make_fuzzer = &make_fuzzer;
             let campaign = &campaign;
+            let telemetry = telemetry.clone();
             scope.spawn(move || {
                 while let Ok((config, index)) = job_rx.recv() {
-                    let result = fuzz_one(campaign, config, index, make_fuzzer);
+                    let result = fuzz_one(campaign, config, index, make_fuzzer, &telemetry);
+                    if let Ok(m) = &result {
+                        telemetry.worker_mission_done(worker, m.success, m.evaluations as u64);
+                    }
                     if res_tx.send(result).is_err() {
                         return;
                     }
@@ -176,13 +224,11 @@ where
         }
         // Deterministic order regardless of thread scheduling.
         missions.sort_by(|a, b| {
-            (a.config.swarm_size, a.config.deviation.total_cmp(&b.config.deviation), a.mission_seed)
-                .partial_cmp(&(
-                    b.config.swarm_size,
-                    std::cmp::Ordering::Equal,
-                    b.mission_seed,
-                ))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.config
+                .swarm_size
+                .cmp(&b.config.swarm_size)
+                .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
+                .then_with(|| a.mission_seed.cmp(&b.mission_seed))
         });
         Ok(CampaignReport { missions })
     })
@@ -193,17 +239,15 @@ fn fuzz_one<C, F>(
     config: SwarmConfig,
     index: usize,
     make_fuzzer: &F,
+    telemetry: &Telemetry,
 ) -> Result<MissionResult, FuzzError>
 where
     C: SwarmController + Clone,
     F: Fn(f64) -> Fuzzer<C>,
 {
-    let fuzzer = make_fuzzer(config.deviation);
-    // Deterministic per-(config, index) seed stream with room for skips.
-    let mut seed = campaign.base_seed
-        + (config.swarm_size as u64) * 1_000_000
-        + (config.deviation as u64) * 100_000
-        + (index as u64) * 100;
+    let fuzzer = make_fuzzer(config.deviation).with_telemetry(telemetry.clone());
+    // Deterministic, collision-free per-(config, index) seed stream.
+    let mut seed = mission_base_seed(campaign.base_seed, config, index);
     // Skip seeds whose baseline collides (paper precondition).
     for _attempt in 0..100 {
         let spec = campaign_mission(config, seed);
@@ -220,6 +264,7 @@ where
                 });
             }
             Err(FuzzError::BaselineCollision(_)) => {
+                telemetry.incr(Counter::BaselineSkips);
                 seed += 1;
             }
             Err(e) => return Err(e),
@@ -275,5 +320,65 @@ mod tests {
     fn campaign_mission_uses_config_size() {
         let spec = campaign_mission(SwarmConfig { swarm_size: 7, deviation: 5.0 }, 3);
         assert_eq!(spec.swarm_size, 7);
+    }
+
+    /// Regression: the old additive scheme (`base + size*1e6 + (dev as
+    /// u64)*1e5 + index*100`) reused identical seed streams across
+    /// configurations — size 6 / dev 5 collided with size 5 / dev 15, and
+    /// fractional deviations truncated onto their integer neighbours.
+    #[test]
+    fn mission_seeds_do_not_collide_across_configs() {
+        let grids = [
+            SwarmConfig { swarm_size: 6, deviation: 5.0 },
+            SwarmConfig { swarm_size: 5, deviation: 15.0 },
+            SwarmConfig { swarm_size: 5, deviation: 5.0 },
+            SwarmConfig { swarm_size: 5, deviation: 5.5 },
+            SwarmConfig { swarm_size: 5, deviation: 5.9 },
+            SwarmConfig { swarm_size: 10, deviation: 10.0 },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for config in grids {
+            for index in 0..200 {
+                let seed = mission_base_seed(7, config, index);
+                assert!(seen.insert(seed), "seed stream collision at {config} index {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn mission_seeds_are_deterministic_and_key_sensitive() {
+        let c = SwarmConfig { swarm_size: 5, deviation: 10.0 };
+        assert_eq!(mission_base_seed(1, c, 3), mission_base_seed(1, c, 3));
+        assert_ne!(mission_base_seed(1, c, 3), mission_base_seed(2, c, 3));
+        assert_ne!(mission_base_seed(1, c, 3), mission_base_seed(1, c, 4));
+    }
+
+    /// The deterministic sort key orders by swarm size, then deviation
+    /// (total order, NaN-safe), then mission seed.
+    #[test]
+    fn report_sort_key_is_total() {
+        let mk = |size, dev, seed| MissionResult {
+            config: SwarmConfig { swarm_size: size, deviation: dev },
+            mission_seed: seed,
+            vdo: 1.0,
+            success: false,
+            finding: None,
+            evaluations: 0,
+            seeds_tried: 0,
+        };
+        let mut missions =
+            [mk(10, 5.0, 2), mk(5, 10.0, 1), mk(5, 5.0, 9), mk(5, 5.0, 1), mk(10, 5.0, 0)];
+        missions.sort_by(|a, b| {
+            a.config
+                .swarm_size
+                .cmp(&b.config.swarm_size)
+                .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
+                .then_with(|| a.mission_seed.cmp(&b.mission_seed))
+        });
+        let key: Vec<(usize, f64, u64)> = missions
+            .iter()
+            .map(|m| (m.config.swarm_size, m.config.deviation, m.mission_seed))
+            .collect();
+        assert_eq!(key, vec![(5, 5.0, 1), (5, 5.0, 9), (5, 10.0, 1), (10, 5.0, 0), (10, 5.0, 2)]);
     }
 }

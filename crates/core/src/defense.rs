@@ -42,13 +42,7 @@ impl InnovationMonitor {
     /// Panics if `threshold` is not strictly positive.
     pub fn new(threshold: f64) -> Self {
         assert!(threshold > 0.0, "threshold must be positive, got {threshold}");
-        InnovationMonitor {
-            threshold,
-            last: None,
-            alarms: 0,
-            samples: 0,
-            max_innovation: 0.0,
-        }
+        InnovationMonitor { threshold, last: None, alarms: 0, samples: 0, max_innovation: 0.0 }
     }
 
     /// Feeds one GPS fix (perceived position + velocity at `time`); returns

@@ -162,7 +162,8 @@ mod tests {
         let mut spec = MissionSpec::paper_delivery(2, 1);
         spec.duration = 20.0;
         let sim = Simulation::new(spec, Hover).unwrap();
-        let cfg = GridConfig { start_step: 10.0, duration_step: 10.0, max_duration: 10.0, stop_after: 1 };
+        let cfg =
+            GridConfig { start_step: 10.0, duration_step: 10.0, max_duration: 10.0, stop_after: 1 };
         let out = grid_search(&sim, 10.0, 20.0, &cfg).unwrap();
         assert!(!out.is_exploitable());
         // 2 targets x 2 directions x 2 starts x 1 duration = 8 probes.

@@ -23,13 +23,14 @@ use swarm_math::rng::{rng_for, streams};
 use swarm_sim::dynamics::Dynamics;
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::recorder::MissionRecord;
-use swarm_sim::{DroneId, Simulation, SwarmController};
+use swarm_sim::{DroneId, SimObserver, Simulation, SwarmController};
 
 use crate::objective::Objective;
-use crate::schedule::{random_schedule, svg_schedule_with_centrality};
+use crate::schedule::{random_schedule, svg_schedule_instrumented};
 use crate::search::{gradient_search, random_search, GradientConfig, SearchResult};
 use crate::seed::Seed;
 use crate::svg::CentralityKind;
+use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::FuzzError;
 
 /// How seeds are ordered for fuzzing.
@@ -177,17 +178,32 @@ impl FuzzReport {
 pub struct Fuzzer<C> {
     controller: C,
     config: FuzzerConfig,
+    telemetry: Telemetry,
 }
 
 impl<C: SwarmController + Clone> Fuzzer<C> {
     /// Creates a fuzzer for the given controller and configuration.
     pub fn new(controller: C, config: FuzzerConfig) -> Self {
-        Fuzzer { controller, config }
+        Fuzzer { controller, config, telemetry: Telemetry::off() }
+    }
+
+    /// Attaches a telemetry handle recording phase timings and counters.
+    ///
+    /// Instrumentation is purely observational: [`Fuzzer::fuzz`] returns the
+    /// same [`FuzzReport`] with or without it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The fuzzer configuration.
     pub fn config(&self) -> &FuzzerConfig {
         &self.config
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Fuzzes one mission end-to-end: initial test, seed scheduling, window
@@ -204,25 +220,34 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         let sim = Simulation::new(spec.clone(), self.controller.clone())?;
 
         // Step 1: initial no-attack test.
-        let baseline = sim.run(None)?;
+        let baseline = {
+            let _span = self.telemetry.span(Phase::Baseline);
+            let observer: Option<&dyn SimObserver> =
+                if self.telemetry.is_enabled() { Some(&self.telemetry) } else { None };
+            sim.run_observed(None, observer)?
+        };
         if let Some(c) = baseline.first_collision() {
             return Err(FuzzError::BaselineCollision(*c));
         }
+        self.telemetry.incr(Counter::MissionsRun);
         let record = &baseline.record;
-        let (vdo_drone, mission_vdo) =
-            record.mission_vdo().ok_or(FuzzError::NoObstacle)?;
+        let (vdo_drone, mission_vdo) = record.mission_vdo().ok_or(FuzzError::NoObstacle)?;
 
         // Step 2: seed scheduling.
         let mut rng = rng_for(self.config.rng_seed ^ spec.seed, streams::FUZZER);
-        let pool = match self.config.seed_strategy {
-            SeedStrategy::Svg => svg_schedule_with_centrality(
-                &self.controller,
-                spec,
-                record,
-                self.config.deviation,
-                self.config.centrality,
-            )?,
-            SeedStrategy::Random => random_schedule(record, &mut rng)?,
+        let pool = {
+            let _span = self.telemetry.span(Phase::SeedSchedule);
+            match self.config.seed_strategy {
+                SeedStrategy::Svg => svg_schedule_instrumented(
+                    &self.controller,
+                    spec,
+                    record,
+                    self.config.deviation,
+                    self.config.centrality,
+                    &self.telemetry,
+                )?,
+                SeedStrategy::Random => random_schedule(record, &mut rng)?,
+            }
         };
 
         // Step 3: per-seed window search under a mission-level budget.
@@ -236,10 +261,13 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 break;
             }
             seeds_tried += 1;
+            self.telemetry.incr(Counter::SeedsTried);
             let remaining = self.config.eval_budget - evaluations;
             let result = self.search_seed(&sim, record, *seed, remaining, t_mission, &mut rng)?;
             evaluations += result.evaluations;
+            self.telemetry.add(Counter::Evaluations, result.evaluations as u64);
             if let Some(s) = result.success {
+                self.telemetry.incr(Counter::SpvFound);
                 finding = Some(SpvFinding {
                     seed: *seed,
                     start: s.start,
@@ -271,10 +299,18 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         t_mission: f64,
         rng: &mut StdRng,
     ) -> Result<SearchResult, FuzzError> {
-        let objective = Objective::new(sim, seed, self.config.deviation);
-        let mut eval = |ts: f64, dt: f64| objective.evaluate(ts, dt);
+        let mut objective = Objective::new(sim, seed, self.config.deviation);
+        if self.telemetry.is_enabled() {
+            objective = objective.with_observer(&self.telemetry);
+        }
+        let telemetry = &self.telemetry;
+        let mut eval = |ts: f64, dt: f64| {
+            let _span = telemetry.span(Phase::MissionSim);
+            objective.evaluate(ts, dt)
+        };
         match self.config.search_strategy {
             SearchStrategy::Gradient => {
+                let _span = self.telemetry.span(Phase::GradientSearch);
                 // Initial guess: start the spoofing window `lead_time`
                 // seconds before the victim's recorded closest approach.
                 let t_close = record.vdo_time(seed.victim).unwrap_or(t_mission / 2.0);
@@ -311,6 +347,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 })
             }
             SearchStrategy::Random => {
+                let _span = self.telemetry.span(Phase::RandomSearch);
                 random_search(eval, budget, t_mission, self.config.max_duration, rng)
             }
         }

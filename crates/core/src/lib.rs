@@ -61,8 +61,10 @@ pub mod schedule;
 pub mod search;
 pub mod seed;
 pub mod svg;
+pub mod telemetry;
 
 pub use error::FuzzError;
-pub use fuzzer::{Fuzzer, FuzzerConfig, FuzzReport, SearchStrategy, SeedStrategy, SpvFinding};
+pub use fuzzer::{FuzzReport, Fuzzer, FuzzerConfig, SearchStrategy, SeedStrategy, SpvFinding};
 pub use seed::{Seed, Seedpool};
 pub use svg::{CentralityKind, SvgAnalysis, SvgBuilder};
+pub use telemetry::{Telemetry, TelemetryReport};

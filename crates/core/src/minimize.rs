@@ -93,10 +93,7 @@ pub fn minimize_attack<C: SwarmController, D: Dynamics>(
         finding.duration,
         finding.deviation,
     )?;
-    assert!(
-        crashes(&original)?,
-        "finding must reproduce before minimization: {original}"
-    );
+    assert!(crashes(&original)?, "finding must reproduce before minimization: {original}");
 
     // Pass 1: shrink the duration. Invariant: `hi` crashes, `lo` does not
     // (lo = 0 is attack-off, which cannot crash a screened mission).
@@ -131,13 +128,8 @@ pub fn minimize_attack<C: SwarmController, D: Dynamics>(
     let (mut lo, mut hi) = (0.0f64, best.deviation);
     while hi - lo > config.deviation_resolution && evals.get() < config.budget {
         let mid = (lo + hi) / 2.0;
-        let probe = SpoofingAttack::new(
-            best.target,
-            best.direction,
-            best.start,
-            best.duration,
-            mid,
-        )?;
+        let probe =
+            SpoofingAttack::new(best.target, best.direction, best.start, best.duration, mid)?;
         if crashes(&probe)? {
             hi = mid;
             best = probe;

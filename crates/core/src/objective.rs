@@ -8,7 +8,7 @@
 
 use swarm_sim::dynamics::Dynamics;
 use swarm_sim::spoof::SpoofingAttack;
-use swarm_sim::{DroneId, Simulation, SwarmController};
+use swarm_sim::{DroneId, SimObserver, Simulation, SwarmController};
 
 use crate::seed::Seed;
 use crate::FuzzError;
@@ -57,17 +57,34 @@ impl Evaluation {
 }
 
 /// Evaluates the objective for one seed by running attacked missions.
-#[derive(Debug)]
 pub struct Objective<'a, C, D> {
     sim: &'a Simulation<C, D>,
     seed: Seed,
     deviation: f64,
+    observer: Option<&'a dyn SimObserver>,
+}
+
+impl<C, D> std::fmt::Debug for Objective<'_, C, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Objective")
+            .field("seed", &self.seed)
+            .field("deviation", &self.deviation)
+            .field("observed", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
     /// Creates an evaluator bound to one simulation and seed.
     pub fn new(sim: &'a Simulation<C, D>, seed: Seed, deviation: f64) -> Self {
-        Objective { sim, seed, deviation }
+        Objective { sim, seed, deviation, observer: None }
+    }
+
+    /// Attaches a [`SimObserver`] receiving each evaluated mission's run
+    /// statistics (purely observational; evaluations are unaffected).
+    pub fn with_observer(mut self, observer: &'a dyn SimObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// The seed this objective is bound to.
@@ -94,7 +111,7 @@ impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
             duration,
             self.deviation,
         )?;
-        let outcome = self.sim.run(Some(&attack))?;
+        let outcome = self.sim.run_observed(Some(&attack), self.observer)?;
 
         let eval_outcome = match outcome.spv_collision(self.seed.target) {
             Some((victim, time)) => EvalOutcome::SpvCollision { victim, time },
@@ -112,10 +129,7 @@ impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
             EvalOutcome::SpvCollision { .. } => {
                 outcome.record.vdo(self.seed.victim).map_or(0.0, |v| (v - radius).min(0.0))
             }
-            _ => outcome
-                .record
-                .vdo(self.seed.victim)
-                .map_or(f64::INFINITY, |v| v - radius),
+            _ => outcome.record.vdo(self.seed.victim).map_or(f64::INFINITY, |v| v - radius),
         };
 
         Ok(Evaluation { value, outcome: eval_outcome, start, duration })
@@ -144,8 +158,11 @@ mod tests {
                 return forward;
             }
             // Drone 1 chases drone 0's broadcast y.
-            let target_y =
-                ctx.neighbors.iter().find(|n| n.id == DroneId(0)).map_or(position.y, |n| n.position.y);
+            let target_y = ctx
+                .neighbors
+                .iter()
+                .find(|n| n.id == DroneId(0))
+                .map_or(position.y, |n| n.position.y);
             forward + Vec3::new(0.0, (target_y - position.y) * 0.8, 0.0)
         }
     }

@@ -57,10 +57,7 @@ pub fn iteration_table(report: &CampaignReport, configs: &[SwarmConfig]) -> Vec<
 
 /// Cumulative success rate vs. VDO threshold (Fig. 6a–c): for each threshold
 /// `x`, the success rate over missions whose VDO ≤ `x`.
-pub fn vdo_success_curve(
-    rows: &[&MissionResult],
-    thresholds: &[f64],
-) -> Vec<(f64, Option<f64>)> {
+pub fn vdo_success_curve(rows: &[&MissionResult], thresholds: &[f64]) -> Vec<(f64, Option<f64>)> {
     let data: Vec<(f64, bool)> = rows.iter().map(|m| (m.vdo, m.success)).collect();
     cumulative_rate_by_threshold(&data, thresholds)
 }
@@ -112,11 +109,7 @@ pub fn spoof_param_stats(rows: &[&MissionResult]) -> Option<SpoofParamStats> {
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing the file.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }

@@ -22,6 +22,7 @@ use swarm_sim::{DroneId, SwarmController};
 
 use crate::seed::{Seed, Seedpool};
 use crate::svg::{CentralityKind, SvgBuilder};
+use crate::telemetry::Telemetry;
 use crate::FuzzError;
 
 /// Builds the SVG-guided seedpool for a recorded mission.
@@ -52,11 +53,31 @@ pub fn svg_schedule_with_centrality<C: SwarmController>(
     deviation: f64,
     centrality: CentralityKind,
 ) -> Result<Seedpool, FuzzError> {
+    svg_schedule_instrumented(controller, spec, record, deviation, centrality, &Telemetry::off())
+}
+
+/// [`svg_schedule_with_centrality`] with a telemetry handle threaded into the
+/// SVG builder, timing graph construction and centrality scoring. Telemetry
+/// is purely observational: the returned seedpool is identical to the
+/// uninstrumented call's.
+///
+/// # Errors
+///
+/// Same conditions as [`svg_schedule`].
+pub fn svg_schedule_instrumented<C: SwarmController>(
+    controller: &C,
+    spec: &MissionSpec,
+    record: &MissionRecord,
+    deviation: f64,
+    centrality: CentralityKind,
+    telemetry: &Telemetry,
+) -> Result<Seedpool, FuzzError> {
     let n = record.swarm_size();
     if n < 2 {
         return Err(FuzzError::SwarmTooSmall(n));
     }
-    let builder = SvgBuilder::new(controller, spec, record, deviation);
+    let builder =
+        SvgBuilder::new(controller, spec, record, deviation).with_telemetry(telemetry.clone());
     let analyses = [
         builder.build_with_centrality(SpoofDirection::Right, centrality)?,
         builder.build_with_centrality(SpoofDirection::Left, centrality)?,
@@ -100,10 +121,7 @@ pub fn svg_schedule_with_centrality<C: SwarmController>(
 /// # Errors
 ///
 /// Returns [`FuzzError::SwarmTooSmall`] for swarms of fewer than two drones.
-pub fn random_schedule(
-    record: &MissionRecord,
-    rng: &mut StdRng,
-) -> Result<Seedpool, FuzzError> {
+pub fn random_schedule(record: &MissionRecord, rng: &mut StdRng) -> Result<Seedpool, FuzzError> {
     let n = record.swarm_size();
     if n < 2 {
         return Err(FuzzError::SwarmTooSmall(n));
@@ -146,8 +164,8 @@ mod tests {
             if ctx.neighbors.is_empty() {
                 return Vec3::ZERO;
             }
-            let c = ctx.neighbors.iter().map(|n| n.position).sum::<Vec3>()
-                / ctx.neighbors.len() as f64;
+            let c =
+                ctx.neighbors.iter().map(|n| n.position).sum::<Vec3>() / ctx.neighbors.len() as f64;
             (c - ctx.self_state.position) * 0.1
         }
     }
@@ -165,11 +183,8 @@ mod tests {
     /// next (VDO 5), drone 2 farthest (VDO 9).
     fn record() -> MissionRecord {
         let mut r = MissionRecord::new(3, 0.1);
-        let pos = [
-            Vec3::new(0.0, 0.0, 10.0),
-            Vec3::new(10.0, 0.0, 10.0),
-            Vec3::new(20.0, 0.0, 10.0),
-        ];
+        let pos =
+            [Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0), Vec3::new(20.0, 0.0, 10.0)];
         let vel = [Vec3::X; 3];
         r.push_sample(0.0, &pos, &vel, &[2.0, 5.0, 9.0]);
         r.push_sample(0.1, &pos, &vel, &[3.0, 6.0, 10.0]);

@@ -140,8 +140,10 @@ where
         }
 
         // Projected update (paper Eq. 1a/1b), with a per-step trust region.
-        let step_ts = swarm_math::clamp(config.learning_rate * g_ts, -config.max_step, config.max_step);
-        let step_dt = swarm_math::clamp(config.learning_rate * g_dt, -config.max_step, config.max_step);
+        let step_ts =
+            swarm_math::clamp(config.learning_rate * g_ts, -config.max_step, config.max_step);
+        let step_dt =
+            swarm_math::clamp(config.learning_rate * g_dt, -config.max_step, config.max_step);
         ts = (ts - step_ts).max(0.0);
         dt = (dt - step_dt).max(0.0);
         // Timing constraint t_s + Δt < t_mission.
@@ -156,17 +158,8 @@ where
 
         let improvement = current.value - next.value;
         current = next;
-        if improvement.abs() < config.tolerance && step_ts.abs() < 1e-9 && step_dt.abs() < 1e-9 {
-            // Flat gradient and no movement: converged without a collision.
-            return Ok(SearchResult {
-                success: None,
-                evaluations: evals,
-                converged: true,
-                best_value: best,
-            });
-        }
-        if improvement < config.tolerance && improvement > -config.tolerance {
-            // Objective stopped moving: converged.
+        if improvement.abs() < config.tolerance {
+            // Objective stopped moving: converged without a collision.
             return Ok(SearchResult {
                 success: None,
                 evaluations: evals,
@@ -179,9 +172,14 @@ where
     Ok(SearchResult { success: None, evaluations: evals, converged: false, best_value: best })
 }
 
-/// Random-sampling search (the ablation baseline): draws `(t_s, Δt)`
-/// uniformly with `t_s ∈ [0, t_mission)` and `Δt ∈ [1, max_duration]` until
-/// the budget is spent.
+/// Margin (seconds) kept between a sampled window end and the mission end so
+/// the timing constraint `t_s + Δt < t_mission` holds strictly.
+const WINDOW_MARGIN: f64 = 1e-6;
+
+/// Random-sampling search (the ablation baseline): draws `t_s ∈ [0,
+/// t_mission)` and `Δt ∈ [min(1, max_duration), max_duration]` uniformly
+/// until the budget is spent, clamping every sample to the caller's bounds
+/// and the timing constraint `t_s + Δt < t_mission`.
 ///
 /// # Errors
 ///
@@ -198,8 +196,11 @@ where
 {
     let mut best = f64::INFINITY;
     for evals in 1..=budget {
-        let ts = rng.gen_range(0.0..t_mission.max(1.0));
-        let dt = rng.gen_range(1.0..max_duration.max(2.0));
+        let ts = if t_mission > WINDOW_MARGIN { rng.gen_range(0.0..t_mission) } else { 0.0 };
+        let lo = max_duration.clamp(0.0, 1.0);
+        let hi = max_duration.min(t_mission - ts - WINDOW_MARGIN).max(lo);
+        let dt = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        let dt = dt.min((t_mission - ts - WINDOW_MARGIN).max(0.0));
         let e = objective(ts, dt)?;
         best = best.min(e.value);
         if let Some(s) = success_of(&e) {
@@ -236,8 +237,8 @@ mod tests {
     #[test]
     fn gradient_descends_to_collision() {
         // Floor below zero: the bowl's minimum is a collision.
-        let r = gradient_search(bowl(-2.0), (5.0, 3.0), 40, 120.0, &GradientConfig::default())
-            .unwrap();
+        let r =
+            gradient_search(bowl(-2.0), (5.0, 3.0), 40, 120.0, &GradientConfig::default()).unwrap();
         let s = r.success.expect("must find the collision");
         assert!((s.start - 20.0).abs() < 11.0, "ts={}", s.start);
         assert!(r.evaluations <= 40);
@@ -299,6 +300,39 @@ mod tests {
         assert!(r.success.is_none());
         assert_eq!(r.evaluations, 20, "random search never stops early");
         assert!(!r.converged);
+    }
+
+    /// Regression: the old sampler drew `Δt ∈ [1, max(max_duration, 2))`,
+    /// so `max_duration = 1.5` produced windows up to 2 s — beyond the
+    /// caller's bound — and nothing ever enforced `t_s + Δt < t_mission`.
+    #[test]
+    fn random_search_respects_caller_bounds() {
+        for &(t_mission, max_duration) in
+            &[(120.0, 1.5), (120.0, 0.5), (3.0, 30.0), (0.5, 2.0), (40.0, 30.0)]
+        {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut samples = Vec::new();
+            random_search(
+                |ts, dt| {
+                    samples.push((ts, dt));
+                    bowl(5.0)(ts, dt)
+                },
+                200,
+                t_mission,
+                max_duration,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(samples.len(), 200);
+            for &(ts, dt) in &samples {
+                assert!(dt <= max_duration + 1e-12, "dt={dt} exceeds max_duration={max_duration}");
+                assert!(
+                    ts + dt < t_mission,
+                    "window [{ts}, {ts}+{dt}) violates t_mission={t_mission}"
+                );
+                assert!(ts >= 0.0 && dt >= 0.0);
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use swarm_sim::recorder::MissionRecord;
 use swarm_sim::spoof::SpoofDirection;
 use swarm_sim::{ControlContext, DroneId, NeighborState, PerceivedSelf, SwarmController};
 
+use crate::telemetry::{Phase, Telemetry};
 use crate::FuzzError;
 
 /// Minimum controller-response change (m/s) toward the obstacle that counts
@@ -104,6 +105,7 @@ pub struct SvgBuilder<'a, C> {
     spec: &'a MissionSpec,
     record: &'a MissionRecord,
     deviation: f64,
+    telemetry: Telemetry,
 }
 
 impl<'a, C: SwarmController> SvgBuilder<'a, C> {
@@ -115,7 +117,14 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
         record: &'a MissionRecord,
         deviation: f64,
     ) -> Self {
-        SvgBuilder { controller, spec, record, deviation }
+        SvgBuilder { controller, spec, record, deviation, telemetry: Telemetry::off() }
+    }
+
+    /// Attaches a telemetry handle timing graph construction and centrality
+    /// scoring (purely observational; results are unaffected).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Builds the SVG for one spoofing direction with PageRank scoring (the
@@ -141,6 +150,7 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
         direction: SpoofDirection,
         centrality: CentralityKind,
     ) -> Result<SvgAnalysis, FuzzError> {
+        let _span = self.telemetry.span(Phase::SvgBuild);
         let n = self.record.swarm_size();
         if n < 2 {
             return Err(FuzzError::SwarmTooSmall(n));
@@ -148,10 +158,7 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
         if self.spec.world.obstacles.is_empty() {
             return Err(FuzzError::NoObstacle);
         }
-        let (tick, t_clo) = self
-            .record
-            .closest_approach()
-            .ok_or_else(|| FuzzError::SwarmTooSmall(0))?;
+        let (tick, t_clo) = self.record.closest_approach().ok_or(FuzzError::SwarmTooSmall(0))?;
 
         let positions = self.record.positions_at(tick);
         let velocities = self.record.velocities_at(tick);
@@ -160,11 +167,8 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
         let mut graph = DiGraph::new(n);
         for i in 0..n {
             // Unit vector from drone i toward the nearest obstacle surface.
-            let (obs_idx, _) = self
-                .spec
-                .world
-                .nearest_obstacle(positions[i])
-                .expect("world checked non-empty");
+            let (obs_idx, _) =
+                self.spec.world.nearest_obstacle(positions[i]).expect("world checked non-empty");
             let surface = self.spec.world.obstacles[obs_idx].closest_surface_point(positions[i]);
             let toward_obstacle = (surface - positions[i]).horizontal().normalized();
             if toward_obstacle == Vec3::ZERO {
@@ -182,15 +186,18 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
                     let dist = positions[i].distance(positions[j]);
                     let weight =
                         self.deviation / (dist * dist + self.deviation * self.deviation).sqrt();
-                    graph
-                        .add_edge(i, j, weight)
-                        .expect("indices in range, weight in (0,1]");
+                    graph.add_edge(i, j, weight).expect("indices in range, weight in (0,1]");
                 }
             }
         }
 
-        let target_scores = centrality_scores(&graph, centrality);
-        let victim_scores = centrality_scores(&graph.transposed(), centrality);
+        let (target_scores, victim_scores) = {
+            let _span = self.telemetry.span(Phase::Centrality);
+            (
+                centrality_scores(&graph, centrality),
+                centrality_scores(&graph.transposed(), centrality),
+            )
+        };
         Ok(SvgAnalysis { graph, target_scores, victim_scores, t_clo, direction })
     }
 
@@ -245,16 +252,18 @@ mod tests {
             if ctx.neighbors.is_empty() {
                 return Vec3::ZERO;
             }
-            let centroid = ctx.neighbors.iter().map(|n| n.position).sum::<Vec3>()
-                / ctx.neighbors.len() as f64;
+            let centroid =
+                ctx.neighbors.iter().map(|n| n.position).sum::<Vec3>() / ctx.neighbors.len() as f64;
             (centroid - ctx.self_state.position) * 0.1
         }
     }
 
     fn spec_with_obstacle(n: usize) -> MissionSpec {
         let mut spec = MissionSpec::paper_delivery(n, 7);
-        spec.world =
-            World::with_obstacles(vec![Obstacle::Cylinder { center: Vec2::new(0.0, -50.0), radius: 4.0 }]);
+        spec.world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: Vec2::new(0.0, -50.0),
+            radius: 4.0,
+        }]);
         spec
     }
 
@@ -287,8 +296,7 @@ mod tests {
     fn build_rejects_world_without_obstacle() {
         let mut spec = spec_with_obstacle(2);
         spec.world = World::new();
-        let record =
-            two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
+        let record = two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
         let b = SvgBuilder::new(&Centroid, &spec, &record, 10.0);
         assert!(matches!(b.build(SpoofDirection::Right), Err(FuzzError::NoObstacle)));
     }
@@ -299,8 +307,7 @@ mod tests {
         // broadcast position toward -y (toward the obstacle): the centroid
         // shifts -y, the follower is dragged toward the obstacle => edge.
         let spec = spec_with_obstacle(2);
-        let record =
-            two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
+        let record = two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
         let b = SvgBuilder::new(&Centroid, &spec, &record, 10.0);
 
         let axis = spec.mission_axis();
@@ -346,9 +353,8 @@ mod tests {
             Vec3::new(16.0, 0.0, 10.0),
             Vec3::new(24.0, 0.0, 10.0),
         ]);
-        let svg = SvgBuilder::new(&Centroid, &spec, &record, 10.0)
-            .build(SpoofDirection::Right)
-            .unwrap();
+        let svg =
+            SvgBuilder::new(&Centroid, &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
         let sum_t: f64 = svg.target_scores.iter().sum();
         let sum_v: f64 = svg.victim_scores.iter().sum();
         assert!((sum_t - 1.0).abs() < 1e-6);
@@ -358,11 +364,9 @@ mod tests {
     #[test]
     fn pair_influence_includes_direct_edge_bonus() {
         let spec = spec_with_obstacle(2);
-        let record =
-            two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
-        let svg = SvgBuilder::new(&Centroid, &spec, &record, 10.0)
-            .build(SpoofDirection::Right)
-            .unwrap();
+        let record = two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
+        let svg =
+            SvgBuilder::new(&Centroid, &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
         let with_edge = svg.pair_influence(DroneId(1), DroneId(0));
         let base = svg.target_scores[1] + svg.victim_scores[0];
         assert!(with_edge > base);
@@ -371,11 +375,9 @@ mod tests {
     #[test]
     fn svg_built_at_closest_approach_tick() {
         let spec = spec_with_obstacle(2);
-        let record =
-            two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
-        let svg = SvgBuilder::new(&Centroid, &spec, &record, 10.0)
-            .build(SpoofDirection::Right)
-            .unwrap();
+        let record = two_tick_record(vec![Vec3::new(0.0, 0.0, 10.0), Vec3::new(10.0, 0.0, 10.0)]);
+        let svg =
+            SvgBuilder::new(&Centroid, &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
         // Tick 1 (t=0.1) has the smaller average inter-distance by
         // construction.
         assert!((svg.t_clo - 0.1).abs() < 1e-12);

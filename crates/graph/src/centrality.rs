@@ -140,11 +140,11 @@ pub fn eigenvector(graph: &DiGraph, max_iterations: usize, tolerance: f64) -> Ve
         for (x, &vi) in next.iter_mut().zip(&v) {
             *x = SHIFT * vi;
         }
-        for u in 0..n {
+        for (u, &vu) in v.iter().enumerate() {
             for &(to, w) in graph.out_edges(u) {
                 // Influence flows along the edge: u -> to contributes u's
                 // score to `to`.
-                next[to] += w * v[u];
+                next[to] += w * vu;
             }
         }
         let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();

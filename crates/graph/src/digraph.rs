@@ -65,12 +65,7 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        DiGraph {
-            node_count: n,
-            out: vec![Vec::new(); n],
-            inc: vec![Vec::new(); n],
-            edge_count: 0,
-        }
+        DiGraph { node_count: n, out: vec![Vec::new(); n], inc: vec![Vec::new(); n], edge_count: 0 }
     }
 
     /// Number of nodes.
@@ -172,9 +167,10 @@ impl DiGraph {
 
     /// Iterates over all edges in an unspecified but deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.out.iter().enumerate().flat_map(|(from, adj)| {
-            adj.iter().map(move |&(to, weight)| Edge { from, to, weight })
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(from, adj)| adj.iter().map(move |&(to, weight)| Edge { from, to, weight }))
     }
 
     /// Returns the transposed graph (every edge reversed).

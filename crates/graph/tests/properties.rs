@@ -1,32 +1,40 @@
-//! Property-based tests for the graph substrate: structural invariants of
-//! the digraph, involution of transposition, and invariance/normalization
-//! properties of the centrality measures.
+//! Randomized property tests for the graph substrate: structural invariants
+//! of the digraph, involution of transposition, and invariance/normalization
+//! properties of the centrality measures. Cases are drawn from a seeded
+//! generator so every run checks the same sample deterministically.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use swarm_graph::centrality::{eigenvector, pagerank, weighted_degree, Direction, PageRankConfig};
 use swarm_graph::paths::{betweenness, closeness, shortest_distances};
 use swarm_graph::DiGraph;
 
-/// Strategy: a random digraph of up to 12 nodes with positive weights.
-fn graph() -> impl Strategy<Value = DiGraph> {
-    (2usize..12).prop_flat_map(|n| {
-        prop::collection::vec((0..n, 0..n, 0.05f64..2.0), 0..40).prop_map(move |edges| {
-            let mut g = DiGraph::new(n);
-            for (a, b, w) in edges {
-                if a != b {
-                    g.add_edge(a, b, w).unwrap();
-                }
-            }
-            g
-        })
-    })
+const CASES: usize = 96;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x0047_5241_5048)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// A random digraph of up to 12 nodes with positive weights.
+fn graph(rng: &mut StdRng) -> DiGraph {
+    let n = rng.gen_range(2usize..12);
+    let mut g = DiGraph::new(n);
+    for _ in 0..rng.gen_range(0..40) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let w = rng.gen_range(0.05..2.0);
+        if a != b {
+            g.add_edge(a, b, w).unwrap();
+        }
+    }
+    g
+}
 
-    #[test]
-    fn transpose_is_an_involution(g in graph()) {
+#[test]
+fn transpose_is_an_involution() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         // Compare canonical edge sets (adjacency-list order is not
         // semantically meaningful).
         let canon = |g: &DiGraph| {
@@ -35,30 +43,42 @@ proptest! {
             e.sort_unstable();
             e
         };
-        prop_assert_eq!(canon(&g.transposed().transposed()), canon(&g));
+        assert_eq!(canon(&g.transposed().transposed()), canon(&g));
     }
+}
 
-    #[test]
-    fn transpose_preserves_edge_and_weight_totals(g in graph()) {
+#[test]
+fn transpose_preserves_edge_and_weight_totals() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         let t = g.transposed();
-        prop_assert_eq!(t.edge_count(), g.edge_count());
+        assert_eq!(t.edge_count(), g.edge_count());
         let total = |g: &DiGraph| g.edges().map(|e| e.weight).sum::<f64>();
-        prop_assert!((total(&t) - total(&g)).abs() < 1e-9);
+        assert!((total(&t) - total(&g)).abs() < 1e-9);
         // in/out weights swap.
         for u in 0..g.node_count() {
-            prop_assert!((g.out_weight(u) - t.in_weight(u)).abs() < 1e-9);
+            assert!((g.out_weight(u) - t.in_weight(u)).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn pagerank_is_normalized_and_positive(g in graph()) {
+#[test]
+fn pagerank_is_normalized_and_positive() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         let pr = pagerank(&g, &PageRankConfig::default());
-        prop_assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
-        prop_assert!(pr.iter().all(|&x| x > 0.0), "damping guarantees positivity");
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(pr.iter().all(|&x| x > 0.0), "damping guarantees positivity");
     }
+}
 
-    #[test]
-    fn pagerank_is_invariant_under_node_relabeling(g in graph()) {
+#[test]
+fn pagerank_is_invariant_under_node_relabeling() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         // Reverse the node labels and check the scores permute along.
         let n = g.node_count();
         let relabel = |i: usize| n - 1 - i;
@@ -69,58 +89,79 @@ proptest! {
         let pr_g = pagerank(&g, &PageRankConfig::default());
         let pr_h = pagerank(&h, &PageRankConfig::default());
         for i in 0..n {
-            prop_assert!((pr_g[i] - pr_h[relabel(i)]).abs() < 1e-9);
+            assert!((pr_g[i] - pr_h[relabel(i)]).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn degree_totals_are_consistent(g in graph()) {
+#[test]
+fn degree_totals_are_consistent() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         let inc = weighted_degree(&g, Direction::Incoming);
         let out = weighted_degree(&g, Direction::Outgoing);
         let tot = weighted_degree(&g, Direction::Total);
         for i in 0..g.node_count() {
-            prop_assert!((inc[i] + out[i] - tot[i]).abs() < 1e-9);
+            assert!((inc[i] + out[i] - tot[i]).abs() < 1e-9);
         }
         // Conservation: total incoming weight == total outgoing weight.
-        prop_assert!((inc.iter().sum::<f64>() - out.iter().sum::<f64>()).abs() < 1e-9);
+        assert!((inc.iter().sum::<f64>() - out.iter().sum::<f64>()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn eigenvector_scores_are_normalized(g in graph()) {
+#[test]
+fn eigenvector_scores_are_normalized() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         let ev = eigenvector(&g, 300, 1e-10);
         let norm: f64 = ev.iter().map(|x| x * x).sum::<f64>().sqrt();
-        prop_assert!((norm - 1.0).abs() < 1e-6, "norm={norm}");
+        assert!((norm - 1.0).abs() < 1e-6, "norm={norm}");
     }
+}
 
-    #[test]
-    fn shortest_distances_satisfy_triangle_inequality(g in graph()) {
+#[test]
+fn shortest_distances_satisfy_triangle_inequality() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
         // d(s, v) <= d(s, u) + len(u -> v) for every edge.
         for s in 0..g.node_count() {
             let d = shortest_distances(&g, s);
             for e in g.edges() {
                 if d[e.from].is_finite() {
-                    prop_assert!(d[e.to] <= d[e.from] + 1.0 / e.weight + 1e-9);
+                    assert!(d[e.to] <= d[e.from] + 1.0 / e.weight + 1e-9);
                 }
             }
-            prop_assert_eq!(d[s], 0.0);
+            assert_eq!(d[s], 0.0);
         }
     }
+}
 
-    #[test]
-    fn closeness_and_betweenness_are_nonnegative(g in graph()) {
-        prop_assert!(closeness(&g).iter().all(|&x| x >= 0.0));
-        prop_assert!(betweenness(&g).iter().all(|&x| x >= -1e-12));
+#[test]
+fn closeness_and_betweenness_are_nonnegative() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
+        assert!(closeness(&g).iter().all(|&x| x >= 0.0));
+        assert!(betweenness(&g).iter().all(|&x| x >= -1e-12));
     }
+}
 
-    #[test]
-    fn parallel_edge_insertion_accumulates(g in graph(), w in 0.05f64..2.0) {
+#[test]
+fn parallel_edge_insertion_accumulates() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let g = graph(&mut rng);
+        let w = rng.gen_range(0.05..2.0);
         let mut g2 = g.clone();
         if g.edge_count() > 0 {
             let e = g.edges().next().unwrap();
             let before = g2.edge_weight(e.from, e.to).unwrap();
             g2.add_edge(e.from, e.to, w).unwrap();
-            prop_assert!((g2.edge_weight(e.from, e.to).unwrap() - before - w).abs() < 1e-12);
-            prop_assert_eq!(g2.edge_count(), g.edge_count());
+            assert!((g2.edge_weight(e.from, e.to).unwrap() - before - w).abs() < 1e-12);
+            assert_eq!(g2.edge_count(), g.edge_count());
         }
     }
 }

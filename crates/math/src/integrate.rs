@@ -31,10 +31,7 @@ where
     F: Fn(&State) -> Vec3,
 {
     let a = accel(&state);
-    State {
-        position: state.position + state.velocity * dt,
-        velocity: state.velocity + a * dt,
-    }
+    State { position: state.position + state.velocity * dt, velocity: state.velocity + a * dt }
 }
 
 /// Advances `state` by `dt` using semi-implicit (symplectic) Euler: velocity

@@ -239,9 +239,217 @@ impl OnlineMean {
     }
 }
 
+/// Number of buckets of a [`LogHistogram`]: one per possible bit width of a
+/// `u64` observation, plus a dedicated zero bucket.
+pub const LOG_HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a `u64` observation falls into: bucket 0 holds exactly `0`,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)` — i.e. the value's bit
+/// width.
+///
+/// ```
+/// use swarm_math::stats::log_bucket_index;
+/// assert_eq!(log_bucket_index(0), 0);
+/// assert_eq!(log_bucket_index(1), 1);
+/// assert_eq!(log_bucket_index(1023), 10);
+/// assert_eq!(log_bucket_index(1024), 11);
+/// ```
+pub fn log_bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The half-open value range `[lo, hi)` covered by bucket `index`.
+///
+/// The last bucket's upper bound saturates at `u64::MAX`.
+pub fn log_bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < LOG_HISTOGRAM_BUCKETS, "bucket index out of range: {index}");
+    if index == 0 {
+        return (0, 1);
+    }
+    let lo = 1u64 << (index - 1);
+    let hi = if index == 64 { u64::MAX } else { 1u64 << index };
+    (lo, hi)
+}
+
+/// A power-of-two-bucketed histogram of `u64` observations (durations in
+/// nanoseconds, counts, sizes): constant memory, O(1) insertion, exact total
+/// and count, and quantile estimates good to a factor of two — the standard
+/// shape for telemetry, where tail *magnitude* matters and 5% precision does
+/// not.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: [u64; LOG_HISTOGRAM_BUCKETS],
+    total: u128,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { counts: [0; LOG_HISTOGRAM_BUCKETS], total: 0, max: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[log_bucket_index(value)] += 1;
+        self.total += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact sum of all observations.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Exact mean of all observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.total as f64 / n as f64)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then_some(self.max)
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]`: the geometric midpoint of the bucket
+    /// holding the `q`-th observation. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = log_bucket_bounds(i);
+                return Some((lo as f64 * hi as f64).sqrt().min(self.max as f64));
+            }
+        }
+        unreachable!("rank is bounded by the total count");
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let (lo, hi) = log_bucket_bounds(i);
+            (lo, hi, c)
+        })
+    }
+
+    /// Raw per-bucket counts (index = [`log_bucket_index`]).
+    pub fn raw_counts(&self) -> &[u64; LOG_HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Reassembles a histogram from raw parts (bucket counts, exact total,
+    /// maximum observation). Used by atomic-counter mirrors in higher layers
+    /// to snapshot into the analysable form.
+    pub fn from_raw(counts: [u64; LOG_HISTOGRAM_BUCKETS], total: u128, max: u64) -> Self {
+        LogHistogram { counts, total, max }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn log_bucket_index_covers_bit_widths() {
+        assert_eq!(log_bucket_index(0), 0);
+        assert_eq!(log_bucket_index(1), 1);
+        assert_eq!(log_bucket_index(2), 2);
+        assert_eq!(log_bucket_index(3), 2);
+        assert_eq!(log_bucket_index(4), 3);
+        assert_eq!(log_bucket_index(u64::MAX), 64);
+        // Every bucket's bounds round-trip through the index.
+        for i in 0..LOG_HISTOGRAM_BUCKETS {
+            let (lo, hi) = log_bucket_bounds(i);
+            assert_eq!(log_bucket_index(lo), i);
+            assert_eq!(log_bucket_index(hi - 1), i);
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn log_histogram_counts_totals_and_quantiles() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+
+        for v in [0u64, 3, 5, 100, 100, 100, 2000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.total(), 2308);
+        assert_eq!(h.max(), Some(2000));
+        assert!((h.mean().unwrap() - 2308.0 / 7.0).abs() < 1e-9);
+        // Median falls in the bucket holding 100 ([64, 128)).
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((64.0..128.0).contains(&p50), "p50={p50}");
+        // Top quantile estimate lands in the max observation's bucket, never
+        // above the true maximum.
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((1024.0..=2000.0).contains(&p100), "p100={p100}");
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for v in [1u64, 7, 900] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [0u64, 12_000, 31] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        let buckets: Vec<_> = a.buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, _, c)| c).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn log_histogram_from_raw_round_trips() {
+        let mut h = LogHistogram::new();
+        for v in [4u64, 9, 77, 4096] {
+            h.record(v);
+        }
+        let rebuilt = LogHistogram::from_raw(*h.raw_counts(), h.total(), h.max().unwrap());
+        assert_eq!(h, rebuilt);
+    }
 
     #[test]
     fn mean_variance_of_known_sample() {

@@ -1,123 +1,196 @@
-//! Property-based tests for the math substrate: algebraic identities of the
-//! vector types, invariants of the statistics helpers, and convergence
-//! properties of the integrators.
+//! Randomized property tests for the math substrate: algebraic identities of
+//! the vector types, invariants of the statistics helpers, and convergence
+//! properties of the integrators. Cases are drawn from a seeded generator so
+//! every run checks the same (large) sample deterministically.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use swarm_math::integrate::{rk4_step, semi_implicit_euler_step, State};
 use swarm_math::stats::{cumulative_rate_by_threshold, mean, median, min_max, percentile, Ecdf};
 use swarm_math::{Vec2, Vec3};
 
-fn fin() -> impl Strategy<Value = f64> {
-    -1e6f64..1e6
+const CASES: usize = 128;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x4D41_5448)
 }
 
-fn vec3() -> impl Strategy<Value = Vec3> {
-    (fin(), fin(), fin()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn fin(rng: &mut StdRng) -> f64 {
+    rng.gen_range(-1e6..1e6)
 }
 
-fn vec2() -> impl Strategy<Value = Vec2> {
-    (fin(), fin()).prop_map(|(x, y)| Vec2::new(x, y))
+fn vec3(rng: &mut StdRng) -> Vec3 {
+    Vec3::new(fin(rng), fin(rng), fin(rng))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn vec2(rng: &mut StdRng) -> Vec2 {
+    Vec2::new(fin(rng), fin(rng))
+}
 
-    #[test]
-    fn vec3_addition_commutes(a in vec3(), b in vec3()) {
-        prop_assert_eq!(a + b, b + a);
+fn sample_vec(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| fin(rng)).collect()
+}
+
+#[test]
+fn vec3_addition_commutes() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
+        assert_eq!(a + b, b + a);
     }
+}
 
-    #[test]
-    fn vec3_scalar_distributes(a in vec3(), b in vec3(), s in -1e3f64..1e3) {
+#[test]
+fn vec3_scalar_distributes() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
+        let s = rng.gen_range(-1e3..1e3);
         let lhs = (a + b) * s;
         let rhs = a * s + b * s;
-        prop_assert!((lhs - rhs).norm() <= 1e-6 * (1.0 + lhs.norm()));
+        assert!((lhs - rhs).norm() <= 1e-6 * (1.0 + lhs.norm()));
     }
+}
 
-    #[test]
-    fn vec3_dot_is_symmetric_and_cauchy_schwarz(a in vec3(), b in vec3()) {
-        prop_assert_eq!(a.dot(b), b.dot(a));
-        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12));
+#[test]
+fn vec3_dot_is_symmetric_and_cauchy_schwarz() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
+        assert_eq!(a.dot(b), b.dot(a));
+        assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12));
     }
+}
 
-    #[test]
-    fn vec3_cross_is_orthogonal(a in vec3(), b in vec3()) {
+#[test]
+fn vec3_cross_is_orthogonal() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
         let c = a.cross(b);
         let scale = a.norm() * b.norm();
-        prop_assert!(c.dot(a).abs() <= 1e-6 * (1.0 + scale * a.norm()));
-        prop_assert!(c.dot(b).abs() <= 1e-6 * (1.0 + scale * b.norm()));
+        assert!(c.dot(a).abs() <= 1e-6 * (1.0 + scale * a.norm()));
+        assert!(c.dot(b).abs() <= 1e-6 * (1.0 + scale * b.norm()));
     }
+}
 
-    #[test]
-    fn vec3_triangle_inequality(a in vec3(), b in vec3()) {
-        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+#[test]
+fn vec3_triangle_inequality() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
+        assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
     }
+}
 
-    #[test]
-    fn vec3_normalized_is_unit_or_zero(a in vec3()) {
-        let n = a.normalized().norm();
-        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-9);
+#[test]
+fn vec3_normalized_is_unit_or_zero() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = vec3(&mut rng).normalized().norm();
+        assert!(n == 0.0 || (n - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn vec3_clamp_norm_never_exceeds(a in vec3(), max in 0.0f64..1e3) {
-        prop_assert!(a.clamp_norm(max).norm() <= max * (1.0 + 1e-12) + 1e-12);
+#[test]
+fn vec3_clamp_norm_never_exceeds() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let a = vec3(&mut rng);
+        let max = rng.gen_range(0.0..1e3);
+        assert!(a.clamp_norm(max).norm() <= max * (1.0 + 1e-12) + 1e-12);
     }
+}
 
-    #[test]
-    fn vec2_perp_is_rotation(a in vec2()) {
+#[test]
+fn vec2_perp_is_rotation() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let a = vec2(&mut rng);
         let p = a.perp();
-        prop_assert!(a.dot(p).abs() <= 1e-9 * (1.0 + a.norm_squared()));
-        prop_assert!((p.norm() - a.norm()).abs() <= 1e-9 * (1.0 + a.norm()));
+        assert!(a.dot(p).abs() <= 1e-9 * (1.0 + a.norm_squared()));
+        assert!((p.norm() - a.norm()).abs() <= 1e-9 * (1.0 + a.norm()));
     }
+}
 
-    #[test]
-    fn vec2_rotation_preserves_norm(a in vec2(), angle in -10.0f64..10.0) {
-        prop_assert!((a.rotated(angle).norm() - a.norm()).abs() <= 1e-6 * (1.0 + a.norm()));
+#[test]
+fn vec2_rotation_preserves_norm() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let a = vec2(&mut rng);
+        let angle = rng.gen_range(-10.0..10.0);
+        assert!((a.rotated(angle).norm() - a.norm()).abs() <= 1e-6 * (1.0 + a.norm()));
     }
+}
 
-    #[test]
-    fn mean_is_between_min_and_max(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+#[test]
+fn mean_is_between_min_and_max() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let xs = sample_vec(&mut rng, 64);
         let m = mean(&xs).unwrap();
         let (lo, hi) = min_max(&xs).unwrap();
-        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
     }
+}
 
-    #[test]
-    fn median_is_a_percentile(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
-        prop_assert_eq!(median(&xs), percentile(&xs, 50.0));
+#[test]
+fn median_is_a_percentile() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let xs = sample_vec(&mut rng, 64);
+        assert_eq!(median(&xs), percentile(&xs, 50.0));
     }
+}
 
-    #[test]
-    fn percentiles_are_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..64),
-                                p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+#[test]
+fn percentiles_are_monotone() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let xs = sample_vec(&mut rng, 64);
+        let p1 = rng.gen_range(0.0..100.0);
+        let p2 = rng.gen_range(0.0..100.0);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(percentile(&xs, lo).unwrap() <= percentile(&xs, hi).unwrap() + 1e-9);
+        assert!(percentile(&xs, lo).unwrap() <= percentile(&xs, hi).unwrap() + 1e-9);
     }
+}
 
-    #[test]
-    fn ecdf_of_sample_max_is_one(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+#[test]
+fn ecdf_of_sample_max_is_one() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let xs = sample_vec(&mut rng, 64);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let cdf = Ecdf::new(xs);
-        prop_assert_eq!(cdf.eval(max), 1.0);
+        assert_eq!(cdf.eval(max), 1.0);
     }
+}
 
-    #[test]
-    fn cumulative_rate_is_a_valid_probability(
-        data in prop::collection::vec((-100.0f64..100.0, any::<bool>()), 0..40),
-        thresholds in prop::collection::vec(-100.0f64..100.0, 1..10),
-    ) {
+#[test]
+fn cumulative_rate_is_a_valid_probability() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let data: Vec<(f64, bool)> = (0..rng.gen_range(0..40))
+            .map(|_| (rng.gen_range(-100.0..100.0), rng.gen_bool(0.5)))
+            .collect();
+        let thresholds: Vec<f64> =
+            (0..rng.gen_range(1..10)).map(|_| rng.gen_range(-100.0..100.0)).collect();
         for (_, rate) in cumulative_rate_by_threshold(&data, &thresholds) {
             if let Some(r) = rate {
-                prop_assert!((0.0..=1.0).contains(&r));
+                assert!((0.0..=1.0).contains(&r));
             }
         }
     }
+}
 
-    #[test]
-    fn integrators_agree_on_constant_acceleration(
-        px in -10.0f64..10.0, vx in -10.0f64..10.0, ax in -10.0f64..10.0,
-    ) {
+#[test]
+fn integrators_agree_on_constant_acceleration() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let px = rng.gen_range(-10.0..10.0);
+        let vx = rng.gen_range(-10.0..10.0);
+        let ax = rng.gen_range(-10.0..10.0);
         // Under constant acceleration both integrators land near the
         // closed-form solution after many small steps.
         let accel = Vec3::new(ax, 0.0, 0.0);
@@ -130,7 +203,7 @@ proptest! {
         }
         let t = 1.0;
         let exact = px + vx * t + 0.5 * ax * t * t;
-        prop_assert!((rk.position.x - exact).abs() < 1e-6);
-        prop_assert!((euler.position.x - exact).abs() < 2e-2 * (1.0 + ax.abs()));
+        assert!((rk.position.x - exact).abs() < 1e-6);
+        assert!((euler.position.x - exact).abs() < 2e-2 * (1.0 + ax.abs()));
     }
 }

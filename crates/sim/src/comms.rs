@@ -69,12 +69,7 @@ impl CommsBus {
         for _ in 0..=config.delay_ticks {
             in_flight.push_back(Vec::new());
         }
-        CommsBus {
-            config,
-            swarm_size,
-            in_flight,
-            tables: vec![vec![None; swarm_size]; swarm_size],
-        }
+        CommsBus { config, swarm_size, in_flight, tables: vec![vec![None; swarm_size]; swarm_size] }
     }
 
     /// The bus configuration.
@@ -110,12 +105,12 @@ impl CommsBus {
         self.in_flight.push_back(Vec::new());
 
         for msg in due {
-            for receiver in 0..self.swarm_size {
+            for (receiver, position) in receiver_positions.iter().enumerate() {
                 if receiver == msg.sender.index() {
                     continue;
                 }
                 if let Some(range) = self.config.range {
-                    if receiver_positions[receiver].distance(msg.position) > range {
+                    if position.distance(msg.position) > range {
                         continue;
                     }
                 }
@@ -126,7 +121,7 @@ impl CommsBus {
                 }
                 let slot = &mut self.tables[receiver][msg.sender.index()];
                 // Keep the newest message only.
-                if slot.map_or(true, |old| old.time <= msg.time) {
+                if slot.is_none_or(|old| old.time <= msg.time) {
                     *slot = Some(msg);
                 }
             }

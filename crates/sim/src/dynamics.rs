@@ -112,8 +112,7 @@ impl Dynamics for PointMass {
     fn step(&mut self, state: &DroneState, commanded_velocity: Vec3, dt: f64) -> DroneState {
         let p = &self.params;
         let cmd = commanded_velocity.clamp_norm(p.max_speed);
-        let accel = ((cmd - state.velocity) / p.velocity_time_constant)
-            .clamp_norm(p.max_accel)
+        let accel = ((cmd - state.velocity) / p.velocity_time_constant).clamp_norm(p.max_accel)
             - state.velocity * p.drag;
         let velocity = (state.velocity + accel * dt).clamp_norm(p.max_speed);
         let position = state.position + velocity * dt;

@@ -120,7 +120,7 @@ mod tests {
     }
 
     #[test]
-    fn converges_on_constant_velocity_track(){
+    fn converges_on_constant_velocity_track() {
         let mut f = AlphaBeta::new(EstimatorConfig::default());
         let v = Vec3::new(3.0, -1.0, 0.0);
         let est = track(&mut f, |t| v * t, 200, 0.1);

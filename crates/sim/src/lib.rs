@@ -62,7 +62,8 @@ pub mod world;
 
 pub use error::SimError;
 pub use runner::{
-    ControlContext, MissionOutcome, NeighborState, PerceivedSelf, Simulation, SwarmController,
+    ControlContext, MissionOutcome, NeighborState, PerceivedSelf, RunStats, SimObserver,
+    Simulation, SwarmController,
 };
 
 use serde::{Deserialize, Serialize};

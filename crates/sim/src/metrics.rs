@@ -13,11 +13,8 @@ use swarm_math::Vec3;
 /// Drones with (near-)zero velocity are skipped. Returns `None` when fewer
 /// than two drones have meaningful velocities.
 pub fn velocity_correlation(velocities: &[Vec3]) -> Option<f64> {
-    let dirs: Vec<Vec3> = velocities
-        .iter()
-        .filter(|v| v.norm() > 1e-9)
-        .map(|v| v.normalized())
-        .collect();
+    let dirs: Vec<Vec3> =
+        velocities.iter().filter(|v| v.norm() > 1e-9).map(|v| v.normalized()).collect();
     if dirs.len() < 2 {
         return None;
     }

@@ -124,9 +124,8 @@ impl MissionSpec {
                     rng.gen_range(self.start_min.y..=self.start_max.y),
                     CRUISE_ALTITUDE,
                 );
-                let ok = positions
-                    .iter()
-                    .all(|p| p.distance(candidate) >= self.min_start_separation);
+                let ok =
+                    positions.iter().all(|p| p.distance(candidate) >= self.min_start_separation);
                 if ok || attempt == 9_999 {
                     break;
                 }
@@ -159,27 +158,29 @@ impl MissionSpec {
     /// found (empty swarm, non-positive timing values, start box inverted,
     /// destination inside an obstacle, ...).
     pub fn validate(&self) -> Result<(), SimError> {
+        // Rejects non-positive values AND NaN (which fails every comparison).
+        fn not_positive(x: f64) -> bool {
+            !matches!(x.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater))
+        }
         if self.swarm_size == 0 {
             return Err(SimError::InvalidMission("swarm size must be at least 1".into()));
         }
-        if !(self.physics_dt > 0.0) {
+        if not_positive(self.physics_dt) {
             return Err(SimError::InvalidMission(format!(
                 "physics_dt must be positive, got {}",
                 self.physics_dt
             )));
         }
         if self.control_period < self.physics_dt {
-            return Err(SimError::InvalidMission(
-                "control_period must be >= physics_dt".into(),
-            ));
+            return Err(SimError::InvalidMission("control_period must be >= physics_dt".into()));
         }
-        if !(self.duration > 0.0) {
+        if not_positive(self.duration) {
             return Err(SimError::InvalidMission("duration must be positive".into()));
         }
         if self.start_min.x > self.start_max.x || self.start_min.y > self.start_max.y {
             return Err(SimError::InvalidMission("start box corners are inverted".into()));
         }
-        if !(self.arrival_radius > 0.0) {
+        if not_positive(self.arrival_radius) {
             return Err(SimError::InvalidMission("arrival radius must be positive".into()));
         }
         for (i, o) in self.world.obstacles.iter().enumerate() {
@@ -188,7 +189,7 @@ impl MissionSpec {
                     "destination lies inside obstacle {i}"
                 )));
             }
-            if !(o.radius() > 0.0) {
+            if not_positive(o.radius()) {
                 return Err(SimError::InvalidMission(format!(
                     "obstacle {i} has non-positive radius"
                 )));

@@ -71,7 +71,8 @@ impl Pid {
             None => 0.0,
         };
         self.last_error = Some(error);
-        let raw = self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
+        let raw =
+            self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
         swarm_math::clamp(raw, -self.config.output_limit, self.config.output_limit)
     }
 
@@ -98,12 +99,8 @@ mod tests {
 
     #[test]
     fn integral_accumulates_and_clamps() {
-        let mut pid = Pid::new(PidConfig {
-            kp: 0.0,
-            ki: 1.0,
-            integral_limit: 0.5,
-            ..Default::default()
-        });
+        let mut pid =
+            Pid::new(PidConfig { kp: 0.0, ki: 1.0, integral_limit: 0.5, ..Default::default() });
         for _ in 0..100 {
             pid.update(1.0, 0.1);
         }

@@ -125,17 +125,14 @@ impl TopDownRenderer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swarm_math::Vec2;
     use crate::world::Obstacle;
+    use swarm_math::Vec2;
 
     fn sample_record() -> MissionRecord {
         let mut r = MissionRecord::new(2, 0.1);
         for i in 0..20 {
             let t = i as f64;
-            let pos = [
-                Vec3::new(t * 5.0, 10.0, 10.0),
-                Vec3::new(t * 5.0, -10.0, 10.0),
-            ];
+            let pos = [Vec3::new(t * 5.0, 10.0, 10.0), Vec3::new(t * 5.0, -10.0, 10.0)];
             r.push_sample(t * 0.1, &pos, &[Vec3::ZERO; 2], &[50.0; 2]);
         }
         r

@@ -81,6 +81,32 @@ impl<T: SwarmController + ?Sized> SwarmController for &T {
     }
 }
 
+/// Aggregate counts of one simulated mission, delivered to a [`SimObserver`]
+/// in a single batch when the run ends.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Physics integration steps executed (per mission, not per drone).
+    pub physics_steps: u64,
+    /// Control/communication ticks executed.
+    pub control_ticks: u64,
+    /// GPS sampling rounds executed.
+    pub gps_rounds: u64,
+    /// Simulated time actually covered, in seconds.
+    pub sim_time: f64,
+}
+
+/// Passive observer of simulation runs, for telemetry.
+///
+/// Counts are accumulated in plain locals inside the hot loop and reported
+/// once per run through [`SimObserver::on_run_end`], so an observer costs one
+/// virtual call per *mission* rather than per step. Observers must not
+/// influence the simulation — [`Simulation::run_observed`] produces the same
+/// [`MissionOutcome`] with or without one.
+pub trait SimObserver: Sync {
+    /// Called once when a mission run finishes.
+    fn on_run_end(&self, stats: &RunStats);
+}
+
 /// Runtime options of the simulation loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -199,6 +225,21 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
     /// Returns [`SimError::UnknownTarget`] when the attack targets a drone
     /// outside the swarm.
     pub fn run(&self, attack: Option<&SpoofingAttack>) -> Result<MissionOutcome, SimError> {
+        self.run_observed(attack, None)
+    }
+
+    /// [`Simulation::run`] with an optional [`SimObserver`] receiving the
+    /// run's aggregate [`RunStats`]. The observer never influences the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_observed(
+        &self,
+        attack: Option<&SpoofingAttack>,
+        observer: Option<&dyn SimObserver>,
+    ) -> Result<MissionOutcome, SimError> {
         let spec = &self.spec;
         if let Some(a) = attack {
             if a.target.index() >= spec.swarm_size {
@@ -234,31 +275,28 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         let mut true_velocities = vec![Vec3::ZERO; n];
         let mut obstacle_distances = vec![f64::INFINITY; n];
         let mut neighbor_buf: Vec<NeighborState> = Vec::with_capacity(n);
+        let mut stats = RunStats::default();
 
         'mission: for step in 0..=steps {
             let t = step as f64 * dt;
+            stats.sim_time = t;
 
             // (1) Sensor reads at the GPS rate.
             if step % steps_per_gps == 0 {
+                stats.gps_rounds += 1;
                 for d in 0..n {
                     if !alive[d] {
                         continue;
                     }
-                    let offset = attack
-                        .map(|a| a.offset_for(DroneId(d), t, axis))
-                        .unwrap_or(Vec3::ZERO);
-                    gps[d].sample(
-                        states[d].position,
-                        states[d].velocity,
-                        offset,
-                        t,
-                        &mut rng_gps,
-                    );
+                    let offset =
+                        attack.map(|a| a.offset_for(DroneId(d), t, axis)).unwrap_or(Vec3::ZERO);
+                    gps[d].sample(states[d].position, states[d].velocity, offset, t, &mut rng_gps);
                 }
             }
 
             // (2)–(4) Communication and control at the control rate.
             if step % steps_per_control == 0 {
+                stats.control_ticks += 1;
                 for d in 0..n {
                     true_positions[d] = states[d].position;
                     true_velocities[d] = states[d].velocity;
@@ -301,7 +339,10 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                     }
                     let ctx = ControlContext {
                         id: DroneId(d),
-                        self_state: PerceivedSelf { position: fix.position, velocity: fix.velocity },
+                        self_state: PerceivedSelf {
+                            position: fix.position,
+                            velocity: fix.velocity,
+                        },
                         neighbors: &neighbor_buf,
                         world: &spec.world,
                         destination: spec.destination,
@@ -325,11 +366,9 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
             }
 
             // Physics integration (plus kinematic wind drift, if any).
-            let wind_velocity = if spec.wind.is_calm() {
-                Vec3::ZERO
-            } else {
-                wind.sample(dt, &mut rng_wind)
-            };
+            let wind_velocity =
+                if spec.wind.is_calm() { Vec3::ZERO } else { wind.sample(dt, &mut rng_wind) };
+            stats.physics_steps += 1;
             for d in 0..n {
                 if alive[d] {
                     states[d] = dynamics[d].step(&states[d], commanded[d], dt);
@@ -382,6 +421,9 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
             }
         }
 
+        if let Some(obs) = observer {
+            obs.on_run_end(&stats);
+        }
         Ok(MissionOutcome { record })
     }
 }
@@ -450,8 +492,7 @@ mod tests {
     #[test]
     fn attack_on_unknown_target_is_rejected() {
         let sim = Simulation::new(short_spec(2), Hover).unwrap();
-        let attack =
-            SpoofingAttack::new(DroneId(7), SpoofDirection::Left, 0.0, 5.0, 10.0).unwrap();
+        let attack = SpoofingAttack::new(DroneId(7), SpoofDirection::Left, 0.0, 5.0, 10.0).unwrap();
         assert!(matches!(
             sim.run(Some(&attack)),
             Err(SimError::UnknownTarget { target: DroneId(7), swarm_size: 2 })
@@ -490,6 +531,35 @@ mod tests {
         // (Hypothetical different target id — not in swarm, but the check is
         // purely on the record.)
         assert!(out.spv_collision(DroneId(5)).is_some());
+    }
+
+    #[test]
+    fn observer_sees_counts_and_never_alters_the_outcome() {
+        use std::sync::Mutex;
+
+        struct Capture(Mutex<Option<RunStats>>);
+        impl SimObserver for Capture {
+            fn on_run_end(&self, stats: &RunStats) {
+                *self.0.lock().unwrap() = Some(*stats);
+            }
+        }
+
+        let sim = Simulation::new(short_spec(3), Hover).unwrap();
+        let plain = sim.run(None).unwrap();
+        let capture = Capture(Mutex::new(None));
+        let observed = sim.run_observed(None, Some(&capture)).unwrap();
+        assert_eq!(plain.record, observed.record, "observer must not change the run");
+
+        let stats = capture.0.lock().unwrap().expect("observer called");
+        let spec = short_spec(3);
+        assert_eq!(stats.physics_steps, spec.physics_steps() as u64 + 1);
+        // Control runs every steps_per_control-th physics step, inclusive.
+        assert_eq!(
+            stats.control_ticks,
+            spec.physics_steps() as u64 / spec.steps_per_control() as u64 + 1
+        );
+        assert!(stats.gps_rounds >= stats.control_ticks);
+        assert!((stats.sim_time - spec.duration).abs() < spec.physics_dt + 1e-9);
     }
 
     #[test]

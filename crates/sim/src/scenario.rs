@@ -57,8 +57,8 @@ pub fn balloon_field(swarm_size: usize, seed: u64) -> MissionSpec {
 mod tests {
     use super::*;
     use crate::Simulation;
-    use swarm_math::Vec3;
     use crate::{ControlContext, SwarmController};
+    use swarm_math::Vec3;
 
     struct GoToGoal;
     impl SwarmController for GoToGoal {

@@ -140,7 +140,13 @@ mod tests {
     #[test]
     fn noiseless_sample_reports_truth_plus_offset() {
         let mut gps = GpsReceiver::new(GpsConfig::default());
-        let fix = gps.sample(Vec3::new(1.0, 2.0, 3.0), Vec3::X, Vec3::new(0.0, 5.0, 0.0), 1.5, &mut rng());
+        let fix = gps.sample(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::X,
+            Vec3::new(0.0, 5.0, 0.0),
+            1.5,
+            &mut rng(),
+        );
         assert_eq!(fix.position, Vec3::new(1.0, 7.0, 3.0));
         assert_eq!(fix.velocity, Vec3::X);
         assert_eq!(fix.time, 1.5);
@@ -163,7 +169,13 @@ mod tests {
     #[test]
     fn spoofing_offset_does_not_touch_velocity() {
         let mut gps = GpsReceiver::new(GpsConfig::default());
-        let fix = gps.sample(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 10.0, 0.0), 0.0, &mut rng());
+        let fix = gps.sample(
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 10.0, 0.0),
+            0.0,
+            &mut rng(),
+        );
         assert_eq!(fix.velocity, Vec3::new(2.0, 0.0, 0.0));
     }
 

@@ -89,28 +89,28 @@ impl SpatialGrid {
             )
         };
         let all = if scan_all { Some(self.cells.values()) } else { None };
-        ring.into_iter()
-            .flatten()
-            .chain(all.into_iter().flatten())
-            .flatten()
-            .copied()
-            .filter(move |(_, p)| {
+        ring.into_iter().flatten().chain(all.into_iter().flatten()).flatten().copied().filter(
+            move |(_, p)| {
                 let dx = p.x - center.x;
                 let dy = p.y - center.y;
                 dx * dx + dy * dy <= radius2
-            })
+            },
+        )
     }
 
     /// The `k` nearest drones to `center` other than `exclude`, ordered by
     /// ascending horizontal distance. Falls back to a full scan, widening
     /// the search ring until enough candidates are found.
-    pub fn k_nearest(&self, center: Vec3, k: usize, exclude: Option<DroneId>) -> Vec<(DroneId, Vec3)> {
+    pub fn k_nearest(
+        &self,
+        center: Vec3,
+        k: usize,
+        exclude: Option<DroneId>,
+    ) -> Vec<(DroneId, Vec3)> {
         let mut radius = self.cell_size;
         loop {
-            let mut found: Vec<(DroneId, Vec3)> = self
-                .within(center, radius)
-                .filter(|&(id, _)| Some(id) != exclude)
-                .collect();
+            let mut found: Vec<(DroneId, Vec3)> =
+                self.within(center, radius).filter(|&(id, _)| Some(id) != exclude).collect();
             if found.len() >= k || radius > 1e6 {
                 found.sort_by(|a, b| {
                     center

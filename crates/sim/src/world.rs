@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn cylinder_ignores_z() {
         let o = Obstacle::Cylinder { center: Vec2::ZERO, radius: 1.0 };
-        assert_eq!(o.surface_distance(Vec3::new(2.0, 0.0, 0.0)), o.surface_distance(Vec3::new(2.0, 0.0, 50.0)));
+        assert_eq!(
+            o.surface_distance(Vec3::new(2.0, 0.0, 0.0)),
+            o.surface_distance(Vec3::new(2.0, 0.0, 50.0))
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! Property-based tests for the simulator substrate: obstacle geometry
+//! Randomized property tests for the simulator substrate: obstacle geometry
 //! consistency, comms-bus delivery semantics, spatial-index equivalence with
-//! brute force, and PID/dynamics boundedness.
+//! brute force, and PID/dynamics boundedness. Cases are drawn from a seeded
+//! generator so every run checks the same sample deterministically.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use swarm_math::{Vec2, Vec3};
 use swarm_sim::comms::{CommsBus, CommsConfig, StateMessage};
 use swarm_sim::dynamics::{DroneParams, DroneState, Dynamics, PointMass};
@@ -13,54 +13,75 @@ use swarm_sim::spatial::SpatialGrid;
 use swarm_sim::world::Obstacle;
 use swarm_sim::DroneId;
 
-fn point() -> impl Strategy<Value = Vec3> {
-    (-500.0f64..500.0, -500.0f64..500.0, 0.0f64..50.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 128;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5349_4D50)
 }
 
-fn obstacle() -> impl Strategy<Value = Obstacle> {
-    prop_oneof![
-        ((-200.0f64..200.0, -200.0f64..200.0), 0.5f64..30.0)
-            .prop_map(|((x, y), r)| Obstacle::Cylinder { center: Vec2::new(x, y), radius: r }),
-        (point(), 0.5f64..30.0).prop_map(|(c, r)| Obstacle::Sphere { center: c, radius: r }),
-    ]
+fn point(rng: &mut StdRng) -> Vec3 {
+    Vec3::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0), rng.gen_range(0.0..50.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn obstacle(rng: &mut StdRng) -> Obstacle {
+    if rng.gen_bool(0.5) {
+        Obstacle::Cylinder {
+            center: Vec2::new(rng.gen_range(-200.0..200.0), rng.gen_range(-200.0..200.0)),
+            radius: rng.gen_range(0.5..30.0),
+        }
+    } else {
+        Obstacle::Sphere { center: point(rng), radius: rng.gen_range(0.5..30.0) }
+    }
+}
 
-    /// The closest surface point really is on the surface, and its distance
-    /// from the query point equals |surface_distance| (outside the body).
-    #[test]
-    fn obstacle_geometry_is_consistent(o in obstacle(), p in point()) {
+/// The closest surface point really is on the surface, and its distance from
+/// the query point equals |surface_distance| (outside the body).
+#[test]
+fn obstacle_geometry_is_consistent() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let o = obstacle(&mut rng);
+        let p = point(&mut rng);
         let sd = o.surface_distance(p);
         let cp = o.closest_surface_point(p);
-        prop_assert!(o.surface_distance(cp).abs() < 1e-6, "closest point must lie on surface");
+        assert!(o.surface_distance(cp).abs() < 1e-6, "closest point must lie on surface");
         if sd > 0.0 {
             let gap = match o {
                 Obstacle::Cylinder { .. } => p.horizontal_distance(cp),
                 Obstacle::Sphere { .. } => p.distance(cp),
             };
-            prop_assert!((gap - sd).abs() < 1e-6, "gap {gap} vs sd {sd}");
+            assert!((gap - sd).abs() < 1e-6, "gap {gap} vs sd {sd}");
         }
     }
+}
 
-    /// The outward normal is a unit vector and walking along it increases
-    /// the surface distance.
-    #[test]
-    fn outward_normal_points_outward(o in obstacle(), p in point()) {
+/// The outward normal is a unit vector and walking along it increases the
+/// surface distance.
+#[test]
+fn outward_normal_points_outward() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let o = obstacle(&mut rng);
+        let p = point(&mut rng);
         let n = o.outward_normal(p);
-        prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+        assert!((n.norm() - 1.0).abs() < 1e-9);
         let sd = o.surface_distance(p);
         let sd_stepped = o.surface_distance(p + n * 0.5);
-        prop_assert!(sd_stepped >= sd - 1e-9, "stepping outward must not approach");
+        assert!(sd_stepped >= sd - 1e-9, "stepping outward must not approach");
     }
+}
 
-    /// An ideal bus delivers every broadcast to every other drone, and never
-    /// to the sender.
-    #[test]
-    fn ideal_bus_delivers_to_all_others(n in 2usize..8, senders in prop::collection::vec(0usize..8, 1..8)) {
+/// An ideal bus delivers every broadcast to every other drone, and never to
+/// the sender.
+#[test]
+fn ideal_bus_delivers_to_all_others() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..8);
+        let sender_count = rng.gen_range(1usize..8);
+        let senders: Vec<usize> = (0..sender_count).map(|_| rng.gen_range(0usize..8)).collect();
         let mut bus = CommsBus::new(n, CommsConfig::default());
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut bus_rng = StdRng::seed_from_u64(0);
         let positions = vec![Vec3::ZERO; n];
         let msgs: Vec<StateMessage> = senders
             .iter()
@@ -74,25 +95,27 @@ proptest! {
             .collect();
         let sent: std::collections::BTreeSet<usize> =
             msgs.iter().map(|m| m.sender.index()).collect();
-        bus.step(msgs, &positions, &mut rng);
+        bus.step(msgs, &positions, &mut bus_rng);
         for r in 0..n {
             let heard: std::collections::BTreeSet<usize> =
                 bus.neighbors_of(DroneId(r)).iter().map(|m| m.sender.index()).collect();
             let expected: std::collections::BTreeSet<usize> =
                 sent.iter().copied().filter(|&s| s != r).collect();
-            prop_assert_eq!(heard, expected);
+            assert_eq!(heard, expected);
         }
     }
+}
 
-    /// The spatial grid returns exactly the brute-force neighbor set.
-    #[test]
-    fn spatial_grid_matches_brute_force(
-        positions in prop::collection::vec(point(), 1..24),
-        cell in 1.0f64..40.0,
-        radius in 0.5f64..120.0,
-        q in 0usize..24,
-    ) {
-        let q = q % positions.len();
+/// The spatial grid returns exactly the brute-force neighbor set.
+#[test]
+fn spatial_grid_matches_brute_force() {
+    let mut rng = rng();
+    for _ in 0..CASES {
+        let count = rng.gen_range(1usize..24);
+        let positions: Vec<Vec3> = (0..count).map(|_| point(&mut rng)).collect();
+        let cell = rng.gen_range(1.0..40.0);
+        let radius = rng.gen_range(0.5..120.0);
+        let q = rng.gen_range(0usize..24) % positions.len();
         let center = positions[q];
         let grid = SpatialGrid::build(&positions, cell);
         let mut got: Vec<usize> = grid.within(center, radius).map(|(id, _)| id.index()).collect();
@@ -104,34 +127,49 @@ proptest! {
             .map(|(i, _)| i)
             .collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// PID output respects its limit for arbitrary error sequences.
-    #[test]
-    fn pid_output_is_bounded(errors in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+/// PID output respects its limit for arbitrary error sequences.
+#[test]
+fn pid_output_is_bounded() {
+    let mut rng = rng();
+    for _ in 0..CASES {
         let mut pid = Pid::new(PidConfig {
-            kp: 2.0, ki: 0.8, kd: 0.3, integral_limit: 5.0, output_limit: 7.0,
+            kp: 2.0,
+            ki: 0.8,
+            kd: 0.3,
+            integral_limit: 5.0,
+            output_limit: 7.0,
         });
-        for e in errors {
+        for _ in 0..rng.gen_range(1usize..64) {
+            let e = rng.gen_range(-100.0..100.0);
             let u = pid.update(e, 0.05);
-            prop_assert!(u.abs() <= 7.0 + 1e-12);
-            prop_assert!(u.is_finite());
+            assert!(u.abs() <= 7.0 + 1e-12);
+            assert!(u.is_finite());
         }
     }
+}
 
-    /// The point-mass model never exceeds its speed limit and never produces
-    /// non-finite state, whatever commands arrive.
-    #[test]
-    fn point_mass_respects_limits(commands in prop::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0, -20.0f64..20.0), 1..128)) {
+/// The point-mass model never exceeds its speed limit and never produces
+/// non-finite state, whatever commands arrive.
+#[test]
+fn point_mass_respects_limits() {
+    let mut rng = rng();
+    for _ in 0..CASES {
         let params = DroneParams::default();
         let mut model = PointMass::new(params);
         let mut s = DroneState::default();
-        for (x, y, z) in commands {
-            s = model.step(&s, Vec3::new(x, y, z), 0.01);
-            prop_assert!(s.position.is_finite() && s.velocity.is_finite());
-            prop_assert!(s.velocity.norm() <= params.max_speed + 1e-9);
+        for _ in 0..rng.gen_range(1usize..128) {
+            let cmd = Vec3::new(
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-20.0..20.0),
+            );
+            s = model.step(&s, cmd, 0.01);
+            assert!(s.position.is_finite() && s.velocity.is_finite());
+            assert!(s.velocity.norm() <= params.max_speed + 1e-9);
         }
     }
 }

@@ -50,10 +50,7 @@ fn main() -> Result<(), FuzzError> {
         finding.deviation,
     )
     .map_err(FuzzError::from)?;
-    println!(
-        "\n=== under attack: {attack} (victim {}) ===",
-        finding.actual_victim
-    );
+    println!("\n=== under attack: {attack} (victim {}) ===", finding.actual_victim);
     let attacked = sim.run(Some(&attack))?;
     print!("{}", renderer.render(&attacked.record, &spec.world));
     println!(

@@ -33,12 +33,8 @@ fn main() -> Result<(), FuzzError> {
     );
     println!("{:<10} {:>12} {:>16} {:>14}", "fuzzer", "success", "avg iterations", "SPVs found");
 
-    let variants: [fn(f64) -> FuzzerConfig; 4] = [
-        FuzzerConfig::swarmfuzz,
-        FuzzerConfig::r_fuzz,
-        FuzzerConfig::g_fuzz,
-        FuzzerConfig::s_fuzz,
-    ];
+    let variants: [fn(f64) -> FuzzerConfig; 4] =
+        [FuzzerConfig::swarmfuzz, FuzzerConfig::r_fuzz, FuzzerConfig::g_fuzz, FuzzerConfig::s_fuzz];
     for make in variants {
         let report = run_campaign(&campaign, |d| Fuzzer::new(controller, make(d)))?;
         let found = report.missions.iter().filter(|m| m.success).count();

@@ -11,7 +11,7 @@
 //! replays the discovered attack, tracing how the victim is driven into the
 //! obstacle while the *target* flies on unharmed.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use swarm_control::{VasarhelyiController, VasarhelyiParams, VelocityTerms};
 use swarm_math::Vec3;
 use swarm_sim::mission::MissionSpec;
@@ -30,7 +30,7 @@ impl SwarmController for GoalTracer {
     fn desired_velocity(&self, ctx: &ControlContext<'_>) -> Vec3 {
         let terms = self.inner.compute_terms(ctx);
         if ctx.id == self.traced {
-            self.log.lock().push((ctx.time, terms));
+            self.log.lock().unwrap().push((ctx.time, terms));
         }
         terms.total
     }
@@ -75,7 +75,7 @@ fn main() -> Result<(), FuzzError> {
 
     // Print the goal decomposition at the victim's closest approach.
     let t_close = clean.record.vdo_time(victim).unwrap_or(0.0);
-    let log = tracer.log.lock();
+    let log = tracer.log.lock().unwrap();
     if let Some((t, terms)) = log
         .iter()
         .min_by(|a, b| {
@@ -138,8 +138,10 @@ fn main() -> Result<(), FuzzError> {
     for tick in (0..attacked.record.len()).step_by(step) {
         let t = attacked.record.times()[tick];
         let clean_tick = tick.min(clean.record.len() - 1);
-        let d_clean = obstacle.surface_distance(clean.record.positions_at(clean_tick)[victim.index()]);
-        let d_attacked = obstacle.surface_distance(attacked.record.positions_at(tick)[victim.index()]);
+        let d_clean =
+            obstacle.surface_distance(clean.record.positions_at(clean_tick)[victim.index()]);
+        let d_attacked =
+            obstacle.surface_distance(attacked.record.positions_at(tick)[victim.index()]);
         println!("  t={t:5.1}s  clean {d_clean:6.2}  attacked {d_attacked:6.2}");
     }
     Ok(())

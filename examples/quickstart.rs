@@ -32,10 +32,7 @@ fn main() -> Result<(), FuzzError> {
         report.mission_vdo,
         report.vdo_drone.index()
     );
-    println!(
-        "search iterations used: {} across {} seeds",
-        report.evaluations, report.seeds_tried
-    );
+    println!("search iterations used: {} across {} seeds", report.evaluations, report.seeds_tried);
 
     match report.finding {
         Some(f) => {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_centrality-5867c9835c855132.d: crates/bench/benches/ablation_centrality.rs
+
+/root/repo/target/debug/deps/ablation_centrality-5867c9835c855132: crates/bench/benches/ablation_centrality.rs
+
+crates/bench/benches/ablation_centrality.rs:

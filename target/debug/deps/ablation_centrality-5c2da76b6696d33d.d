@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_centrality-5c2da76b6696d33d.d: crates/bench/benches/ablation_centrality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_centrality-5c2da76b6696d33d.rmeta: crates/bench/benches/ablation_centrality.rs Cargo.toml
+
+crates/bench/benches/ablation_centrality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_smoke-16b3dd16ad63497e.d: crates/bench/src/bin/ablation_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_smoke-16b3dd16ad63497e.rmeta: crates/bench/src/bin/ablation_smoke.rs Cargo.toml
+
+crates/bench/src/bin/ablation_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_smoke-4568c1d8d5758c72.d: crates/bench/src/bin/ablation_smoke.rs
+
+/root/repo/target/debug/deps/ablation_smoke-4568c1d8d5758c72: crates/bench/src/bin/ablation_smoke.rs
+
+crates/bench/src/bin/ablation_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_smoke-bd2fd4de9d61bb24.d: crates/bench/src/bin/ablation_smoke.rs
+
+/root/repo/target/debug/deps/ablation_smoke-bd2fd4de9d61bb24: crates/bench/src/bin/ablation_smoke.rs
+
+crates/bench/src/bin/ablation_smoke.rs:

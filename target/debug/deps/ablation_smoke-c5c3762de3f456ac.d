@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_smoke-c5c3762de3f456ac.d: crates/bench/src/bin/ablation_smoke.rs
+
+/root/repo/target/debug/deps/ablation_smoke-c5c3762de3f456ac: crates/bench/src/bin/ablation_smoke.rs
+
+crates/bench/src/bin/ablation_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_integration-35990166c891714a.d: crates/core/../../tests/attack_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_integration-35990166c891714a.rmeta: crates/core/../../tests/attack_integration.rs Cargo.toml
+
+crates/core/../../tests/attack_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

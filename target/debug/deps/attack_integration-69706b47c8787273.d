@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_integration-69706b47c8787273.d: crates/core/../../tests/attack_integration.rs
+
+/root/repo/target/debug/deps/attack_integration-69706b47c8787273: crates/core/../../tests/attack_integration.rs
+
+crates/core/../../tests/attack_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_integration-794698b5a10bcbb7.d: crates/core/../../tests/attack_integration.rs
+
+/root/repo/target/debug/deps/attack_integration-794698b5a10bcbb7: crates/core/../../tests/attack_integration.rs
+
+crates/core/../../tests/attack_integration.rs:

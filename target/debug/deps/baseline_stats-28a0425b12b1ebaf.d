@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_stats-28a0425b12b1ebaf.d: crates/bench/src/bin/baseline_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_stats-28a0425b12b1ebaf.rmeta: crates/bench/src/bin/baseline_stats.rs Cargo.toml
+
+crates/bench/src/bin/baseline_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

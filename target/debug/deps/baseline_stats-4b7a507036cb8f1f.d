@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_stats-4b7a507036cb8f1f.d: crates/bench/src/bin/baseline_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_stats-4b7a507036cb8f1f.rmeta: crates/bench/src/bin/baseline_stats.rs Cargo.toml
+
+crates/bench/src/bin/baseline_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_stats-9a4e208a9a0de2ad.d: crates/bench/src/bin/baseline_stats.rs
+
+/root/repo/target/debug/deps/baseline_stats-9a4e208a9a0de2ad: crates/bench/src/bin/baseline_stats.rs
+
+crates/bench/src/bin/baseline_stats.rs:

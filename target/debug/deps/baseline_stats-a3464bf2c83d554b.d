@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_stats-a3464bf2c83d554b.d: crates/bench/src/bin/baseline_stats.rs
+
+/root/repo/target/debug/deps/baseline_stats-a3464bf2c83d554b: crates/bench/src/bin/baseline_stats.rs
+
+crates/bench/src/bin/baseline_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_stats-df2c4ecbc4eccb58.d: crates/bench/src/bin/baseline_stats.rs
+
+/root/repo/target/debug/deps/baseline_stats-df2c4ecbc4eccb58: crates/bench/src/bin/baseline_stats.rs
+
+crates/bench/src/bin/baseline_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_smoke-09a9a29c491b2f31.d: crates/bench/src/bin/campaign_smoke.rs
+
+/root/repo/target/debug/deps/campaign_smoke-09a9a29c491b2f31: crates/bench/src/bin/campaign_smoke.rs
+
+crates/bench/src/bin/campaign_smoke.rs:

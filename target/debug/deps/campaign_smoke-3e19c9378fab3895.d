@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_smoke-3e19c9378fab3895.d: crates/bench/src/bin/campaign_smoke.rs
+
+/root/repo/target/debug/deps/campaign_smoke-3e19c9378fab3895: crates/bench/src/bin/campaign_smoke.rs
+
+crates/bench/src/bin/campaign_smoke.rs:

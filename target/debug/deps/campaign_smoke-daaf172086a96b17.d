@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_smoke-daaf172086a96b17.d: crates/bench/src/bin/campaign_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_smoke-daaf172086a96b17.rmeta: crates/bench/src/bin/campaign_smoke.rs Cargo.toml
+
+crates/bench/src/bin/campaign_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_smoke-ef592834350ec420.d: crates/bench/src/bin/campaign_smoke.rs
+
+/root/repo/target/debug/deps/campaign_smoke-ef592834350ec420: crates/bench/src/bin/campaign_smoke.rs
+
+crates/bench/src/bin/campaign_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_telemetry-1f159fc6c06318c0.d: crates/core/../../tests/campaign_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_telemetry-1f159fc6c06318c0.rmeta: crates/core/../../tests/campaign_telemetry.rs Cargo.toml
+
+crates/core/../../tests/campaign_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

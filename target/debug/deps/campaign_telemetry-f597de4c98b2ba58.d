@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign_telemetry-f597de4c98b2ba58.d: crates/core/../../tests/campaign_telemetry.rs
+
+/root/repo/target/debug/deps/campaign_telemetry-f597de4c98b2ba58: crates/core/../../tests/campaign_telemetry.rs
+
+crates/core/../../tests/campaign_telemetry.rs:

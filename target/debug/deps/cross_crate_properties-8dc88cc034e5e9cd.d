@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_properties-8dc88cc034e5e9cd.d: crates/core/../../tests/cross_crate_properties.rs
+
+/root/repo/target/debug/deps/cross_crate_properties-8dc88cc034e5e9cd: crates/core/../../tests/cross_crate_properties.rs
+
+crates/core/../../tests/cross_crate_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_properties-a56f13b7fcfeda2c.d: crates/core/../../tests/cross_crate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_properties-a56f13b7fcfeda2c.rmeta: crates/core/../../tests/cross_crate_properties.rs Cargo.toml
+
+crates/core/../../tests/cross_crate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

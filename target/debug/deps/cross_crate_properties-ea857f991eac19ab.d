@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_properties-ea857f991eac19ab.d: crates/core/../../tests/cross_crate_properties.rs
+
+/root/repo/target/debug/deps/cross_crate_properties-ea857f991eac19ab: crates/core/../../tests/cross_crate_properties.rs
+
+crates/core/../../tests/cross_crate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_evasion-2bf448425e2db3bf.d: crates/bench/benches/defense_evasion.rs
+
+/root/repo/target/debug/deps/defense_evasion-2bf448425e2db3bf: crates/bench/benches/defense_evasion.rs
+
+crates/bench/benches/defense_evasion.rs:

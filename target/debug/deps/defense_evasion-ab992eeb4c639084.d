@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_evasion-ab992eeb4c639084.d: crates/bench/benches/defense_evasion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_evasion-ab992eeb4c639084.rmeta: crates/bench/benches/defense_evasion.rs Cargo.toml
+
+crates/bench/benches/defense_evasion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-452210239c0c9070.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-452210239c0c9070: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

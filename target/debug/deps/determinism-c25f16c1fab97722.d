@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c25f16c1fab97722.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c25f16c1fab97722: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

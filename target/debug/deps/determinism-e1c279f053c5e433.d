@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-e1c279f053c5e433.d: crates/core/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-e1c279f053c5e433.rmeta: crates/core/../../tests/determinism.rs Cargo.toml
+
+crates/core/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

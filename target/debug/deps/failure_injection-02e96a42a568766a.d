@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-02e96a42a568766a.d: crates/core/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-02e96a42a568766a: crates/core/../../tests/failure_injection.rs
+
+crates/core/../../tests/failure_injection.rs:

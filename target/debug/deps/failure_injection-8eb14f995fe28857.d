@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-8eb14f995fe28857.d: crates/core/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-8eb14f995fe28857.rmeta: crates/core/../../tests/failure_injection.rs Cargo.toml
+
+crates/core/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

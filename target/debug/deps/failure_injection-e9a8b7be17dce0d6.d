@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e9a8b7be17dce0d6.d: crates/core/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e9a8b7be17dce0d6: crates/core/../../tests/failure_injection.rs
+
+crates/core/../../tests/failure_injection.rs:

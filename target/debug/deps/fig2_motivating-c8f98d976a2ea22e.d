@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_motivating-c8f98d976a2ea22e.d: crates/bench/benches/fig2_motivating.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_motivating-c8f98d976a2ea22e.rmeta: crates/bench/benches/fig2_motivating.rs Cargo.toml
+
+crates/bench/benches/fig2_motivating.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_motivating-f6d808cdd819e24c.d: crates/bench/benches/fig2_motivating.rs
+
+/root/repo/target/debug/deps/fig2_motivating-f6d808cdd819e24c: crates/bench/benches/fig2_motivating.rs
+
+crates/bench/benches/fig2_motivating.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_svg_edges-832f0bdef3c8d2ef.d: crates/bench/benches/fig4_svg_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_svg_edges-832f0bdef3c8d2ef.rmeta: crates/bench/benches/fig4_svg_edges.rs Cargo.toml
+
+crates/bench/benches/fig4_svg_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_svg_edges-bc3e12f7b1879f5d.d: crates/bench/benches/fig4_svg_edges.rs
+
+/root/repo/target/debug/deps/fig4_svg_edges-bc3e12f7b1879f5d: crates/bench/benches/fig4_svg_edges.rs
+
+crates/bench/benches/fig4_svg_edges.rs:

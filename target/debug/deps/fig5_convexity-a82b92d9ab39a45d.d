@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_convexity-a82b92d9ab39a45d.d: crates/bench/benches/fig5_convexity.rs
+
+/root/repo/target/debug/deps/fig5_convexity-a82b92d9ab39a45d: crates/bench/benches/fig5_convexity.rs
+
+crates/bench/benches/fig5_convexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_convexity-ba12d305f9068384.d: crates/bench/benches/fig5_convexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_convexity-ba12d305f9068384.rmeta: crates/bench/benches/fig5_convexity.rs Cargo.toml
+
+crates/bench/benches/fig5_convexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

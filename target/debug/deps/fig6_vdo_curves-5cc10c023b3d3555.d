@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_vdo_curves-5cc10c023b3d3555.d: crates/bench/benches/fig6_vdo_curves.rs
+
+/root/repo/target/debug/deps/fig6_vdo_curves-5cc10c023b3d3555: crates/bench/benches/fig6_vdo_curves.rs
+
+crates/bench/benches/fig6_vdo_curves.rs:

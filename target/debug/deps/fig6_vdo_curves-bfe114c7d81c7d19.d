@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_vdo_curves-bfe114c7d81c7d19.d: crates/bench/benches/fig6_vdo_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_vdo_curves-bfe114c7d81c7d19.rmeta: crates/bench/benches/fig6_vdo_curves.rs Cargo.toml
+
+crates/bench/benches/fig6_vdo_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_spoof_params-6738890321964532.d: crates/bench/benches/fig7_spoof_params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_spoof_params-6738890321964532.rmeta: crates/bench/benches/fig7_spoof_params.rs Cargo.toml
+
+crates/bench/benches/fig7_spoof_params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

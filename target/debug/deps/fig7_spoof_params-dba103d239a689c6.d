@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_spoof_params-dba103d239a689c6.d: crates/bench/benches/fig7_spoof_params.rs
+
+/root/repo/target/debug/deps/fig7_spoof_params-dba103d239a689c6: crates/bench/benches/fig7_spoof_params.rs
+
+crates/bench/benches/fig7_spoof_params.rs:

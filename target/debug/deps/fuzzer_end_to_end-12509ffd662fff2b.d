@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzzer_end_to_end-12509ffd662fff2b.d: crates/core/../../tests/fuzzer_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzzer_end_to_end-12509ffd662fff2b.rmeta: crates/core/../../tests/fuzzer_end_to_end.rs Cargo.toml
+
+crates/core/../../tests/fuzzer_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

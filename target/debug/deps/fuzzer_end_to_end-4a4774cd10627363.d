@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzzer_end_to_end-4a4774cd10627363.d: crates/core/../../tests/fuzzer_end_to_end.rs
+
+/root/repo/target/debug/deps/fuzzer_end_to_end-4a4774cd10627363: crates/core/../../tests/fuzzer_end_to_end.rs
+
+crates/core/../../tests/fuzzer_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardening-8eef07f3abaee52a.d: crates/core/../../tests/hardening.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardening-8eef07f3abaee52a.rmeta: crates/core/../../tests/hardening.rs Cargo.toml
+
+crates/core/../../tests/hardening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening-d266ed75fbaa461d.d: crates/core/../../tests/hardening.rs
+
+/root/repo/target/debug/deps/hardening-d266ed75fbaa461d: crates/core/../../tests/hardening.rs
+
+crates/core/../../tests/hardening.rs:

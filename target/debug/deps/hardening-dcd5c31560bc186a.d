@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hardening-dcd5c31560bc186a.d: crates/core/../../tests/hardening.rs
+
+/root/repo/target/debug/deps/hardening-dcd5c31560bc186a: crates/core/../../tests/hardening.rs
+
+crates/core/../../tests/hardening.rs:

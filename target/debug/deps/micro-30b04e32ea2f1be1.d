@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-30b04e32ea2f1be1.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-30b04e32ea2f1be1: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mission_integration-2936d5fd7b1124a8.d: crates/core/../../tests/mission_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmission_integration-2936d5fd7b1124a8.rmeta: crates/core/../../tests/mission_integration.rs Cargo.toml
+
+crates/core/../../tests/mission_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

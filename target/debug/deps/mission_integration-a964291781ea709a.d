@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mission_integration-a964291781ea709a.d: crates/core/../../tests/mission_integration.rs
+
+/root/repo/target/debug/deps/mission_integration-a964291781ea709a: crates/core/../../tests/mission_integration.rs
+
+crates/core/../../tests/mission_integration.rs:

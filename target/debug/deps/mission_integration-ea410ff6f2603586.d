@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mission_integration-ea410ff6f2603586.d: crates/core/../../tests/mission_integration.rs
+
+/root/repo/target/debug/deps/mission_integration-ea410ff6f2603586: crates/core/../../tests/mission_integration.rs
+
+crates/core/../../tests/mission_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2f32f4520bf68e5c.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2f32f4520bf68e5c: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3732815906c3a5e5.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3732815906c3a5e5: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4d8ea89c1c41c908.d: crates/math/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4d8ea89c1c41c908: crates/math/tests/properties.rs
+
+crates/math/tests/properties.rs:

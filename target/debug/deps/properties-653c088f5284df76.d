@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-653c088f5284df76.d: crates/math/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-653c088f5284df76: crates/math/tests/properties.rs
+
+crates/math/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a069417d5193f2f7.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a069417d5193f2f7: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a0f86ffbb2294f1f.d: crates/math/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a0f86ffbb2294f1f.rmeta: crates/math/tests/properties.rs Cargo.toml
+
+crates/math/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f8b7286502933430.d: crates/graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f8b7286502933430.rmeta: crates/graph/tests/properties.rs Cargo.toml
+
+crates/graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fa0ca58c160e6d4d.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fa0ca58c160e6d4d: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2d0ef60de87b94d6.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2d0ef60de87b94d6.so: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

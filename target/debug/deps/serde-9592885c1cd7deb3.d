@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9592885c1cd7deb3.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-9592885c1cd7deb3: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-cc3fd4ff0f4e5924.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-cc3fd4ff0f4e5924.so: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/svg_semantics-2ee1d038fdd0717e.d: crates/core/../../tests/svg_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvg_semantics-2ee1d038fdd0717e.rmeta: crates/core/../../tests/svg_semantics.rs Cargo.toml
+
+crates/core/../../tests/svg_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

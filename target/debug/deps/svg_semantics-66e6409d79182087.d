@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/svg_semantics-66e6409d79182087.d: crates/core/../../tests/svg_semantics.rs
+
+/root/repo/target/debug/deps/svg_semantics-66e6409d79182087: crates/core/../../tests/svg_semantics.rs
+
+crates/core/../../tests/svg_semantics.rs:

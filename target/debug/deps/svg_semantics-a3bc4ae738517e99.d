@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/svg_semantics-a3bc4ae738517e99.d: crates/core/../../tests/svg_semantics.rs
+
+/root/repo/target/debug/deps/svg_semantics-a3bc4ae738517e99: crates/core/../../tests/svg_semantics.rs
+
+crates/core/../../tests/svg_semantics.rs:

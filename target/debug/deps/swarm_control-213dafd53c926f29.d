@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swarm_control-213dafd53c926f29.d: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+/root/repo/target/debug/deps/libswarm_control-213dafd53c926f29.rlib: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+/root/repo/target/debug/deps/libswarm_control-213dafd53c926f29.rmeta: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+crates/control/src/lib.rs:
+crates/control/src/braking.rs:
+crates/control/src/olfati_saber.rs:
+crates/control/src/presets.rs:
+crates/control/src/reynolds.rs:
+crates/control/src/vasarhelyi.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swarm_control-689e18443f8dbf1c.d: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarm_control-689e18443f8dbf1c.rmeta: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs Cargo.toml
+
+crates/control/src/lib.rs:
+crates/control/src/braking.rs:
+crates/control/src/olfati_saber.rs:
+crates/control/src/presets.rs:
+crates/control/src/reynolds.rs:
+crates/control/src/vasarhelyi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swarm_control-e16a656e5a57cc07.d: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+/root/repo/target/debug/deps/swarm_control-e16a656e5a57cc07: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+crates/control/src/lib.rs:
+crates/control/src/braking.rs:
+crates/control/src/olfati_saber.rs:
+crates/control/src/presets.rs:
+crates/control/src/reynolds.rs:
+crates/control/src/vasarhelyi.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swarm_graph-10acd67a469d104d.d: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libswarm_graph-10acd67a469d104d.rlib: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libswarm_graph-10acd67a469d104d.rmeta: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/centrality.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/paths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swarm_graph-128f58c32085bd58.d: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/swarm_graph-128f58c32085bd58: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/centrality.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/paths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swarm_graph-388ac7e9022466fa.d: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/swarm_graph-388ac7e9022466fa: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/centrality.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/paths.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/swarm_graph-a1950bd93c638ed4.d: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarm_graph-a1950bd93c638ed4.rmeta: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/centrality.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

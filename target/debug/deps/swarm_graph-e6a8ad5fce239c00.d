@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/swarm_graph-e6a8ad5fce239c00.d: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libswarm_graph-e6a8ad5fce239c00.rlib: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/debug/deps/libswarm_graph-e6a8ad5fce239c00.rmeta: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/centrality.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/paths.rs:

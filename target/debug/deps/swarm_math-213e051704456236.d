@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/swarm_math-213e051704456236.d: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarm_math-213e051704456236.rmeta: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs Cargo.toml
+
+crates/math/src/lib.rs:
+crates/math/src/integrate.rs:
+crates/math/src/rng.rs:
+crates/math/src/stats.rs:
+crates/math/src/vec2.rs:
+crates/math/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

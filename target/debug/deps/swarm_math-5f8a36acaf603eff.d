@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swarm_math-5f8a36acaf603eff.d: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/swarm_math-5f8a36acaf603eff: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+crates/math/src/lib.rs:
+crates/math/src/integrate.rs:
+crates/math/src/rng.rs:
+crates/math/src/stats.rs:
+crates/math/src/vec2.rs:
+crates/math/src/vec3.rs:

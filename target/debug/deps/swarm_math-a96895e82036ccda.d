@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swarm_math-a96895e82036ccda.d: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/libswarm_math-a96895e82036ccda.rlib: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/libswarm_math-a96895e82036ccda.rmeta: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+crates/math/src/lib.rs:
+crates/math/src/integrate.rs:
+crates/math/src/rng.rs:
+crates/math/src/stats.rs:
+crates/math/src/vec2.rs:
+crates/math/src/vec3.rs:

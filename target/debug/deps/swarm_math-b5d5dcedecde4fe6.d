@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/swarm_math-b5d5dcedecde4fe6.d: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/libswarm_math-b5d5dcedecde4fe6.rlib: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/debug/deps/libswarm_math-b5d5dcedecde4fe6.rmeta: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+crates/math/src/lib.rs:
+crates/math/src/integrate.rs:
+crates/math/src/rng.rs:
+crates/math/src/stats.rs:
+crates/math/src/vec2.rs:
+crates/math/src/vec3.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/swarm_sim-29fce6b96be7a354.d: crates/sim/src/lib.rs crates/sim/src/comms.rs crates/sim/src/dynamics.rs crates/sim/src/error.rs crates/sim/src/estimator.rs crates/sim/src/metrics.rs crates/sim/src/mission.rs crates/sim/src/pid.rs crates/sim/src/recorder.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/sensors.rs crates/sim/src/spatial.rs crates/sim/src/spoof.rs crates/sim/src/wind.rs crates/sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarm_sim-29fce6b96be7a354.rmeta: crates/sim/src/lib.rs crates/sim/src/comms.rs crates/sim/src/dynamics.rs crates/sim/src/error.rs crates/sim/src/estimator.rs crates/sim/src/metrics.rs crates/sim/src/mission.rs crates/sim/src/pid.rs crates/sim/src/recorder.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/sensors.rs crates/sim/src/spatial.rs crates/sim/src/spoof.rs crates/sim/src/wind.rs crates/sim/src/world.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/comms.rs:
+crates/sim/src/dynamics.rs:
+crates/sim/src/error.rs:
+crates/sim/src/estimator.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/mission.rs:
+crates/sim/src/pid.rs:
+crates/sim/src/recorder.rs:
+crates/sim/src/render.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sensors.rs:
+crates/sim/src/spatial.rs:
+crates/sim/src/spoof.rs:
+crates/sim/src/wind.rs:
+crates/sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/swarmfuzz-73d95b1a5382aaf6.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/defense.rs crates/core/src/error.rs crates/core/src/exhaustive.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/objective.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/search.rs crates/core/src/seed.rs crates/core/src/svg.rs crates/core/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarmfuzz-73d95b1a5382aaf6.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/defense.rs crates/core/src/error.rs crates/core/src/exhaustive.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/objective.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/search.rs crates/core/src/seed.rs crates/core/src/svg.rs crates/core/src/telemetry.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/defense.rs:
+crates/core/src/error.rs:
+crates/core/src/exhaustive.rs:
+crates/core/src/fuzzer.rs:
+crates/core/src/minimize.rs:
+crates/core/src/objective.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:
+crates/core/src/search.rs:
+crates/core/src/seed.rs:
+crates/core/src/svg.rs:
+crates/core/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

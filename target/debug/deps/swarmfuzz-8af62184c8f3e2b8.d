@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/swarmfuzz-8af62184c8f3e2b8.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/swarmfuzz-8af62184c8f3e2b8: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swarmfuzz-8b2e68c8bc96c90d.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarmfuzz-8b2e68c8bc96c90d.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/swarmfuzz-99ac113efcfb9491.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/swarmfuzz-99ac113efcfb9491: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/swarmfuzz-e7a60334e6214dfe.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/swarmfuzz-e7a60334e6214dfe: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/swarmfuzz-ff74349680c4712f.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarmfuzz-ff74349680c4712f.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

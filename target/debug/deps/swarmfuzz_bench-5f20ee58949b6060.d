@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swarmfuzz_bench-5f20ee58949b6060.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/swarmfuzz_bench-5f20ee58949b6060: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swarmfuzz_bench-8ba75cef77a5abc0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswarmfuzz_bench-8ba75cef77a5abc0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswarmfuzz_bench-8ba75cef77a5abc0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

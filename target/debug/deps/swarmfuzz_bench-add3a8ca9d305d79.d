@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/swarmfuzz_bench-add3a8ca9d305d79.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/swarmfuzz_bench-add3a8ca9d305d79: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swarmfuzz_bench-d556bdaebdd32b0d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswarmfuzz_bench-d556bdaebdd32b0d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libswarmfuzz_bench-d556bdaebdd32b0d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

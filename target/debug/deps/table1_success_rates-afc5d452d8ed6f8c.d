@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_success_rates-afc5d452d8ed6f8c.d: crates/bench/benches/table1_success_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_success_rates-afc5d452d8ed6f8c.rmeta: crates/bench/benches/table1_success_rates.rs Cargo.toml
+
+crates/bench/benches/table1_success_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_success_rates-d75667c21e7e556d.d: crates/bench/benches/table1_success_rates.rs
+
+/root/repo/target/debug/deps/table1_success_rates-d75667c21e7e556d: crates/bench/benches/table1_success_rates.rs
+
+crates/bench/benches/table1_success_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_iterations-62f7bf19c927f89f.d: crates/bench/benches/table2_iterations.rs
+
+/root/repo/target/debug/deps/table2_iterations-62f7bf19c927f89f: crates/bench/benches/table2_iterations.rs
+
+crates/bench/benches/table2_iterations.rs:

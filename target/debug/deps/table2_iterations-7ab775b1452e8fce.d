@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_iterations-7ab775b1452e8fce.d: crates/bench/benches/table2_iterations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_iterations-7ab775b1452e8fce.rmeta: crates/bench/benches/table2_iterations.rs Cargo.toml
+
+crates/bench/benches/table2_iterations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_ablation-2cc519e2c584ed6d.d: crates/bench/benches/table3_ablation.rs
+
+/root/repo/target/debug/deps/table3_ablation-2cc519e2c584ed6d: crates/bench/benches/table3_ablation.rs
+
+crates/bench/benches/table3_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_ablation-5abe10da40993e55.d: crates/bench/benches/table3_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_ablation-5abe10da40993e55.rmeta: crates/bench/benches/table3_ablation.rs Cargo.toml
+
+crates/bench/benches/table3_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

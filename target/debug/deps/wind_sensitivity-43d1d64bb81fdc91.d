@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wind_sensitivity-43d1d64bb81fdc91.d: crates/bench/benches/wind_sensitivity.rs
+
+/root/repo/target/debug/deps/wind_sensitivity-43d1d64bb81fdc91: crates/bench/benches/wind_sensitivity.rs
+
+crates/bench/benches/wind_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wind_sensitivity-efd545fe5c46c3b2.d: crates/bench/benches/wind_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwind_sensitivity-efd545fe5c46c3b2.rmeta: crates/bench/benches/wind_sensitivity.rs Cargo.toml
+
+crates/bench/benches/wind_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

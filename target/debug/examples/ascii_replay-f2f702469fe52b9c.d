@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ascii_replay-f2f702469fe52b9c.d: crates/core/../../examples/ascii_replay.rs
+
+/root/repo/target/debug/examples/ascii_replay-f2f702469fe52b9c: crates/core/../../examples/ascii_replay.rs
+
+crates/core/../../examples/ascii_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ascii_replay-f5284d532162dd1e.d: crates/core/../../examples/ascii_replay.rs
+
+/root/repo/target/debug/examples/ascii_replay-f5284d532162dd1e: crates/core/../../examples/ascii_replay.rs
+
+crates/core/../../examples/ascii_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ascii_replay-f6a51991b53cbc53.d: crates/core/../../examples/ascii_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libascii_replay-f6a51991b53cbc53.rmeta: crates/core/../../examples/ascii_replay.rs Cargo.toml
+
+crates/core/../../examples/ascii_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delivery_resilience_audit-1efe99c9c6a98466.d: crates/core/../../examples/delivery_resilience_audit.rs
+
+/root/repo/target/debug/examples/delivery_resilience_audit-1efe99c9c6a98466: crates/core/../../examples/delivery_resilience_audit.rs
+
+crates/core/../../examples/delivery_resilience_audit.rs:

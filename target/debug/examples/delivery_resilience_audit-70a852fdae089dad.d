@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/delivery_resilience_audit-70a852fdae089dad.d: crates/core/../../examples/delivery_resilience_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdelivery_resilience_audit-70a852fdae089dad.rmeta: crates/core/../../examples/delivery_resilience_audit.rs Cargo.toml
+
+crates/core/../../examples/delivery_resilience_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

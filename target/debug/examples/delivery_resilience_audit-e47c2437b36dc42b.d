@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delivery_resilience_audit-e47c2437b36dc42b.d: crates/core/../../examples/delivery_resilience_audit.rs
+
+/root/repo/target/debug/examples/delivery_resilience_audit-e47c2437b36dc42b: crates/core/../../examples/delivery_resilience_audit.rs
+
+crates/core/../../examples/delivery_resilience_audit.rs:

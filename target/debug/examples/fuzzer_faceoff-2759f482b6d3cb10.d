@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fuzzer_faceoff-2759f482b6d3cb10.d: crates/core/../../examples/fuzzer_faceoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfuzzer_faceoff-2759f482b6d3cb10.rmeta: crates/core/../../examples/fuzzer_faceoff.rs Cargo.toml
+
+crates/core/../../examples/fuzzer_faceoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fuzzer_faceoff-7ec4ee1ab53ba9d9.d: crates/core/../../examples/fuzzer_faceoff.rs
+
+/root/repo/target/debug/examples/fuzzer_faceoff-7ec4ee1ab53ba9d9: crates/core/../../examples/fuzzer_faceoff.rs
+
+crates/core/../../examples/fuzzer_faceoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fuzzer_faceoff-9b440d3807dce471.d: crates/core/../../examples/fuzzer_faceoff.rs
+
+/root/repo/target/debug/examples/fuzzer_faceoff-9b440d3807dce471: crates/core/../../examples/fuzzer_faceoff.rs
+
+crates/core/../../examples/fuzzer_faceoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivating_example-55d5947b229f494a.d: crates/core/../../examples/motivating_example.rs
+
+/root/repo/target/debug/examples/motivating_example-55d5947b229f494a: crates/core/../../examples/motivating_example.rs
+
+crates/core/../../examples/motivating_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motivating_example-e2f108fe50f7b1d9.d: crates/core/../../examples/motivating_example.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotivating_example-e2f108fe50f7b1d9.rmeta: crates/core/../../examples/motivating_example.rs Cargo.toml
+
+crates/core/../../examples/motivating_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

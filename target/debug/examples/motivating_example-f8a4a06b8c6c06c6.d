@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motivating_example-f8a4a06b8c6c06c6.d: crates/core/../../examples/motivating_example.rs
+
+/root/repo/target/debug/examples/motivating_example-f8a4a06b8c6c06c6: crates/core/../../examples/motivating_example.rs
+
+crates/core/../../examples/motivating_example.rs:

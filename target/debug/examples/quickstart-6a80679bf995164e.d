@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a80679bf995164e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a80679bf995164e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-952cdc8ed23c1b2a.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-952cdc8ed23c1b2a: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

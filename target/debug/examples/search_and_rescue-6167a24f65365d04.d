@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/search_and_rescue-6167a24f65365d04.d: crates/core/../../examples/search_and_rescue.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsearch_and_rescue-6167a24f65365d04.rmeta: crates/core/../../examples/search_and_rescue.rs Cargo.toml
+
+crates/core/../../examples/search_and_rescue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/search_and_rescue-769cabd7e45df765.d: crates/core/../../examples/search_and_rescue.rs
+
+/root/repo/target/debug/examples/search_and_rescue-769cabd7e45df765: crates/core/../../examples/search_and_rescue.rs
+
+crates/core/../../examples/search_and_rescue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/search_and_rescue-a243d909456b4969.d: crates/core/../../examples/search_and_rescue.rs
+
+/root/repo/target/debug/examples/search_and_rescue-a243d909456b4969: crates/core/../../examples/search_and_rescue.rs
+
+crates/core/../../examples/search_and_rescue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_smoke-49546f7eb31f5fbf.d: crates/bench/src/bin/ablation_smoke.rs
+
+/root/repo/target/release/deps/ablation_smoke-49546f7eb31f5fbf: crates/bench/src/bin/ablation_smoke.rs
+
+crates/bench/src/bin/ablation_smoke.rs:

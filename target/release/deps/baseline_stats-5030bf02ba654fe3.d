@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_stats-5030bf02ba654fe3.d: crates/bench/src/bin/baseline_stats.rs
+
+/root/repo/target/release/deps/baseline_stats-5030bf02ba654fe3: crates/bench/src/bin/baseline_stats.rs
+
+crates/bench/src/bin/baseline_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_smoke-6e8cd75d59b12809.d: crates/bench/src/bin/campaign_smoke.rs
+
+/root/repo/target/release/deps/campaign_smoke-6e8cd75d59b12809: crates/bench/src/bin/campaign_smoke.rs
+
+crates/bench/src/bin/campaign_smoke.rs:

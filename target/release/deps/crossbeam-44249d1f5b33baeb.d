@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-44249d1f5b33baeb.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-44249d1f5b33baeb.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-44249d1f5b33baeb.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

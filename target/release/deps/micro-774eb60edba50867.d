@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-774eb60edba50867.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-774eb60edba50867: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-db7e2574f32ba6db.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-db7e2574f32ba6db.so: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-e8dfe7e2215cc872.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e8dfe7e2215cc872.so: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swarm_control-a274c2cacfebefa7.d: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+/root/repo/target/release/deps/libswarm_control-a274c2cacfebefa7.rlib: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+/root/repo/target/release/deps/libswarm_control-a274c2cacfebefa7.rmeta: crates/control/src/lib.rs crates/control/src/braking.rs crates/control/src/olfati_saber.rs crates/control/src/presets.rs crates/control/src/reynolds.rs crates/control/src/vasarhelyi.rs
+
+crates/control/src/lib.rs:
+crates/control/src/braking.rs:
+crates/control/src/olfati_saber.rs:
+crates/control/src/presets.rs:
+crates/control/src/reynolds.rs:
+crates/control/src/vasarhelyi.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/swarm_graph-ba6e5c8f55d8ef82.d: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/release/deps/libswarm_graph-ba6e5c8f55d8ef82.rlib: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+/root/repo/target/release/deps/libswarm_graph-ba6e5c8f55d8ef82.rmeta: crates/graph/src/lib.rs crates/graph/src/centrality.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/paths.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/centrality.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/paths.rs:

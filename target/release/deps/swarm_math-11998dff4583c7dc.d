@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/swarm_math-11998dff4583c7dc.d: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/release/deps/libswarm_math-11998dff4583c7dc.rlib: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+/root/repo/target/release/deps/libswarm_math-11998dff4583c7dc.rmeta: crates/math/src/lib.rs crates/math/src/integrate.rs crates/math/src/rng.rs crates/math/src/stats.rs crates/math/src/vec2.rs crates/math/src/vec3.rs
+
+crates/math/src/lib.rs:
+crates/math/src/integrate.rs:
+crates/math/src/rng.rs:
+crates/math/src/stats.rs:
+crates/math/src/vec2.rs:
+crates/math/src/vec3.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/swarm_sim-505779fd81feaa52.d: crates/sim/src/lib.rs crates/sim/src/comms.rs crates/sim/src/dynamics.rs crates/sim/src/error.rs crates/sim/src/estimator.rs crates/sim/src/metrics.rs crates/sim/src/mission.rs crates/sim/src/pid.rs crates/sim/src/recorder.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/sensors.rs crates/sim/src/spatial.rs crates/sim/src/spoof.rs crates/sim/src/wind.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libswarm_sim-505779fd81feaa52.rlib: crates/sim/src/lib.rs crates/sim/src/comms.rs crates/sim/src/dynamics.rs crates/sim/src/error.rs crates/sim/src/estimator.rs crates/sim/src/metrics.rs crates/sim/src/mission.rs crates/sim/src/pid.rs crates/sim/src/recorder.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/sensors.rs crates/sim/src/spatial.rs crates/sim/src/spoof.rs crates/sim/src/wind.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libswarm_sim-505779fd81feaa52.rmeta: crates/sim/src/lib.rs crates/sim/src/comms.rs crates/sim/src/dynamics.rs crates/sim/src/error.rs crates/sim/src/estimator.rs crates/sim/src/metrics.rs crates/sim/src/mission.rs crates/sim/src/pid.rs crates/sim/src/recorder.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/sensors.rs crates/sim/src/spatial.rs crates/sim/src/spoof.rs crates/sim/src/wind.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/comms.rs:
+crates/sim/src/dynamics.rs:
+crates/sim/src/error.rs:
+crates/sim/src/estimator.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/mission.rs:
+crates/sim/src/pid.rs:
+crates/sim/src/recorder.rs:
+crates/sim/src/render.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sensors.rs:
+crates/sim/src/spatial.rs:
+crates/sim/src/spoof.rs:
+crates/sim/src/wind.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/swarmfuzz-812ee7527d952109.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/swarmfuzz-812ee7527d952109: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/swarmfuzz-cf36decc8fb74dea.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/defense.rs crates/core/src/error.rs crates/core/src/exhaustive.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/objective.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/search.rs crates/core/src/seed.rs crates/core/src/svg.rs crates/core/src/telemetry.rs
+
+/root/repo/target/release/deps/libswarmfuzz-cf36decc8fb74dea.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/defense.rs crates/core/src/error.rs crates/core/src/exhaustive.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/objective.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/search.rs crates/core/src/seed.rs crates/core/src/svg.rs crates/core/src/telemetry.rs
+
+/root/repo/target/release/deps/libswarmfuzz-cf36decc8fb74dea.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/defense.rs crates/core/src/error.rs crates/core/src/exhaustive.rs crates/core/src/fuzzer.rs crates/core/src/minimize.rs crates/core/src/objective.rs crates/core/src/report.rs crates/core/src/schedule.rs crates/core/src/search.rs crates/core/src/seed.rs crates/core/src/svg.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/defense.rs:
+crates/core/src/error.rs:
+crates/core/src/exhaustive.rs:
+crates/core/src/fuzzer.rs:
+crates/core/src/minimize.rs:
+crates/core/src/objective.rs:
+crates/core/src/report.rs:
+crates/core/src/schedule.rs:
+crates/core/src/search.rs:
+crates/core/src/seed.rs:
+crates/core/src/svg.rs:
+crates/core/src/telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/swarmfuzz_bench-808bebe8daec9a33.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libswarmfuzz_bench-808bebe8daec9a33.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libswarmfuzz_bench-808bebe8daec9a33.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.so: /root/repo/shims/serde/src/lib.rs

@@ -35,8 +35,7 @@ fn max_divergence(
 fn spoofing_physically_deviates_the_target() {
     let sim = Simulation::new(spec(5, 17, 60.0), controller()).unwrap();
     let clean = sim.run(None).unwrap();
-    let attack =
-        SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 15.0, 10.0).unwrap();
+    let attack = SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 15.0, 10.0).unwrap();
     let attacked = sim.run(Some(&attack)).unwrap();
     let dev = max_divergence(&clean.record, &attacked.record, DroneId(2));
     assert!(dev > 1.0, "target must physically deviate, got {dev:.2} m");
@@ -51,8 +50,7 @@ fn spoofing_one_drone_perturbs_other_swarm_members() {
     // target's falsified broadcast state.
     let sim = Simulation::new(spec(5, 17, 60.0), controller()).unwrap();
     let clean = sim.run(None).unwrap();
-    let attack =
-        SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 15.0, 10.0).unwrap();
+    let attack = SpoofingAttack::new(DroneId(2), SpoofDirection::Right, 10.0, 15.0, 10.0).unwrap();
     let attacked = sim.run(Some(&attack)).unwrap();
     let max_other = (0..5)
         .filter(|&d| d != 2)
@@ -69,12 +67,9 @@ fn larger_deviation_perturbs_more() {
     let sim = Simulation::new(spec(5, 23, 60.0), controller()).unwrap();
     let clean = sim.run(None).unwrap();
     let perturbation = |d: f64| {
-        let attack =
-            SpoofingAttack::new(DroneId(1), SpoofDirection::Left, 10.0, 15.0, d).unwrap();
+        let attack = SpoofingAttack::new(DroneId(1), SpoofDirection::Left, 10.0, 15.0, d).unwrap();
         let attacked = sim.run(Some(&attack)).unwrap();
-        (0..5)
-            .map(|i| max_divergence(&clean.record, &attacked.record, DroneId(i)))
-            .sum::<f64>()
+        (0..5).map(|i| max_divergence(&clean.record, &attacked.record, DroneId(i))).sum::<f64>()
     };
     let small = perturbation(2.0);
     let large = perturbation(10.0);
@@ -119,8 +114,7 @@ fn attack_before_mission_start_equals_attack_at_zero() {
 fn spoofed_gps_does_not_break_altitude_hold() {
     // Horizontal spoofing must not leak into the vertical channel.
     let sim = Simulation::new(spec(3, 37, 40.0), controller()).unwrap();
-    let attack =
-        SpoofingAttack::new(DroneId(1), SpoofDirection::Right, 5.0, 20.0, 10.0).unwrap();
+    let attack = SpoofingAttack::new(DroneId(1), SpoofDirection::Right, 5.0, 20.0, 10.0).unwrap();
     let out = sim.run(Some(&attack)).unwrap();
     for t in 0..out.record.len() {
         for p in out.record.positions_at(t) {

@@ -1,0 +1,99 @@
+//! Campaign-level determinism and telemetry neutrality: the same campaign
+//! must produce identical [`CampaignReport`]s across worker counts, and
+//! attaching telemetry must not change a single byte of the report — only
+//! observe it.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarmfuzz::campaign::{
+    run_campaign, run_campaign_with_telemetry, CampaignConfig, CampaignReport, SwarmConfig,
+};
+use swarmfuzz::telemetry::Counter;
+use swarmfuzz::{Fuzzer, FuzzerConfig, Telemetry};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+/// A deliberately tiny campaign (2 configs x 2 missions, tight evaluation
+/// budget) so the 4-way comparison stays fast in debug builds.
+fn tiny_campaign(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        configs: vec![
+            SwarmConfig { swarm_size: 3, deviation: 5.0 },
+            SwarmConfig { swarm_size: 4, deviation: 10.0 },
+        ],
+        missions_per_config: 2,
+        base_seed: 7,
+        workers,
+    }
+}
+
+fn fuzzer(deviation: f64) -> Fuzzer<VasarhelyiController> {
+    let config = FuzzerConfig { eval_budget: 2, ..FuzzerConfig::swarmfuzz(deviation) };
+    Fuzzer::new(controller(), config)
+}
+
+fn run(workers: usize, telemetry: &Telemetry) -> CampaignReport {
+    run_campaign_with_telemetry(&tiny_campaign(workers), fuzzer, telemetry)
+        .expect("campaign must run")
+}
+
+#[test]
+fn campaign_identical_across_workers_and_telemetry() {
+    let baseline = run_campaign(&tiny_campaign(1), fuzzer).expect("campaign must run");
+    assert_eq!(baseline.missions.len(), 4);
+
+    // Workers 1 and 4, each with telemetry off and on: all four reports must
+    // be identical to the plain single-worker run.
+    for workers in [1usize, 4] {
+        let off = run(workers, &Telemetry::off());
+        assert_eq!(baseline, off, "workers={workers}, telemetry off");
+
+        let telemetry = Telemetry::enabled(workers);
+        let on = run(workers, &telemetry);
+        assert_eq!(baseline, on, "workers={workers}, telemetry on");
+    }
+}
+
+#[test]
+fn telemetry_counters_match_the_report() {
+    let telemetry = Telemetry::enabled(2);
+    let report = run(2, &telemetry);
+
+    assert_eq!(telemetry.counter(Counter::MissionsRun), report.missions.len() as u64);
+    assert_eq!(
+        telemetry.counter(Counter::Evaluations),
+        report.missions.iter().map(|m| m.evaluations as u64).sum::<u64>()
+    );
+    assert_eq!(
+        telemetry.counter(Counter::SpvFound),
+        report.missions.iter().filter(|m| m.success).count() as u64
+    );
+    assert_eq!(
+        telemetry.counter(Counter::SeedsTried),
+        report.missions.iter().map(|m| m.seeds_tried as u64).sum::<u64>()
+    );
+    // Every mission ran at least the baseline simulation; steps must have
+    // been batched in.
+    assert!(telemetry.counter(Counter::SimPhysicsSteps) > 0);
+    assert!(telemetry.counter(Counter::SimControlTicks) > 0);
+
+    let snapshot = telemetry.snapshot().expect("telemetry enabled");
+    // One baseline span per fuzzed mission (baseline skips would add more;
+    // none expected for these seeds — then counters still reconcile via
+    // BaselineSkips).
+    let baseline_spans = snapshot.phase("baseline").unwrap().count;
+    let skips = telemetry.counter(Counter::BaselineSkips);
+    assert_eq!(baseline_spans, report.missions.len() as u64 + skips);
+    // The paper pipeline: one seed-schedule span per mission, gradient
+    // search only (SwarmFuzz variant), one mission-sim span per evaluation.
+    assert_eq!(snapshot.phase("seed_schedule").unwrap().count, report.missions.len() as u64);
+    assert_eq!(snapshot.phase("random_search").unwrap().count, 0);
+    assert_eq!(
+        snapshot.phase("mission_sim").unwrap().count,
+        telemetry.counter(Counter::Evaluations)
+    );
+    // Worker progress sums to the campaign totals.
+    let worker_missions: u64 = snapshot.workers.iter().map(|w| w.missions).sum();
+    assert_eq!(worker_missions, report.missions.len() as u64);
+}

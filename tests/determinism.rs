@@ -69,8 +69,7 @@ fn attack_window_outside_mission_is_noop() {
     // the trajectories at all.
     let sim = Simulation::new(short_spec(4, 3), controller()).unwrap();
     let clean = sim.run(None).unwrap();
-    let late =
-        SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 1000.0, 10.0, 10.0).unwrap();
+    let late = SpoofingAttack::new(DroneId(0), SpoofDirection::Right, 1000.0, 10.0, 10.0).unwrap();
     let attacked = sim.run(Some(&late)).unwrap();
     assert_eq!(clean.record, attacked.record);
 }

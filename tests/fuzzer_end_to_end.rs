@@ -95,9 +95,8 @@ fn successful_finding_is_replayable() {
             .unwrap();
             let sim = Simulation::new(spec, controller()).unwrap();
             let out = sim.run(Some(&attack)).unwrap();
-            let (victim, time) = out
-                .spv_collision(f.seed.target)
-                .expect("reported SPV must reproduce on replay");
+            let (victim, time) =
+                out.spv_collision(f.seed.target).expect("reported SPV must reproduce on replay");
             assert_eq!(victim, f.actual_victim);
             assert!((time - f.collision_time).abs() < 1e-9);
             return;
@@ -116,15 +115,13 @@ fn campaign_runs_small_grid_and_aggregates() {
         workers: 2,
     };
     let report =
-        run_campaign(&campaign, |d| Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(d)))
-            .unwrap();
+        run_campaign(&campaign, |d| Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(d))).unwrap();
     assert_eq!(report.missions.len(), 3);
     let cfg = campaign.configs[0];
     assert!(report.success_rate(cfg).is_some());
     assert!(report.mean_iterations(cfg).unwrap() <= 20.0);
     // Campaign results are reproducible.
     let report2 =
-        run_campaign(&campaign, |d| Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(d)))
-            .unwrap();
+        run_campaign(&campaign, |d| Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(d))).unwrap();
     assert_eq!(report, report2);
 }

@@ -10,8 +10,7 @@ use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig};
 /// Fuzzes `missions` clean-baseline missions, returning
 /// (successes, audited).
 fn audit(params: swarm_control::VasarhelyiParams, missions: usize) -> (usize, usize) {
-    let fuzzer =
-        Fuzzer::new(VasarhelyiController::new(params), FuzzerConfig::swarmfuzz(10.0));
+    let fuzzer = Fuzzer::new(VasarhelyiController::new(params), FuzzerConfig::swarmfuzz(10.0));
     let mut successes = 0;
     let mut audited = 0;
     let mut seed = 0u64;
@@ -39,10 +38,7 @@ fn hardened_preset_reduces_attack_success() {
     let (hard_hits, hard_audited) = audit(presets::hardened(), missions);
     assert_eq!(paper_audited, missions);
     assert_eq!(hard_audited, missions);
-    assert!(
-        paper_hits > 0,
-        "the paper preset must be exploitable for this test to mean anything"
-    );
+    assert!(paper_hits > 0, "the paper preset must be exploitable for this test to mean anything");
     assert!(
         hard_hits < paper_hits,
         "hardening must shrink the attack surface: paper {paper_hits}/{missions}, \

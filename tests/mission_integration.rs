@@ -86,8 +86,7 @@ fn baseline_vdo_decreases_with_swarm_size_in_aggregate() {
         let mut seed = start;
         while vdos.len() < 5 {
             seed = clean_seed(n, seed);
-            let sim =
-                Simulation::new(MissionSpec::paper_delivery(n, seed), controller()).unwrap();
+            let sim = Simulation::new(MissionSpec::paper_delivery(n, seed), controller()).unwrap();
             let out = sim.run(None).unwrap();
             vdos.push(out.record.mission_vdo().unwrap().1);
             seed += 1;
@@ -96,10 +95,7 @@ fn baseline_vdo_decreases_with_swarm_size_in_aggregate() {
     };
     let v5 = mean_vdo(5, 1000);
     let v15 = mean_vdo(15, 2000);
-    assert!(
-        v15 < v5,
-        "15-drone swarms must pass closer to the obstacle: v5={v5:.2} v15={v15:.2}"
-    );
+    assert!(v15 < v5, "15-drone swarms must pass closer to the obstacle: v5={v5:.2} v15={v15:.2}");
 }
 
 #[test]

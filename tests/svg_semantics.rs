@@ -48,9 +48,8 @@ fn svg_is_built_at_closest_approach() {
     let spec = fig4_spec();
     // Drone 0 above the obstacle line, drone 1 below.
     let record = record_from(vec![Vec3::new(0.0, 7.0, 10.0), Vec3::new(0.0, -7.0, 10.0)]);
-    let svg = SvgBuilder::new(&controller(), &spec, &record, 10.0)
-        .build(SpoofDirection::Right)
-        .unwrap();
+    let svg =
+        SvgBuilder::new(&controller(), &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
     assert!((svg.t_clo - 0.1).abs() < 1e-9);
 }
 
@@ -91,9 +90,8 @@ fn spoofed_neighbor_displacement_toward_victim_creates_repulsion_edge() {
     // toward the obstacle -> edge e_{1,0}.
     let spec = fig4_spec();
     let record = record_from(vec![Vec3::new(25.0, 17.0, 10.0), Vec3::new(25.0, 6.0, 10.0)]);
-    let svg = SvgBuilder::new(&controller(), &spec, &record, 10.0)
-        .build(SpoofDirection::Right)
-        .unwrap();
+    let svg =
+        SvgBuilder::new(&controller(), &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
     assert!(
         svg.graph.has_edge(1, 0),
         "drone 0's rightward spoof must maliciously influence drone 1: {:?}",
@@ -105,9 +103,8 @@ fn spoofed_neighbor_displacement_toward_victim_creates_repulsion_edge() {
 fn influence_scores_rank_the_displacing_drone_as_target() {
     let spec = fig4_spec();
     let record = record_from(vec![Vec3::new(25.0, 17.0, 10.0), Vec3::new(25.0, 6.0, 10.0)]);
-    let svg = SvgBuilder::new(&controller(), &spec, &record, 10.0)
-        .build(SpoofDirection::Right)
-        .unwrap();
+    let svg =
+        SvgBuilder::new(&controller(), &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
     if svg.graph.has_edge(1, 0) && !svg.graph.has_edge(0, 1) {
         assert!(
             svg.target_scores[0] > svg.target_scores[1],
