@@ -38,6 +38,9 @@ COMMANDS:
     replay    replay a specific spoofing attack and report the outcome
                 --drones N (10)  --seed S (0)  --target T  --direction left|right
                 --start TS  --duration DT  --deviation M (10)  --minimize yes|no (no)
+    stress    fly the large-swarm stress scenario and report throughput
+                --drones N (100)  --seed S (0)  --duration T (20)
+                --grid auto|on|off (auto)  --telemetry off|summary|json (off)
     help      print this message
 ";
 
@@ -104,6 +107,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&args),
         "baseline" => cmd_baseline(&args),
         "replay" => cmd_replay(&args),
+        "stress" => cmd_stress(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -276,6 +280,72 @@ fn cmd_baseline(args: &Args) -> Result<(), CliError> {
     if let Some((_, t_clo)) = out.record.closest_approach() {
         println!("  closest approach: t = {t_clo:.1} s");
     }
+    Ok(())
+}
+
+fn cmd_stress(args: &Args) -> Result<(), CliError> {
+    use swarm_sim::{metrics, scenario, SimConfig, SpatialGrid, SpatialPolicy};
+
+    let drones: usize = args.get_or("drones", 100)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let duration: f64 = args.get_or("duration", 20.0)?;
+    let spatial = match args.raw("grid") {
+        None | Some("auto") => SpatialPolicy::Auto,
+        Some("on") => SpatialPolicy::ForceOn,
+        Some("off") => SpatialPolicy::ForceOff,
+        Some(other) => {
+            return Err(CliError::Other(format!(
+                "--grid must be 'auto', 'on' or 'off', got {other:?}"
+            )))
+        }
+    };
+    let mode = telemetry_mode(args)?;
+    let telemetry =
+        if mode == TelemetryMode::Off { Telemetry::off() } else { Telemetry::enabled(1) };
+
+    let mut spec = scenario::large_swarm(drones, seed);
+    spec.duration = duration;
+    let range = spec.comms.range.expect("large_swarm always sets a radio range");
+    let sim = Simulation::new(spec.clone(), controller())?
+        .with_config(SimConfig { spatial, ..Default::default() });
+
+    let started = std::time::Instant::now();
+    let out = sim.run_observed(None, Some(&telemetry))?;
+    let wall = started.elapsed();
+
+    let simulated = out.record.duration();
+    let physics_steps = (simulated / spec.physics_dt).round() as u64 + 1;
+    let ticks_per_sec = physics_steps as f64 / wall.as_secs_f64().max(1e-9);
+    human_line(mode, format_args!("large swarm stress: {drones} drones, seed {seed}"));
+    human_line(
+        mode,
+        format_args!(
+            "  simulated {simulated:.1} s in {:.0} ms  ({ticks_per_sec:.0} physics ticks/s, grid {})",
+            wall.as_secs_f64() * 1e3,
+            match spatial {
+                SpatialPolicy::Auto => "auto",
+                SpatialPolicy::ForceOn => "on",
+                SpatialPolicy::ForceOff => "off",
+            },
+        ),
+    );
+    human_line(mode, format_args!("  collisions      : {}", out.record.collisions().len()));
+    human_line(mode, format_args!("  all arrived     : {}", out.record.all_arrived()));
+
+    // Final-tick swarm geometry through the grid-accelerated metrics.
+    let last_tick = out.record.len() - 1;
+    let positions = out.record.positions_at(last_tick);
+    let grid = SpatialGrid::build(positions, range);
+    if let Some(min) = metrics::min_inter_distance_grid(positions, &grid) {
+        human_line(mode, format_args!("  min separation  : {min:.2} m"));
+    }
+    if let Some(mean) = metrics::mean_neighbor_distance(positions, &grid, range) {
+        human_line(mode, format_args!("  mean nbr dist   : {mean:.2} m (within {range:.0} m)"));
+    }
+    if let Some(extent) = metrics::swarm_extent_grid(positions, &grid) {
+        human_line(mode, format_args!("  swarm extent    : {extent:.2} m"));
+    }
+    emit_telemetry(mode, &telemetry);
     Ok(())
 }
 

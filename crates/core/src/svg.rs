@@ -28,7 +28,9 @@ use swarm_math::Vec3;
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::recorder::MissionRecord;
 use swarm_sim::spoof::SpoofDirection;
-use swarm_sim::{ControlContext, DroneId, NeighborState, PerceivedSelf, SwarmController};
+use swarm_sim::{
+    ControlContext, DroneId, NeighborState, PerceivedSelf, SpatialGrid, SwarmController,
+};
 
 use crate::telemetry::{Phase, Telemetry};
 use crate::FuzzError;
@@ -164,6 +166,20 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
         let velocities = self.record.velocities_at(tick);
         let offset = direction.offset_direction(self.spec.mission_axis()) * self.deviation;
 
+        // Neighbor contexts come from the same spatial index the simulator's
+        // comms path uses: when the mission defines a radio range, only
+        // in-range drones enter drone i's context (matching what the bus
+        // would have delivered at this snapshot); without a range, every
+        // other drone does. Either way the context is ordered by ascending
+        // drone id — the neighbor-table order controllers see live. The
+        // context is built once per drone i and each candidate influencer j
+        // is displaced and restored in place, instead of rebuilding the
+        // whole context for every (i, j) pair.
+        let range = self.spec.comms.range.filter(|&r| r > 0.0);
+        let grid = range.map(|r| SpatialGrid::build(positions, r));
+        let mut candidates: Vec<(DroneId, Vec3)> = Vec::new();
+        let mut neighbors: Vec<NeighborState> = Vec::with_capacity(n);
+
         let mut graph = DiGraph::new(n);
         for i in 0..n {
             // Unit vector from drone i toward the nearest obstacle surface.
@@ -175,12 +191,49 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
                 continue; // drone i sits on the obstacle surface: degenerate
             }
 
-            let baseline = self.response(i, positions, velocities, None, t_clo);
+            neighbors.clear();
+            match (&grid, range) {
+                (Some(grid), Some(r)) => {
+                    grid.within_into(positions[i], r, &mut candidates);
+                    for &(id, p) in &candidates {
+                        if id.index() != i && positions[i].distance(p) <= r {
+                            neighbors.push(NeighborState {
+                                id,
+                                position: p,
+                                velocity: velocities[id.index()],
+                                age: 0.0,
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    for j in 0..n {
+                        if j != i {
+                            neighbors.push(NeighborState {
+                                id: DroneId(j),
+                                position: positions[j],
+                                velocity: velocities[j],
+                                age: 0.0,
+                            });
+                        }
+                    }
+                }
+            }
+
+            let baseline = self.response(i, positions, velocities, &neighbors, t_clo);
             for j in 0..n {
                 if i == j {
                     continue;
                 }
-                let spoofed = self.response(i, positions, velocities, Some((j, offset)), t_clo);
+                // A drone outside i's radio range never enters i's neighbor
+                // table, so displacing its broadcast cannot influence i.
+                let Ok(slot) = neighbors.binary_search_by_key(&DroneId(j), |nb| nb.id) else {
+                    continue;
+                };
+                let saved = neighbors[slot].position;
+                neighbors[slot].position = saved + offset;
+                let spoofed = self.response(i, positions, velocities, &neighbors, t_clo);
+                neighbors[slot].position = saved;
                 let shift = (spoofed - baseline).dot(toward_obstacle);
                 if shift > INFLUENCE_EPSILON {
                     let dist = positions[i].distance(positions[j]);
@@ -201,32 +254,20 @@ impl<'a, C: SwarmController> SvgBuilder<'a, C> {
         Ok(SvgAnalysis { graph, target_scores, victim_scores, t_clo, direction })
     }
 
-    /// Replays drone `i`'s controller on the snapshot, optionally displacing
-    /// drone `j`'s broadcast position by `offset`.
+    /// Replays drone `i`'s controller on the snapshot against the prepared
+    /// neighbor context.
     fn response(
         &self,
         i: usize,
         positions: &[Vec3],
         velocities: &[Vec3],
-        displaced: Option<(usize, Vec3)>,
+        neighbors: &[NeighborState],
         time: f64,
     ) -> Vec3 {
-        let neighbors: Vec<NeighborState> = (0..positions.len())
-            .filter(|&j| j != i)
-            .map(|j| {
-                let mut position = positions[j];
-                if let Some((dj, offset)) = displaced {
-                    if j == dj {
-                        position += offset;
-                    }
-                }
-                NeighborState { id: DroneId(j), position, velocity: velocities[j], age: 0.0 }
-            })
-            .collect();
         let ctx = ControlContext {
             id: DroneId(i),
             self_state: PerceivedSelf { position: positions[i], velocity: velocities[i] },
-            neighbors: &neighbors,
+            neighbors,
             world: &self.spec.world,
             destination: self.spec.destination,
             time,
@@ -342,6 +383,25 @@ mod tests {
         let svg5 = b5.build(SpoofDirection::Right).unwrap();
         let near5 = svg5.graph.edge_weight(0, 1).unwrap();
         assert!(near > near5, "larger deviation must weigh more: {near} vs {near5}");
+    }
+
+    #[test]
+    fn radio_range_limits_influence_to_in_range_neighbors() {
+        // Drone 2 sits 40 m from drone 0: with unlimited comms it influences
+        // drone 0 (see weight_decays_with_distance...), but with a 15 m radio
+        // range its broadcast never reaches drone 0, so no edge may appear.
+        let mut spec = spec_with_obstacle(3);
+        spec.comms.range = Some(15.0);
+        let record = two_tick_record(vec![
+            Vec3::new(0.0, 0.0, 10.0),
+            Vec3::new(8.0, 0.0, 10.0),
+            Vec3::new(40.0, 0.0, 10.0),
+        ]);
+        let svg =
+            SvgBuilder::new(&Centroid, &spec, &record, 10.0).build(SpoofDirection::Right).unwrap();
+        assert!(svg.graph.has_edge(0, 1), "in-range influencer keeps its edge");
+        assert!(!svg.graph.has_edge(0, 2), "out-of-range influencer cannot have an edge");
+        assert!(!svg.graph.has_edge(2, 0), "influence is symmetric in reachability");
     }
 
     #[test]

@@ -91,11 +91,16 @@ pub enum Counter {
     SimPhysicsSteps,
     /// Control ticks across all simulated missions.
     SimControlTicks,
+    /// Spatial-grid rebuilds across all simulated missions (0 when the
+    /// brute-force neighbor path is active).
+    GridRebuilds,
+    /// Spatial-grid cells probed across all simulated missions.
+    GridCellsScanned,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 9] = [
         Counter::MissionsRun,
         Counter::Evaluations,
         Counter::SpvFound,
@@ -103,6 +108,8 @@ impl Counter {
         Counter::SeedsTried,
         Counter::SimPhysicsSteps,
         Counter::SimControlTicks,
+        Counter::GridRebuilds,
+        Counter::GridCellsScanned,
     ];
 
     /// Stable snake_case name used in reports.
@@ -115,6 +122,8 @@ impl Counter {
             Counter::SeedsTried => "seeds_tried",
             Counter::SimPhysicsSteps => "sim_physics_steps",
             Counter::SimControlTicks => "sim_control_ticks",
+            Counter::GridRebuilds => "grid_rebuilds",
+            Counter::GridCellsScanned => "grid_cells_scanned",
         }
     }
 }
@@ -325,6 +334,10 @@ impl SimObserver for Telemetry {
     fn on_run_end(&self, stats: &RunStats) {
         self.add(Counter::SimPhysicsSteps, stats.physics_steps);
         self.add(Counter::SimControlTicks, stats.control_ticks);
+        if stats.grid_rebuilds > 0 {
+            self.add(Counter::GridRebuilds, stats.grid_rebuilds);
+            self.add(Counter::GridCellsScanned, stats.grid_cells_scanned);
+        }
     }
 }
 
@@ -570,11 +583,19 @@ mod tests {
             control_ticks: 100,
             gps_rounds: 1_000,
             sim_time: 10.0,
+            ..Default::default()
         };
         SimObserver::on_run_end(&t, &stats);
         SimObserver::on_run_end(&t, &stats);
         assert_eq!(t.counter(Counter::SimPhysicsSteps), 2_000);
         assert_eq!(t.counter(Counter::SimControlTicks), 200);
+        assert_eq!(t.counter(Counter::GridRebuilds), 0);
+
+        let grid_stats =
+            RunStats { grid_rebuilds: 11, grid_cells_scanned: 250, ..Default::default() };
+        SimObserver::on_run_end(&t, &grid_stats);
+        assert_eq!(t.counter(Counter::GridRebuilds), 11);
+        assert_eq!(t.counter(Counter::GridCellsScanned), 250);
     }
 
     #[test]

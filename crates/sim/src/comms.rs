@@ -19,6 +19,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use swarm_math::Vec3;
 
+use crate::spatial::SpatialGrid;
 use crate::DroneId;
 
 /// Configuration of the communication bus.
@@ -58,8 +59,14 @@ pub struct CommsBus {
     swarm_size: usize,
     /// `in_flight[k]` holds messages due in `k` more ticks.
     in_flight: VecDeque<Vec<StateMessage>>,
-    /// `tables[receiver][sender]` = latest state heard from `sender`.
-    tables: Vec<Vec<Option<StateMessage>>>,
+    /// Per-receiver neighbor table: the latest state heard from each sender,
+    /// kept sorted by sender id. Compact rows (only senders actually heard)
+    /// keep [`CommsBus::neighbors_of`] O(heard) instead of O(n) — with a
+    /// radio range and a large swarm, rows stay short no matter how big the
+    /// swarm gets.
+    tables: Vec<Vec<StateMessage>>,
+    /// Reusable candidate buffer for the grid-backed delivery path.
+    scratch: Vec<(DroneId, Vec3)>,
 }
 
 impl CommsBus {
@@ -69,7 +76,13 @@ impl CommsBus {
         for _ in 0..=config.delay_ticks {
             in_flight.push_back(Vec::new());
         }
-        CommsBus { config, swarm_size, in_flight, tables: vec![vec![None; swarm_size]; swarm_size] }
+        CommsBus {
+            config,
+            swarm_size,
+            in_flight,
+            tables: vec![Vec::new(); swarm_size],
+            scratch: Vec::new(),
+        }
     }
 
     /// The bus configuration.
@@ -91,6 +104,33 @@ impl CommsBus {
         receiver_positions: &[Vec3],
         rng: &mut StdRng,
     ) {
+        self.step_indexed(broadcasts, receiver_positions, None, rng);
+    }
+
+    /// [`CommsBus::step`] with an optional spatial index over
+    /// `receiver_positions`. When a grid is supplied and a radio `range` is
+    /// configured, each due message is delivered by querying the grid for
+    /// in-range receivers instead of scanning all n of them.
+    ///
+    /// The grid path is bit-identical to the dense one: the grid returns a
+    /// horizontal-distance superset of the 3-D in-range receivers, sorted by
+    /// drone id (the dense iteration order), and the exact range test is
+    /// re-applied before any randomness is consumed — so the drop-RNG draws
+    /// happen for exactly the same receivers in exactly the same order.
+    ///
+    /// Returns the number of grid cells probed (0 on the dense path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `receiver_positions.len()` differs from the swarm size, or
+    /// if a grid is supplied that does not index exactly the receivers.
+    pub fn step_indexed(
+        &mut self,
+        broadcasts: Vec<StateMessage>,
+        receiver_positions: &[Vec3],
+        grid: Option<&SpatialGrid>,
+        rng: &mut StdRng,
+    ) -> u64 {
         assert_eq!(
             receiver_positions.len(),
             self.swarm_size,
@@ -104,48 +144,75 @@ impl CommsBus {
         let due = self.in_flight.pop_front().expect("in_flight never empty");
         self.in_flight.push_back(Vec::new());
 
-        for msg in due {
-            for (receiver, position) in receiver_positions.iter().enumerate() {
-                if receiver == msg.sender.index() {
-                    continue;
-                }
-                if let Some(range) = self.config.range {
-                    if position.distance(msg.position) > range {
-                        continue;
+        let mut cells_probed = 0u64;
+        match (grid, self.config.range) {
+            (Some(grid), Some(range)) => {
+                assert_eq!(grid.len(), self.swarm_size, "grid must index the whole swarm");
+                let mut scratch = std::mem::take(&mut self.scratch);
+                for msg in due {
+                    cells_probed += grid.within_into(msg.position, range, &mut scratch);
+                    for &(receiver, position) in &scratch {
+                        self.deliver(msg, receiver.index(), position, rng);
                     }
                 }
-                if self.config.drop_probability > 0.0
-                    && rng.gen::<f64>() < self.config.drop_probability
-                {
-                    continue;
-                }
-                let slot = &mut self.tables[receiver][msg.sender.index()];
-                // Keep the newest message only.
-                if slot.is_none_or(|old| old.time <= msg.time) {
-                    *slot = Some(msg);
+                self.scratch = scratch;
+            }
+            _ => {
+                for msg in due {
+                    for (receiver, &position) in receiver_positions.iter().enumerate() {
+                        self.deliver(msg, receiver, position, rng);
+                    }
                 }
             }
+        }
+        cells_probed
+    }
+
+    /// Delivery of one message to one candidate receiver: sender skip, exact
+    /// range check, drop lottery, newest-wins table update. Shared by the
+    /// dense and grid paths so their semantics cannot diverge.
+    fn deliver(&mut self, msg: StateMessage, receiver: usize, position: Vec3, rng: &mut StdRng) {
+        if receiver == msg.sender.index() {
+            return;
+        }
+        if let Some(range) = self.config.range {
+            if position.distance(msg.position) > range {
+                return;
+            }
+        }
+        if self.config.drop_probability > 0.0 && rng.gen::<f64>() < self.config.drop_probability {
+            return;
+        }
+        let row = &mut self.tables[receiver];
+        match row.binary_search_by_key(&msg.sender, |m| m.sender) {
+            // Keep the newest message only.
+            Ok(i) => {
+                if row[i].time <= msg.time {
+                    row[i] = msg;
+                }
+            }
+            Err(i) => row.insert(i, msg),
         }
     }
 
     /// The latest states `receiver` has heard from every other drone
-    /// (excluding itself), in sender order.
+    /// (excluding itself), in sender order. Borrows from the neighbor table —
+    /// no allocation per call, and cost proportional to the number of
+    /// senders actually heard, not the swarm size.
     ///
     /// # Panics
     ///
     /// Panics if `receiver` is outside the swarm.
-    pub fn neighbors_of(&self, receiver: DroneId) -> Vec<StateMessage> {
-        self.tables[receiver.index()]
-            .iter()
-            .enumerate()
-            .filter(|(sender, _)| *sender != receiver.index())
-            .filter_map(|(_, msg)| *msg)
-            .collect()
+    pub fn neighbors_of(&self, receiver: DroneId) -> impl Iterator<Item = StateMessage> + '_ {
+        // `deliver` never stores a drone's own broadcast, so the row is
+        // already self-free.
+        self.tables[receiver.index()].iter().copied()
     }
 
     /// The latest state `receiver` has heard from `sender`, if any.
     pub fn last_heard(&self, receiver: DroneId, sender: DroneId) -> Option<StateMessage> {
-        self.tables[receiver.index()][sender.index()]
+        let row = &self.tables[receiver.index()];
+        row.binary_search_by_key(&sender, |m| m.sender).ok().map(|i| row[i])
     }
 }
 
@@ -171,11 +238,10 @@ mod tests {
     fn ideal_bus_delivers_same_tick() {
         let mut bus = CommsBus::new(3, CommsConfig::default());
         bus.step(vec![msg(0, 0.0), msg(1, 0.0)], &[Vec3::ZERO; 3], &mut rng());
-        let n = bus.neighbors_of(DroneId(2));
-        assert_eq!(n.len(), 2);
+        assert_eq!(bus.neighbors_of(DroneId(2)).count(), 2);
         assert!(bus.last_heard(DroneId(2), DroneId(0)).is_some());
         // A drone never hears itself.
-        assert!(bus.neighbors_of(DroneId(0)).iter().all(|m| m.sender != DroneId(0)));
+        assert!(bus.neighbors_of(DroneId(0)).all(|m| m.sender != DroneId(0)));
     }
 
     #[test]
@@ -183,11 +249,11 @@ mod tests {
         let mut bus = CommsBus::new(2, CommsConfig { delay_ticks: 2, ..Default::default() });
         let pos = [Vec3::ZERO; 2];
         bus.step(vec![msg(0, 0.0)], &pos, &mut rng());
-        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+        assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
         bus.step(Vec::new(), &pos, &mut rng());
-        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+        assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
         bus.step(Vec::new(), &pos, &mut rng());
-        assert_eq!(bus.neighbors_of(DroneId(1)).len(), 1);
+        assert_eq!(bus.neighbors_of(DroneId(1)).count(), 1);
     }
 
     #[test]
@@ -196,7 +262,7 @@ mod tests {
         for t in 0..10 {
             bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut rng());
         }
-        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+        assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
     }
 
     #[test]
@@ -204,7 +270,60 @@ mod tests {
         let mut bus = CommsBus::new(2, CommsConfig { range: Some(10.0), ..Default::default() });
         let positions = [Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
         bus.step(vec![msg(0, 0.0)], &positions, &mut rng());
-        assert!(bus.neighbors_of(DroneId(1)).is_empty());
+        assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
+    }
+
+    #[test]
+    fn neighbors_are_yielded_in_ascending_sender_order() {
+        // Broadcast out of sender order; the neighbor table must still be
+        // read back in ascending sender order (the order the controller and
+        // the SVG builder rely on).
+        let mut bus = CommsBus::new(5, CommsConfig::default());
+        bus.step(
+            vec![msg(3, 0.0), msg(0, 0.0), msg(4, 0.0), msg(1, 0.0)],
+            &[Vec3::ZERO; 5],
+            &mut rng(),
+        );
+        let senders: Vec<usize> = bus.neighbors_of(DroneId(2)).map(|m| m.sender.index()).collect();
+        assert_eq!(senders, vec![0, 1, 3, 4]);
+        // Gaps (unheard senders) are skipped, order preserved.
+        let senders: Vec<usize> = bus.neighbors_of(DroneId(4)).map(|m| m.sender.index()).collect();
+        assert_eq!(senders, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn grid_delivery_matches_dense_delivery() {
+        use crate::spatial::SpatialGrid;
+        use rand::SeedableRng;
+
+        // Lossy, delayed, range-limited bus: the harshest RNG-ordering case.
+        let config = CommsConfig { delay_ticks: 1, drop_probability: 0.3, range: Some(12.0) };
+        let n = 24;
+        let positions: Vec<Vec3> =
+            (0..n).map(|i| Vec3::new((i % 6) as f64 * 5.0, (i / 6) as f64 * 5.0, 10.0)).collect();
+        let mut dense = CommsBus::new(n, config);
+        let mut gridded = CommsBus::new(n, config);
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let mut grid = SpatialGrid::build(&positions, 12.0);
+        for t in 0..8 {
+            let broadcasts: Vec<StateMessage> = (0..n)
+                .map(|i| StateMessage {
+                    sender: DroneId(i),
+                    position: positions[i],
+                    velocity: Vec3::ZERO,
+                    time: t as f64,
+                })
+                .collect();
+            dense.step(broadcasts.clone(), &positions, &mut rng_a);
+            grid.rebuild(&positions, 12.0);
+            gridded.step_indexed(broadcasts, &positions, Some(&grid), &mut rng_b);
+        }
+        for r in 0..n {
+            let a: Vec<StateMessage> = dense.neighbors_of(DroneId(r)).collect();
+            let b: Vec<StateMessage> = gridded.neighbors_of(DroneId(r)).collect();
+            assert_eq!(a, b, "receiver {r} tables diverged between dense and grid delivery");
+        }
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`recorder`] / [`metrics`] — the trajectory/mission information
 //!   SwarmFuzz's initial test collects (per-tick positions, per-drone minimum
 //!   obstacle distance a.k.a. VDO, the closest-approach time `t_clo`).
+//! * [`spatial`] — the uniform-grid neighbor index behind the large-swarm
+//!   fast path (comms delivery, collision broad phase), bit-identical to the
+//!   brute-force scans it replaces.
 //!
 //! Everything is deterministic given a mission seed: the same
 //! [`mission::MissionSpec`] and attack always produce bit-identical
@@ -62,9 +65,10 @@ pub mod world;
 
 pub use error::SimError;
 pub use runner::{
-    ControlContext, MissionOutcome, NeighborState, PerceivedSelf, RunStats, SimObserver,
+    ControlContext, MissionOutcome, NeighborState, PerceivedSelf, RunStats, SimConfig, SimObserver,
     Simulation, SwarmController,
 };
+pub use spatial::{SpatialGrid, SpatialPolicy, GRID_AUTO_THRESHOLD};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -18,6 +18,7 @@ use crate::dynamics::{DroneState, Dynamics, PointMass};
 use crate::mission::MissionSpec;
 use crate::recorder::MissionRecord;
 use crate::sensors::GpsReceiver;
+use crate::spatial::{SpatialGrid, SpatialPolicy};
 use crate::spoof::SpoofingAttack;
 use crate::wind::Wind;
 use crate::world::World;
@@ -93,6 +94,12 @@ pub struct RunStats {
     pub gps_rounds: u64,
     /// Simulated time actually covered, in seconds.
     pub sim_time: f64,
+    /// Spatial-grid rebuilds (comms index per control tick + collision
+    /// broad-phase index per physics step). 0 on the brute-force path.
+    pub grid_rebuilds: u64,
+    /// Grid cells probed across all neighbor/pair queries. 0 on the
+    /// brute-force path.
+    pub grid_cells_scanned: u64,
 }
 
 /// Passive observer of simulation runs, for telemetry.
@@ -115,11 +122,20 @@ pub struct SimConfig {
     pub stop_on_collision: bool,
     /// Stop once every drone has reached the destination.
     pub stop_when_all_arrived: bool,
+    /// Neighbor-engine selection: brute-force O(n²) scans vs the spatial
+    /// grid. The default ([`SpatialPolicy::Auto`]) keeps paper-scale swarms
+    /// on the exact code path the reproduction has always used and switches
+    /// large swarms to the (bit-identical) grid pipeline.
+    pub spatial: SpatialPolicy,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { stop_on_collision: true, stop_when_all_arrived: true }
+        SimConfig {
+            stop_on_collision: true,
+            stop_when_all_arrived: true,
+            spatial: SpatialPolicy::Auto,
+        }
     }
 }
 
@@ -277,6 +293,34 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         let mut neighbor_buf: Vec<NeighborState> = Vec::with_capacity(n);
         let mut stats = RunStats::default();
 
+        // Spatial-grid neighbor pipeline. Two indexes with different cell
+        // sizes and rebuild cadences: the comms grid (cell = radio range,
+        // rebuilt per control tick) accelerates message delivery, and the
+        // proximity grid (cell = inflated collision diameter, rebuilt
+        // lazily — see the broad phase below) is the collision broad
+        // phase. Both paths are bit-identical to the brute-force scans
+        // (see tests/grid_equivalence.rs), so the policy is purely about
+        // speed.
+        let grid_on = self.config.spatial.grid_enabled(n);
+        let comms_range = spec.comms.range.filter(|&r| r > 0.0);
+        let mut comms_grid =
+            comms_range.filter(|_| grid_on).map(|range| SpatialGrid::build(&[], range));
+        let collision_diameter = 2.0 * spec.drone.radius;
+        // Inflating the broad-phase query radius by `broad_slack` lets the
+        // candidate pair list survive several physics steps: it remains a
+        // superset of every truly colliding pair while no drone has moved
+        // more than slack/2 from its indexed position (triangle inequality).
+        // Sized so a swarm moving flat-out re-indexes about once per control
+        // period; the displacement guard below keeps it correct regardless.
+        let broad_slack =
+            (2.0 * steps_per_control as f64 * spec.drone.max_speed * dt).max(collision_diameter);
+        let broad_radius = collision_diameter + broad_slack;
+        let mut proximity_grid =
+            (grid_on && collision_diameter > 0.0).then(|| SpatialGrid::build(&[], broad_radius));
+        let mut pair_buf: Vec<(DroneId, DroneId)> = Vec::new();
+        let mut position_buf: Vec<Vec3> = Vec::new();
+        let mut broad_anchor: Vec<Vec3> = Vec::new();
+
         'mission: for step in 0..=steps {
             let t = step as f64 * dt;
             stats.sim_time = t;
@@ -317,7 +361,21 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                         })
                     })
                     .collect();
-                bus.step(broadcasts, &true_positions, &mut rng_comms);
+                match (&mut comms_grid, comms_range) {
+                    (Some(grid), Some(range)) => {
+                        grid.rebuild(&true_positions, range);
+                        stats.grid_rebuilds += 1;
+                        stats.grid_cells_scanned += bus.step_indexed(
+                            broadcasts,
+                            &true_positions,
+                            Some(grid),
+                            &mut rng_comms,
+                        );
+                    }
+                    _ => {
+                        bus.step(broadcasts, &true_positions, &mut rng_comms);
+                    }
+                }
 
                 for d in 0..n {
                     if !alive[d] {
@@ -396,23 +454,59 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                     }
                 }
             }
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if alive[i]
-                        && alive[j]
-                        && states[i].position.distance(states[j].position)
-                            <= 2.0 * spec.drone.radius
-                    {
-                        record.push_collision(CollisionEvent {
-                            time: t_next,
-                            kind: CollisionKind::DroneDrone {
-                                first: DroneId(i),
-                                second: DroneId(j),
-                            },
-                        });
-                        alive[i] = false;
-                        alive[j] = false;
-                        collided = true;
+            // Drone–drone collisions. The grid broad phase yields the
+            // lex-sorted superset of candidate pairs, so the exact 3-D
+            // narrow-phase test below visits passing pairs in the same
+            // (i, j) order as the brute-force scan — including the mid-scan
+            // `alive` mutations.
+            let check_pair = |i: usize,
+                              j: usize,
+                              alive: &mut [bool],
+                              record: &mut MissionRecord,
+                              collided: &mut bool| {
+                if alive[i]
+                    && alive[j]
+                    && states[i].position.distance(states[j].position) <= collision_diameter
+                {
+                    record.push_collision(CollisionEvent {
+                        time: t_next,
+                        kind: CollisionKind::DroneDrone { first: DroneId(i), second: DroneId(j) },
+                    });
+                    alive[i] = false;
+                    alive[j] = false;
+                    *collided = true;
+                }
+            };
+            if let Some(grid) = &mut proximity_grid {
+                // Lazy broad phase: re-index only once some drone has
+                // drifted more than slack/2 from its indexed position; the
+                // inflated query radius keeps the cached candidate list a
+                // superset of all truly colliding pairs until then (for any
+                // dynamics model or wind — the guard measures actual
+                // displacement). The narrow-phase check always uses current
+                // positions, so results match a per-step rebuild exactly.
+                let guard = broad_slack * broad_slack / 4.0;
+                let stale = broad_anchor.len() != n
+                    || states
+                        .iter()
+                        .zip(&broad_anchor)
+                        .any(|(s, a)| s.position.distance_squared(*a) > guard);
+                if stale {
+                    position_buf.clear();
+                    position_buf.extend(states.iter().map(|s| s.position));
+                    grid.rebuild(&position_buf, broad_radius);
+                    stats.grid_rebuilds += 1;
+                    stats.grid_cells_scanned += grid.close_pairs(broad_radius, &mut pair_buf);
+                    broad_anchor.clear();
+                    broad_anchor.extend_from_slice(&position_buf);
+                }
+                for &(a, b) in &pair_buf {
+                    check_pair(a.index(), b.index(), &mut alive, &mut record, &mut collided);
+                }
+            } else {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        check_pair(i, j, &mut alive, &mut record, &mut collided);
                     }
                 }
             }
@@ -560,6 +654,43 @@ mod tests {
         );
         assert!(stats.gps_rounds >= stats.control_ticks);
         assert!((stats.sim_time - spec.duration).abs() < spec.physics_dt + 1e-9);
+    }
+
+    #[test]
+    fn forced_grid_pipeline_matches_brute_force_and_counts_work() {
+        use std::sync::Mutex;
+
+        struct Capture(Mutex<Option<RunStats>>);
+        impl SimObserver for Capture {
+            fn on_run_end(&self, stats: &RunStats) {
+                *self.0.lock().unwrap() = Some(*stats);
+            }
+        }
+
+        let mut spec = short_spec(6);
+        spec.comms.range = Some(25.0);
+        let brute = Simulation::new(spec.clone(), BeeLine)
+            .unwrap()
+            .with_config(SimConfig { spatial: SpatialPolicy::ForceOff, ..Default::default() });
+        let grid = Simulation::new(spec, BeeLine)
+            .unwrap()
+            .with_config(SimConfig { spatial: SpatialPolicy::ForceOn, ..Default::default() });
+
+        let capture_off = Capture(Mutex::new(None));
+        let capture_on = Capture(Mutex::new(None));
+        let a = brute.run_observed(None, Some(&capture_off)).unwrap();
+        let b = grid.run_observed(None, Some(&capture_on)).unwrap();
+        assert_eq!(a.record, b.record, "grid pipeline must be bit-identical to brute force");
+
+        let off = capture_off.0.lock().unwrap().unwrap();
+        let on = capture_on.0.lock().unwrap().unwrap();
+        assert_eq!(off.grid_rebuilds, 0);
+        assert_eq!(off.grid_cells_scanned, 0);
+        // Comms grid per control tick + the lazy collision broad phase
+        // (at least once, at most once per physics step).
+        assert!(on.grid_rebuilds > on.control_ticks, "broad phase never indexed");
+        assert!(on.grid_rebuilds <= on.control_ticks + on.physics_steps);
+        assert!(on.grid_cells_scanned > 0);
     }
 
     #[test]

@@ -98,7 +98,7 @@ fn ideal_bus_delivers_to_all_others() {
         bus.step(msgs, &positions, &mut bus_rng);
         for r in 0..n {
             let heard: std::collections::BTreeSet<usize> =
-                bus.neighbors_of(DroneId(r)).iter().map(|m| m.sender.index()).collect();
+                bus.neighbors_of(DroneId(r)).map(|m| m.sender.index()).collect();
             let expected: std::collections::BTreeSet<usize> =
                 sent.iter().copied().filter(|&s| s != r).collect();
             assert_eq!(heard, expected);

@@ -64,6 +64,33 @@ fn fuzzer_reports_are_reproducible() {
 }
 
 #[test]
+fn large_swarm_is_deterministic_across_worker_counts() {
+    // N = 100 takes the grid-accelerated neighbor pipeline (auto threshold).
+    // The same seed must give bit-identical recorder trajectories whether the
+    // mission runs on the main thread or on four concurrent workers — the
+    // spatial index keeps no cross-run or cross-thread state.
+    let mut spec = swarm_sim::scenario::large_swarm(100, 42);
+    spec.duration = 8.0;
+    let reference = Simulation::new(spec.clone(), controller()).unwrap().run(None).unwrap();
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                Simulation::new(spec, controller()).unwrap().run(None).unwrap()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let outcome = worker.join().unwrap();
+        assert_eq!(
+            outcome.record, reference.record,
+            "large-swarm trajectories diverged across worker threads"
+        );
+    }
+}
+
+#[test]
 fn attack_window_outside_mission_is_noop() {
     // An attack scheduled entirely after the mission ends must not change
     // the trajectories at all.
