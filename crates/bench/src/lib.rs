@@ -192,7 +192,7 @@ fn load_campaign_csv(path: &Path) -> Option<CampaignReport> {
         });
     }
     let expected = missions_per_config() * paper_configs().len();
-    (missions.len() == expected).then_some(CampaignReport { missions })
+    (missions.len() == expected).then_some(CampaignReport { missions, failures: Vec::new() })
 }
 
 /// Formats a success rate as the paper prints it ("49%").

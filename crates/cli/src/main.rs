@@ -17,7 +17,9 @@ use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
 use swarm_sim::{DroneId, Simulation};
-use swarmfuzz::campaign::{run_campaign_with_telemetry, CampaignConfig};
+use swarmfuzz::campaign::{
+    run_campaign_with_options, CampaignConfig, CampaignRunOptions, JournalSpec,
+};
 use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig, Telemetry};
 
 const USAGE: &str = "\
@@ -32,6 +34,7 @@ COMMANDS:
                 --telemetry off|summary|json (off)
     campaign  run the paper's 6-configuration evaluation grid
                 --missions K (20)  --workers W (cores)
+                --journal PATH (off)  --resume yes|no (no)  --retries N (1)
                 --telemetry off|summary|json (off)
     baseline  fly one mission without any attack and print statistics
                 --drones N (10)  --seed S (0)
@@ -231,6 +234,18 @@ fn cmd_campaign(args: &Args) -> Result<(), CliError> {
     let missions: usize = args.get_or("missions", 20)?;
     let workers: usize =
         args.get_or("workers", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))?;
+    let resume = match args.raw("resume") {
+        None | Some("no") => false,
+        Some("yes") => true,
+        Some(other) => {
+            return Err(CliError::Other(format!("--resume must be 'yes' or 'no', got {other:?}")))
+        }
+    };
+    let journal = args.raw("journal").map(|p| JournalSpec { path: p.into(), resume });
+    if resume && journal.is_none() {
+        return Err(CliError::Other("--resume yes requires --journal PATH".into()));
+    }
+    let max_retries: usize = args.get_or("retries", 1)?;
     let mode = telemetry_mode(args)?;
     let telemetry = if mode == TelemetryMode::Off {
         Telemetry::off()
@@ -242,10 +257,12 @@ fn cmd_campaign(args: &Args) -> Result<(), CliError> {
     let mut campaign = CampaignConfig::paper_grid(missions, 0xC0FFEE);
     campaign.workers = workers;
     let ctrl = controller();
-    let report = run_campaign_with_telemetry(
+    let options = CampaignRunOptions { journal, max_retries };
+    let report = run_campaign_with_options(
         &campaign,
         |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)),
         &telemetry,
+        &options,
     )
     .map_err(CliError::Fuzz)?;
     human_line(mode, format_args!("config\tsuccess\tavg_iterations\tmissions"));
@@ -259,6 +276,9 @@ fn cmd_campaign(args: &Args) -> Result<(), CliError> {
                 report.for_config(config).len()
             ),
         );
+    }
+    if let Some(summary) = report.error_summary() {
+        eprint!("{summary}");
     }
     emit_telemetry(mode, &telemetry);
     Ok(())

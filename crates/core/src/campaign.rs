@@ -6,12 +6,16 @@
 //! (Table II) and the distributions behind Figs. 6 and 7. [`run_campaign`]
 //! reproduces that pipeline, fanning missions out over worker threads.
 
+use std::collections::HashSet;
+use std::path::PathBuf;
+
 use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::SwarmController;
 
-use crate::fuzzer::{Fuzzer, SpvFinding};
+use crate::fuzzer::{Fuzzer, FuzzerConfig, SpvFinding};
+use crate::store::{campaign_fingerprint, CampaignJournal, JournalRow};
 use crate::telemetry::{Counter, Telemetry};
 use crate::FuzzError;
 
@@ -77,14 +81,47 @@ pub struct MissionResult {
     pub seeds_tried: usize,
 }
 
+/// A mission that exhausted its retries: quarantined as a `failed` row
+/// instead of aborting the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionFailure {
+    /// The configuration the mission belongs to.
+    pub config: SwarmConfig,
+    /// Mission index within its configuration.
+    pub index: usize,
+    /// Rendered [`FuzzError`] of the final attempt.
+    pub error: String,
+    /// Retries spent before giving up.
+    pub retries: usize,
+}
+
 /// All results of one campaign.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// One entry per fuzzed mission.
     pub missions: Vec<MissionResult>,
+    /// Missions quarantined after exhausting their retries; aggregate
+    /// metrics ([`CampaignReport::success_rate`] etc.) cover successes only.
+    pub failures: Vec<MissionFailure>,
 }
 
 impl CampaignReport {
+    /// A human-readable summary of the quarantined missions (`None` when
+    /// every mission completed).
+    pub fn error_summary(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let mut out = format!("{} mission(s) failed:\n", self.failures.len());
+        for f in &self.failures {
+            out.push_str(&format!(
+                "  {} index {} ({} retries): {}\n",
+                f.config, f.index, f.retries, f.error
+            ));
+        }
+        Some(out)
+    }
+
     /// Results belonging to `config`.
     pub fn for_config(&self, config: SwarmConfig) -> Vec<&MissionResult> {
         self.missions.iter().filter(|m| m.config == config).collect()
@@ -181,11 +218,107 @@ where
     C: SwarmController + Clone + Send + 'static,
     F: Fn(f64) -> Fuzzer<C> + Sync,
 {
+    run_campaign_with_options(campaign, make_fuzzer, telemetry, &CampaignRunOptions::default())
+}
+
+/// Where (and whether) a campaign journals its progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSpec {
+    /// JSONL journal file; created (with parents) when absent.
+    pub path: PathBuf,
+    /// Resume from an existing journal at `path` instead of truncating it.
+    /// The journal's fingerprint must match this campaign, and every
+    /// already-journaled `(config, index)` job is skipped.
+    pub resume: bool,
+}
+
+/// Execution options orthogonal to the campaign's identity: none of these
+/// affect the journal fingerprint or the report's contents — only how the
+/// run is persisted and how failures are retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRunOptions {
+    /// Stream per-mission rows to a crash-safe journal.
+    pub journal: Option<JournalSpec>,
+    /// Retries per mission before it is quarantined as a `failed` row
+    /// (0 = fail fast into the report).
+    pub max_retries: usize,
+}
+
+impl Default for CampaignRunOptions {
+    fn default() -> Self {
+        CampaignRunOptions { journal: None, max_retries: 1 }
+    }
+}
+
+/// The full campaign runner: [`run_campaign_with_telemetry`] plus crash-safe
+/// journaling, resume and per-mission fault isolation.
+///
+/// * Worker results stream to the journal as they complete (one JSONL row
+///   per mission), so killing the process loses at most the in-flight
+///   missions.
+/// * With [`JournalSpec::resume`], already-journaled jobs are skipped and
+///   their rows are merged into the final report — the resumed report is
+///   **bit-identical** to an uninterrupted run (`tests/campaign_store.rs`).
+/// * A mission-level [`FuzzError`] is retried up to
+///   [`CampaignRunOptions::max_retries`] times and then recorded as a
+///   [`MissionFailure`] row instead of aborting the campaign.
+///
+/// # Errors
+///
+/// Only journal-level failures abort: [`FuzzError::Journal`] on I/O errors,
+/// corruption, or a fingerprint mismatch (the journal belongs to a
+/// different grid or fuzzer variant). Mission-level errors never do.
+pub fn run_campaign_with_options<C, F>(
+    campaign: &CampaignConfig,
+    make_fuzzer: F,
+    telemetry: &Telemetry,
+    options: &CampaignRunOptions,
+) -> Result<CampaignReport, FuzzError>
+where
+    C: SwarmController + Clone + Send + 'static,
+    F: Fn(f64) -> Fuzzer<C> + Sync,
+{
     // Work items: (config, mission index).
-    let jobs: Vec<(SwarmConfig, usize)> = campaign
+    let all_jobs: Vec<(SwarmConfig, usize)> = campaign
         .configs
         .iter()
         .flat_map(|&c| (0..campaign.missions_per_config).map(move |i| (c, i)))
+        .collect();
+
+    // Open or resume the journal before spawning anything.
+    let mut journal = None;
+    let mut loaded_rows: Vec<JournalRow> = Vec::new();
+    if let Some(spec) = &options.journal {
+        let fuzzer_configs: Vec<FuzzerConfig> =
+            campaign.configs.iter().map(|c| *make_fuzzer(c.deviation).config()).collect();
+        let fingerprint = campaign_fingerprint(campaign, &fuzzer_configs);
+        if spec.resume && spec.path.exists() {
+            let (j, rows) = CampaignJournal::resume(&spec.path, &fingerprint)?;
+            journal = Some(j);
+            loaded_rows = rows;
+        } else {
+            let variant = fuzzer_configs.first().map_or("none", FuzzerConfig::variant_name);
+            journal = Some(CampaignJournal::create(&spec.path, &fingerprint, variant)?);
+        }
+    }
+
+    // Deduplicate journaled rows onto the grid and drop the rest (a matching
+    // fingerprint makes strays impossible short of hand-editing).
+    let grid_keys: HashSet<(usize, u64, usize)> =
+        all_jobs.iter().map(|&(c, i)| (c.swarm_size, c.deviation.to_bits(), i)).collect();
+    let mut completed: HashSet<(usize, u64, usize)> = HashSet::new();
+    let mut rows: Vec<JournalRow> = Vec::new();
+    for row in loaded_rows {
+        let key = row.job_key();
+        if grid_keys.contains(&key) && completed.insert(key) {
+            rows.push(row);
+        }
+    }
+    telemetry.add(Counter::ResumeSkips, completed.len() as u64);
+
+    let jobs: Vec<(SwarmConfig, usize)> = all_jobs
+        .into_iter()
+        .filter(|&(c, i)| !completed.contains(&(c.swarm_size, c.deviation.to_bits(), i)))
         .collect();
 
     let workers = campaign.workers.max(1);
@@ -195,7 +328,7 @@ where
     }
     drop(job_tx);
 
-    let (res_tx, res_rx) = channel::unbounded::<Result<MissionResult, FuzzError>>();
+    let (res_tx, res_rx) = channel::unbounded::<JournalRow>();
 
     std::thread::scope(|scope| {
         for worker in 0..workers {
@@ -204,13 +337,26 @@ where
             let make_fuzzer = &make_fuzzer;
             let campaign = &campaign;
             let telemetry = telemetry.clone();
+            let max_retries = options.max_retries;
             scope.spawn(move || {
                 while let Ok((config, index)) = job_rx.recv() {
-                    let result = fuzz_one(campaign, config, index, make_fuzzer, &telemetry);
-                    if let Ok(m) = &result {
-                        telemetry.worker_mission_done(worker, m.success, m.evaluations as u64);
+                    let row = fuzz_one_isolated(
+                        campaign,
+                        config,
+                        index,
+                        make_fuzzer,
+                        &telemetry,
+                        max_retries,
+                    );
+                    if let JournalRow::Done { result, .. } = &row {
+                        telemetry.worker_mission_done(
+                            worker,
+                            result.success,
+                            result.evaluations as u64,
+                        );
                     }
-                    if res_tx.send(result).is_err() {
+                    if res_tx.send(row).is_err() {
+                        // Collector gone (journal failure): stop early.
                         return;
                     }
                 }
@@ -218,11 +364,36 @@ where
         }
         drop(res_tx);
 
-        let mut missions = Vec::new();
-        for r in res_rx {
-            missions.push(r?);
+        // Stream rows to the journal as workers finish them.
+        let mut journal_error = None;
+        for row in res_rx.iter() {
+            if let Some(j) = journal.as_mut() {
+                if let Err(e) = j.append(&row) {
+                    journal_error = Some(e);
+                    break;
+                }
+                telemetry.incr(Counter::JournalAppends);
+            }
+            rows.push(row);
         }
-        // Deterministic order regardless of thread scheduling.
+        // Dropping the receiver makes every in-flight worker's next send
+        // fail, so a journal failure aborts promptly instead of fuzzing the
+        // remaining queue into the void.
+        drop(res_rx);
+        if let Some(e) = journal_error {
+            return Err(e.into());
+        }
+
+        let mut missions = Vec::new();
+        let mut failures = Vec::new();
+        for row in rows {
+            match row {
+                JournalRow::Done { result, .. } => missions.push(result),
+                JournalRow::Failed(f) => failures.push(f),
+            }
+        }
+        // Deterministic order regardless of thread scheduling (and of the
+        // journaled-vs-recomputed split on resume).
         missions.sort_by(|a, b| {
             a.config
                 .swarm_size
@@ -230,8 +401,50 @@ where
                 .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
                 .then_with(|| a.mission_seed.cmp(&b.mission_seed))
         });
-        Ok(CampaignReport { missions })
+        failures.sort_by(|a, b| {
+            a.config
+                .swarm_size
+                .cmp(&b.config.swarm_size)
+                .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        Ok(CampaignReport { missions, failures })
     })
+}
+
+/// Runs one mission with bounded retries; an error after the last retry is
+/// quarantined as a [`JournalRow::Failed`] instead of propagating.
+fn fuzz_one_isolated<C, F>(
+    campaign: &CampaignConfig,
+    config: SwarmConfig,
+    index: usize,
+    make_fuzzer: &F,
+    telemetry: &Telemetry,
+    max_retries: usize,
+) -> JournalRow
+where
+    C: SwarmController + Clone,
+    F: Fn(f64) -> Fuzzer<C>,
+{
+    let mut retries = 0usize;
+    loop {
+        match fuzz_one(campaign, config, index, make_fuzzer, telemetry) {
+            Ok(result) => return JournalRow::Done { index, result },
+            Err(_) if retries < max_retries => {
+                retries += 1;
+                telemetry.incr(Counter::MissionRetries);
+            }
+            Err(e) => {
+                telemetry.incr(Counter::MissionFailures);
+                return JournalRow::Failed(MissionFailure {
+                    config,
+                    index,
+                    error: e.to_string(),
+                    retries,
+                });
+            }
+        }
+    }
 }
 
 fn fuzz_one<C, F>(
@@ -247,32 +460,58 @@ where
 {
     let fuzzer = make_fuzzer(config.deviation).with_telemetry(telemetry.clone());
     // Deterministic, collision-free per-(config, index) seed stream.
-    let mut seed = mission_base_seed(campaign.base_seed, config, index);
-    // Skip seeds whose baseline collides (paper precondition).
-    for _attempt in 0..100 {
-        let spec = campaign_mission(config, seed);
-        match fuzzer.fuzz(&spec) {
-            Ok(report) => {
-                return Ok(MissionResult {
-                    config,
-                    mission_seed: seed,
-                    vdo: report.mission_vdo,
-                    success: report.is_success(),
-                    finding: report.finding,
-                    evaluations: report.evaluations,
-                    seeds_tried: report.seeds_tried,
-                });
-            }
+    let start_seed = mission_base_seed(campaign.base_seed, config, index);
+    let (seed, report) = with_baseline_skips(config, start_seed, 100, telemetry, |seed| {
+        fuzzer.fuzz(&campaign_mission(config, seed))
+    })?;
+    Ok(MissionResult {
+        config,
+        mission_seed: seed,
+        vdo: report.mission_vdo,
+        success: report.is_success(),
+        finding: report.finding,
+        evaluations: report.evaluations,
+        seeds_tried: report.seeds_tried,
+    })
+}
+
+/// Drives `f` over consecutive seeds starting at `start_seed`, skipping
+/// seeds whose baseline collides (the paper's precondition) until `f`
+/// succeeds or `attempts` seeds are exhausted. Returns the accepted seed
+/// alongside `f`'s value.
+///
+/// The seed advance **wraps**: hashed starting points are uniform over
+/// `u64`, so a stream beginning near `u64::MAX` must roll over to 0 rather
+/// than overflow (a debug-build panic with plain `+ 1`).
+///
+/// # Errors
+///
+/// Non-collision errors from `f` propagate;
+/// [`FuzzError::BaselineSkipsExhausted`] after `attempts` collisions.
+fn with_baseline_skips<T>(
+    config: SwarmConfig,
+    start_seed: u64,
+    attempts: usize,
+    telemetry: &Telemetry,
+    mut f: impl FnMut(u64) -> Result<T, FuzzError>,
+) -> Result<(u64, T), FuzzError> {
+    let mut seed = start_seed;
+    for _ in 0..attempts {
+        match f(seed) {
+            Ok(value) => return Ok((seed, value)),
             Err(FuzzError::BaselineCollision(_)) => {
                 telemetry.incr(Counter::BaselineSkips);
-                seed += 1;
+                seed = seed.wrapping_add(1);
             }
             Err(e) => return Err(e),
         }
     }
-    Err(FuzzError::Sim(swarm_sim::SimError::InvalidMission(format!(
-        "no collision-free baseline found near seed {seed} for {config}"
-    ))))
+    Err(FuzzError::BaselineSkipsExhausted {
+        swarm_size: config.swarm_size,
+        deviation: config.deviation,
+        start_seed,
+        attempts,
+    })
 }
 
 #[cfg(test)]
@@ -309,6 +548,7 @@ mod tests {
         };
         let report = CampaignReport {
             missions: vec![mk(c5, true, 5), mk(c5, false, 20), mk(c10, true, 10)],
+            failures: Vec::new(),
         };
         assert_eq!(report.success_rate(c5), Some(0.5));
         assert_eq!(report.mean_iterations(c5), Some(12.5));
@@ -380,5 +620,91 @@ mod tests {
             .map(|m| (m.config.swarm_size, m.config.deviation, m.mission_seed))
             .collect();
         assert_eq!(key, vec![(5, 5.0, 1), (5, 5.0, 9), (5, 10.0, 1), (10, 5.0, 0), (10, 5.0, 2)]);
+    }
+
+    fn collision() -> FuzzError {
+        use swarm_sim::{CollisionEvent, CollisionKind, DroneId};
+        FuzzError::BaselineCollision(CollisionEvent {
+            time: 1.0,
+            kind: CollisionKind::DroneObstacle { drone: DroneId(0), obstacle: 0 },
+        })
+    }
+
+    /// Regression: the skip advance was `seed += 1`, which panics in debug
+    /// builds when the hashed starting point sits at the top of the `u64`
+    /// range; it must wrap to 0 instead.
+    #[test]
+    fn baseline_skips_wrap_at_u64_max() {
+        let config = SwarmConfig { swarm_size: 5, deviation: 10.0 };
+        let mut tried = Vec::new();
+        let (seed, ()) =
+            with_baseline_skips(config, u64::MAX - 1, 100, &Telemetry::off(), |seed| {
+                tried.push(seed);
+                if tried.len() < 4 {
+                    Err(collision())
+                } else {
+                    Ok(())
+                }
+            })
+            .expect("skip loop must survive the wraparound");
+        assert_eq!(tried, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        assert_eq!(seed, 1);
+    }
+
+    /// The exhaustion error carries the configuration and seed context so a
+    /// 100-skip pathology in a long campaign is diagnosable from the row.
+    #[test]
+    fn baseline_skip_exhaustion_reports_context() {
+        let config = SwarmConfig { swarm_size: 3, deviation: 5.0 };
+        let telemetry = Telemetry::enabled(1);
+        let err = with_baseline_skips(config, 77, 100, &telemetry, |_| Err::<(), _>(collision()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FuzzError::BaselineSkipsExhausted {
+                swarm_size: 3,
+                deviation: 5.0,
+                start_seed: 77,
+                attempts: 100,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("3d-5m"), "config context missing: {msg}");
+        assert!(msg.contains("77"), "seed context missing: {msg}");
+        assert!(msg.contains("100"), "attempt count missing: {msg}");
+        assert_eq!(telemetry.counter(Counter::BaselineSkips), 100);
+    }
+
+    /// Non-collision errors must propagate immediately, not burn attempts.
+    #[test]
+    fn baseline_skips_propagate_other_errors() {
+        let config = SwarmConfig { swarm_size: 5, deviation: 10.0 };
+        let mut calls = 0usize;
+        let err = with_baseline_skips(config, 0, 100, &Telemetry::off(), |_| {
+            calls += 1;
+            Err::<(), _>(FuzzError::SwarmTooSmall(1))
+        })
+        .unwrap_err();
+        assert_eq!(err, FuzzError::SwarmTooSmall(1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn error_summary_lists_failures() {
+        let report = CampaignReport::default();
+        assert!(report.error_summary().is_none());
+        let report = CampaignReport {
+            missions: Vec::new(),
+            failures: vec![MissionFailure {
+                config: SwarmConfig { swarm_size: 1, deviation: 5.0 },
+                index: 4,
+                error: "swarm of 1 drones cannot form a target-victim pair".into(),
+                retries: 1,
+            }],
+        };
+        let summary = report.error_summary().unwrap();
+        assert!(summary.contains("1d-5m"));
+        assert!(summary.contains("index 4"));
+        assert!(summary.contains("target-victim"));
     }
 }

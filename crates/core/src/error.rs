@@ -2,6 +2,8 @@ use std::fmt;
 
 use swarm_sim::{CollisionEvent, SimError};
 
+use crate::store::StoreError;
+
 /// Errors produced by the fuzzing pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FuzzError {
@@ -16,6 +18,22 @@ pub enum FuzzError {
     NoObstacle,
     /// The swarm is too small to form a target–victim pair.
     SwarmTooSmall(usize),
+    /// A campaign job skipped `attempts` consecutive seeds without finding a
+    /// collision-free baseline; carries the configuration and seed-stream
+    /// context so the pathology is diagnosable from the recorded row.
+    BaselineSkipsExhausted {
+        /// Swarm size of the affected configuration.
+        swarm_size: usize,
+        /// Spoofing deviation of the affected configuration.
+        deviation: f64,
+        /// First seed of the `(config, index)` stream.
+        start_seed: u64,
+        /// Seeds tried before giving up.
+        attempts: usize,
+    },
+    /// The campaign journal failed (I/O, corruption, or a fingerprint
+    /// mismatch); the only error class that still aborts a campaign.
+    Journal(StoreError),
 }
 
 impl fmt::Display for FuzzError {
@@ -29,6 +47,14 @@ impl fmt::Display for FuzzError {
             FuzzError::SwarmTooSmall(n) => {
                 write!(f, "swarm of {n} drones cannot form a target-victim pair")
             }
+            FuzzError::BaselineSkipsExhausted { swarm_size, deviation, start_seed, attempts } => {
+                write!(
+                    f,
+                    "no collision-free baseline for {swarm_size}d-{deviation}m within \
+                     {attempts} seeds starting at {start_seed}"
+                )
+            }
+            FuzzError::Journal(e) => write!(f, "campaign journal error: {e}"),
         }
     }
 }
@@ -37,6 +63,7 @@ impl std::error::Error for FuzzError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FuzzError::Sim(e) => Some(e),
+            FuzzError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -45,6 +72,12 @@ impl std::error::Error for FuzzError {
 impl From<SimError> for FuzzError {
     fn from(e: SimError) -> Self {
         FuzzError::Sim(e)
+    }
+}
+
+impl From<StoreError> for FuzzError {
+    fn from(e: StoreError) -> Self {
+        FuzzError::Journal(e)
     }
 }
 
@@ -70,5 +103,14 @@ mod tests {
         assert!(matches!(e, FuzzError::Sim(_)));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&FuzzError::NoObstacle).is_none());
+    }
+
+    #[test]
+    fn journal_error_converts_and_chains() {
+        let e: FuzzError =
+            StoreError::FingerprintMismatch { expected: "a".into(), found: "b".into() }.into();
+        assert!(matches!(e, FuzzError::Journal(_)));
+        assert!(e.to_string().contains("journal"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -60,11 +60,13 @@ pub mod report;
 pub mod schedule;
 pub mod search;
 pub mod seed;
+pub mod store;
 pub mod svg;
 pub mod telemetry;
 
 pub use error::FuzzError;
 pub use fuzzer::{FuzzReport, Fuzzer, FuzzerConfig, SearchStrategy, SeedStrategy, SpvFinding};
 pub use seed::{Seed, Seedpool};
+pub use store::{CampaignJournal, StoreError};
 pub use svg::{CentralityKind, SvgAnalysis, SvgBuilder};
 pub use telemetry::{Telemetry, TelemetryReport};

@@ -9,7 +9,6 @@
 //! * [`spoof_param_stats`] — the spoofing-window statistics of Fig. 7;
 //! * [`write_csv`] — plain CSV export used by the bench harness.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use swarm_math::stats::{cumulative_rate_by_threshold, Ecdf};
@@ -104,21 +103,52 @@ pub fn spoof_param_stats(rows: &[&MissionResult]) -> Option<SpoofParamStats> {
     })
 }
 
+/// RFC-4180 field quoting: fields containing a comma, double quote or line
+/// break are wrapped in quotes with embedded quotes doubled; everything
+/// else passes through unchanged.
+fn csv_field(field: &str) -> std::borrow::Cow<'_, str> {
+    if !field.contains(['"', ',', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(field);
+    }
+    let mut out = String::with_capacity(field.len() + 2);
+    out.push('"');
+    for ch in field.chars() {
+        if ch == '"' {
+            out.push('"');
+        }
+        out.push(ch);
+    }
+    out.push('"');
+    std::borrow::Cow::Owned(out)
+}
+
+fn csv_line(out: &mut String, fields: impl Iterator<Item = impl AsRef<str>>) {
+    for (i, field) in fields.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_field(field.as_ref()));
+    }
+    out.push('\n');
+}
+
 /// Writes rows of `(label, values...)` as a CSV file with a header.
+///
+/// Fields are quoted per RFC 4180 when they contain a comma, quote or line
+/// break (a label like `olfati-saber, tuned` used to corrupt its row), and
+/// the file lands via [`crate::store::atomic_write`] — a crash mid-export
+/// never leaves a truncated CSV behind.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing the file.
 pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{}", header.join(","))?;
+    let mut out = String::new();
+    csv_line(&mut out, header.iter());
     for row in rows {
-        writeln!(f, "{}", row.join(","))?;
+        csv_line(&mut out, row.iter());
     }
-    Ok(())
+    crate::store::atomic_write(path, &out)
 }
 
 #[cfg(test)]
@@ -171,6 +201,7 @@ mod tests {
                 mission(cfg(5), 5.0, false, 20),
                 mission(cfg(10), 0.5, true, 8),
             ],
+            failures: Vec::new(),
         };
         let t1 = success_rate_table(&report, &[cfg(5), cfg(10), cfg(15)]);
         assert_eq!(t1.len(), 2, "configs without missions are dropped");
@@ -221,6 +252,35 @@ mod tests {
         write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: unquoted fields meant a label containing a comma shifted
+    /// every following column of its row.
+    #[test]
+    fn csv_writer_quotes_special_fields() {
+        let dir = std::env::temp_dir().join("swarmfuzz-report-quoting-test");
+        let path = dir.join("q.csv");
+        write_csv(
+            &path,
+            &["label", "value"],
+            &[
+                vec!["olfati-saber, tuned".into(), "1".into()],
+                vec!["say \"hi\"".into(), "2".into()],
+                vec!["two\nlines".into(), "3".into()],
+                vec!["plain".into(), "4".into()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split('\n').collect();
+        assert_eq!(lines[0], "label,value");
+        assert_eq!(lines[1], "\"olfati-saber, tuned\",1");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\",2");
+        // The embedded newline stays inside one quoted field.
+        assert_eq!(lines[3], "\"two");
+        assert_eq!(lines[4], "lines\",3");
+        assert_eq!(lines[5], "plain,4");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -66,6 +66,18 @@ pub struct SearchResult {
     pub best_value: f64,
 }
 
+/// Projects a window onto the feasible region `t_s ≥ 0`, `Δt ≥ 0`,
+/// `t_s + Δt < t_mission`: first pulls `t_s` back inside the mission, then
+/// shortens `Δt` to fit the remainder.
+fn clamp_window(ts: &mut f64, dt: &mut f64, t_mission: f64) {
+    if *ts >= t_mission {
+        *ts = (t_mission - 1.0).max(0.0);
+    }
+    if *ts + *dt >= t_mission {
+        *dt = (t_mission - *ts - 1.0).max(0.0);
+    }
+}
+
 fn success_of(e: &Evaluation) -> Option<SearchSuccess> {
     match e.outcome {
         EvalOutcome::SpvCollision { victim, time } => Some(SearchSuccess {
@@ -98,6 +110,7 @@ where
     F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
 {
     let (mut ts, mut dt) = initial;
+    clamp_window(&mut ts, &mut dt, t_mission);
     let mut evals = 0usize;
     let mut best = f64::INFINITY;
 
@@ -146,10 +159,7 @@ where
             swarm_math::clamp(config.learning_rate * g_dt, -config.max_step, config.max_step);
         ts = (ts - step_ts).max(0.0);
         dt = (dt - step_dt).max(0.0);
-        // Timing constraint t_s + Δt < t_mission.
-        if ts + dt >= t_mission {
-            dt = (t_mission - ts - 1.0).max(0.0);
-        }
+        clamp_window(&mut ts, &mut dt, t_mission);
 
         if evals >= budget {
             break;
@@ -268,6 +278,7 @@ mod tests {
     #[test]
     fn gradient_respects_timing_constraint() {
         let t_mission = 50.0;
+        let fd_step = GradientConfig::default().fd_step;
         let mut max_seen: f64 = 0.0;
         let r = gradient_search(
             |ts, dt| {
@@ -280,9 +291,58 @@ mod tests {
             &GradientConfig::default(),
         )
         .unwrap();
-        // Probes may exceed by the fd step only.
-        assert!(max_seen <= t_mission + 1.5, "t_s+Δt reached {max_seen}");
+        // Descent iterates satisfy t_s + Δt < t_mission strictly; only the
+        // finite-difference probes may nudge past, by exactly the fd step.
+        assert!(max_seen <= t_mission + fd_step, "t_s+Δt reached {max_seen}");
         assert!(r.evaluations > 0);
+    }
+
+    /// Regression: the projected update clamped `Δt` against the timing
+    /// constraint but never clamped `t_s` itself, so an objective whose
+    /// minimum lies beyond the mission end dragged `t_s` past `t_mission`
+    /// and every later probe started after the mission was already over.
+    #[test]
+    fn gradient_clamps_start_time_below_mission_end() {
+        let t_mission = 50.0;
+        let fd_step = GradientConfig::default().fd_step;
+        let mut max_ts: f64 = 0.0;
+        // Bowl centred at (90, 10): descent on ts pushes toward 90 > t_mission.
+        let r = gradient_search(
+            |ts, dt| {
+                max_ts = max_ts.max(ts);
+                let value = 1.0 + 0.02 * ((ts - 90.0).powi(2) + (dt - 10.0).powi(2));
+                Ok(Evaluation { value, outcome: EvalOutcome::NoCollision, start: ts, duration: dt })
+            },
+            (40.0, 5.0),
+            60,
+            t_mission,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        assert!(r.success.is_none());
+        assert!(max_ts < t_mission + fd_step, "t_s reached {max_ts}, mission ends at {t_mission}");
+    }
+
+    /// An infeasible initial guess is projected into the window before the
+    /// first probe rather than evaluated as-is.
+    #[test]
+    fn gradient_projects_infeasible_initial_guess() {
+        let t_mission = 30.0;
+        let mut probes = Vec::new();
+        gradient_search(
+            |ts, dt| {
+                probes.push((ts, dt));
+                bowl(1.0)(ts, dt)
+            },
+            (80.0, 20.0),
+            3,
+            t_mission,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        let (ts0, dt0) = probes[0];
+        assert_eq!(ts0, 29.0, "t_s pulled back inside the mission");
+        assert_eq!(dt0, 0.0, "Δt shortened to fit the remainder");
     }
 
     #[test]

@@ -96,11 +96,19 @@ pub enum Counter {
     GridRebuilds,
     /// Spatial-grid cells probed across all simulated missions.
     GridCellsScanned,
+    /// Rows streamed to the campaign journal.
+    JournalAppends,
+    /// Jobs skipped on resume because the journal already held their row.
+    ResumeSkips,
+    /// Mission retries after a mission-level error.
+    MissionRetries,
+    /// Missions quarantined as `failed` rows after exhausting retries.
+    MissionFailures,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 13] = [
         Counter::MissionsRun,
         Counter::Evaluations,
         Counter::SpvFound,
@@ -110,6 +118,10 @@ impl Counter {
         Counter::SimControlTicks,
         Counter::GridRebuilds,
         Counter::GridCellsScanned,
+        Counter::JournalAppends,
+        Counter::ResumeSkips,
+        Counter::MissionRetries,
+        Counter::MissionFailures,
     ];
 
     /// Stable snake_case name used in reports.
@@ -124,6 +136,10 @@ impl Counter {
             Counter::SimControlTicks => "sim_control_ticks",
             Counter::GridRebuilds => "grid_rebuilds",
             Counter::GridCellsScanned => "grid_cells_scanned",
+            Counter::JournalAppends => "journal_appends",
+            Counter::ResumeSkips => "resume_skips",
+            Counter::MissionRetries => "mission_retries",
+            Counter::MissionFailures => "mission_failures",
         }
     }
 }

@@ -1,0 +1,236 @@
+//! Crash-safety contract of the campaign journal: a campaign killed after K
+//! missions and resumed must produce a [`CampaignReport`] bit-identical to
+//! an uninterrupted run, across worker counts; mission-level failures are
+//! quarantined as `failed` rows instead of aborting; and a journal from a
+//! different campaign (grid, seed, or fuzzer variant) is refused.
+
+use std::path::{Path, PathBuf};
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarmfuzz::campaign::{
+    run_campaign, run_campaign_with_options, CampaignConfig, CampaignReport, CampaignRunOptions,
+    JournalSpec, SwarmConfig,
+};
+use swarmfuzz::telemetry::Counter;
+use swarmfuzz::{CampaignJournal, FuzzError, Fuzzer, FuzzerConfig, StoreError, Telemetry};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+/// Same tiny grid as the campaign determinism tests (2 configs x 2
+/// missions, tight budget) so resume round-trips stay fast in debug builds.
+fn tiny_campaign(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        configs: vec![
+            SwarmConfig { swarm_size: 3, deviation: 5.0 },
+            SwarmConfig { swarm_size: 4, deviation: 10.0 },
+        ],
+        missions_per_config: 2,
+        base_seed: 7,
+        workers,
+    }
+}
+
+fn fuzzer(deviation: f64) -> Fuzzer<VasarhelyiController> {
+    let config = FuzzerConfig { eval_budget: 2, ..FuzzerConfig::swarmfuzz(deviation) };
+    Fuzzer::new(controller(), config)
+}
+
+fn journal_options(path: &Path, resume: bool) -> CampaignRunOptions {
+    CampaignRunOptions {
+        journal: Some(JournalSpec { path: path.to_path_buf(), resume }),
+        max_retries: 1,
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swarmfuzz-store-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run_journaled(
+    campaign: &CampaignConfig,
+    path: &Path,
+    resume: bool,
+    telemetry: &Telemetry,
+) -> Result<CampaignReport, FuzzError> {
+    run_campaign_with_options(campaign, fuzzer, telemetry, &journal_options(path, resume))
+}
+
+/// Cuts the journal back to its header plus the first `k` rows, then
+/// appends half a row — the on-disk state after a `kill -9` mid-append.
+fn kill_after(path: &Path, k: usize) {
+    let text = std::fs::read_to_string(path).expect("journal exists");
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1 + k, "need more than {k} rows to truncate");
+    lines.truncate(1 + k);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out.push_str("{\"kind\":\"done\",\"index\":1,\"resu"); // torn final write
+    std::fs::write(path, out).expect("truncate journal");
+}
+
+#[test]
+fn killed_campaign_resumes_bit_identical() {
+    let dir = tmp_dir("resume");
+    let baseline = run_campaign(&tiny_campaign(1), fuzzer).expect("uninterrupted run");
+    assert_eq!(baseline.missions.len(), 4);
+
+    for workers in [1usize, 4] {
+        for k in [1usize, 3] {
+            let path = dir.join(format!("w{workers}-k{k}.jsonl"));
+            // Full journaled run, then rewind the file to "crashed after k
+            // missions, died mid-append".
+            run_journaled(&tiny_campaign(workers), &path, false, &Telemetry::off())
+                .expect("initial journaled run");
+            kill_after(&path, k);
+
+            let telemetry = Telemetry::enabled(workers);
+            let resumed = run_journaled(&tiny_campaign(workers), &path, true, &telemetry)
+                .expect("resumed run");
+            assert_eq!(baseline, resumed, "workers={workers} k={k}");
+            assert_eq!(telemetry.counter(Counter::ResumeSkips), k as u64);
+            assert_eq!(telemetry.counter(Counter::JournalAppends), (4 - k) as u64);
+
+            // The compacted journal now holds the complete campaign.
+            let contents = CampaignJournal::read(&path).expect("journal readable");
+            assert_eq!(contents.rows.len(), 4);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journaled_run_matches_plain_run() {
+    let dir = tmp_dir("plain");
+    let path = dir.join("campaign.jsonl");
+    let plain = run_campaign(&tiny_campaign(2), fuzzer).expect("plain run");
+
+    let telemetry = Telemetry::enabled(2);
+    let journaled =
+        run_journaled(&tiny_campaign(2), &path, false, &telemetry).expect("journaled run");
+    assert_eq!(plain, journaled, "journaling must not change the report");
+    assert_eq!(telemetry.counter(Counter::JournalAppends), plain.missions.len() as u64);
+    assert_eq!(telemetry.counter(Counter::ResumeSkips), 0);
+
+    let contents = CampaignJournal::read(&path).expect("journal readable");
+    assert_eq!(contents.variant, "SwarmFuzz");
+    assert_eq!(contents.rows.len(), plain.missions.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_foreign_campaign() {
+    let dir = tmp_dir("foreign");
+    let path = dir.join("campaign.jsonl");
+    run_journaled(&tiny_campaign(1), &path, false, &Telemetry::off()).expect("seed run");
+
+    // Different base seed: different campaign identity.
+    let mut other_seed = tiny_campaign(1);
+    other_seed.base_seed = 8;
+    let err = run_journaled(&other_seed, &path, true, &Telemetry::off())
+        .expect_err("must refuse a foreign seed");
+    assert!(
+        matches!(err, FuzzError::Journal(StoreError::FingerprintMismatch { .. })),
+        "got {err:?}"
+    );
+
+    // Same grid, different fuzzer variant: also refused.
+    let r_fuzz = |d: f64| {
+        Fuzzer::new(controller(), FuzzerConfig { eval_budget: 2, ..FuzzerConfig::r_fuzz(d) })
+    };
+    let err = run_campaign_with_options(
+        &tiny_campaign(1),
+        r_fuzz,
+        &Telemetry::off(),
+        &journal_options(&path, true),
+    )
+    .expect_err("must refuse a foreign variant");
+    assert!(
+        matches!(err, FuzzError::Journal(StoreError::FingerprintMismatch { .. })),
+        "got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A grid whose first configuration cannot form a target–victim pair, so
+/// each of its missions deterministically fails with `SwarmTooSmall`.
+fn poisoned_campaign(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        configs: vec![
+            SwarmConfig { swarm_size: 1, deviation: 5.0 },
+            SwarmConfig { swarm_size: 3, deviation: 5.0 },
+        ],
+        missions_per_config: 2,
+        base_seed: 7,
+        workers,
+    }
+}
+
+#[test]
+fn failing_missions_are_quarantined_not_fatal() {
+    let telemetry = Telemetry::enabled(2);
+    let report = run_campaign_with_options(
+        &poisoned_campaign(2),
+        fuzzer,
+        &telemetry,
+        &CampaignRunOptions { journal: None, max_retries: 1 },
+    )
+    .expect("mission failures must not abort the campaign");
+
+    // The healthy configuration's missions all completed.
+    assert_eq!(report.missions.len(), 2);
+    assert!(report.missions.iter().all(|m| m.config.swarm_size == 3));
+    // Both poisoned missions were retried once, then quarantined.
+    assert_eq!(report.failures.len(), 2);
+    for f in &report.failures {
+        assert_eq!(f.config.swarm_size, 1);
+        assert_eq!(f.retries, 1);
+        assert!(f.error.contains("target-victim"), "error: {}", f.error);
+    }
+    assert_eq!(telemetry.counter(Counter::MissionRetries), 2);
+    assert_eq!(telemetry.counter(Counter::MissionFailures), 2);
+
+    let summary = report.error_summary().expect("failures produce a summary");
+    assert!(summary.contains("2 mission(s) failed"), "summary: {summary}");
+    assert!(summary.contains("1d-5m"), "summary: {summary}");
+}
+
+#[test]
+fn failures_survive_resume() {
+    let dir = tmp_dir("failures");
+    let path = dir.join("campaign.jsonl");
+    let full = run_campaign_with_options(
+        &poisoned_campaign(1),
+        fuzzer,
+        &Telemetry::off(),
+        &journal_options(&path, false),
+    )
+    .expect("journaled run with failures");
+    assert_eq!(full.failures.len(), 2);
+
+    // Kill after the first journaled row, whichever kind it was.
+    kill_after(&path, 1);
+    let telemetry = Telemetry::enabled(1);
+    let resumed = run_campaign_with_options(
+        &poisoned_campaign(1),
+        fuzzer,
+        &telemetry,
+        &journal_options(&path, true),
+    )
+    .expect("resume");
+    assert_eq!(full, resumed, "failed rows must round-trip through resume");
+    assert_eq!(telemetry.counter(Counter::ResumeSkips), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plain_run_campaign_tolerates_mission_failures() {
+    // The default entry point inherits fault isolation: no journal, yet a
+    // poisoned configuration no longer poisons its siblings.
+    let report = run_campaign(&poisoned_campaign(1), fuzzer).expect("must not abort");
+    assert_eq!(report.missions.len(), 2);
+    assert_eq!(report.failures.len(), 2);
+}
