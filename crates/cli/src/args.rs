@@ -67,6 +67,12 @@ impl Args {
         self.values.get(key).map(String::as_str)
     }
 
+    /// The flag names present on the command line (without the `--` prefix),
+    /// in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
     /// Parses an optional flag, falling back to `default`.
     ///
     /// # Errors

@@ -7,19 +7,24 @@
 //! swarmfuzz replay   --drones 10 --seed 7 --target 3 --direction right \
 //!                    --start 12.5 --duration 10 --deviation 10
 //! ```
+//!
+//! Parsing lives in [`parse`] and is pure; this module owns I/O and
+//! execution.
 
 mod args;
+mod parse;
 
 use std::process::ExitCode;
 
-use args::{ArgError, Args};
+use parse::{
+    AuditOpts, BaselineOpts, CampaignOpts, Command, ParseError, ReplayOpts, StressOpts,
+    TelemetryMode,
+};
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_sim::mission::MissionSpec;
-use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::spoof::SpoofingAttack;
 use swarm_sim::{DroneId, Simulation};
-use swarmfuzz::campaign::{
-    run_campaign_with_options, CampaignConfig, CampaignRunOptions, JournalSpec,
-};
+use swarmfuzz::campaign::{run_campaign_with_options, CampaignConfig, CampaignRunOptions};
 use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig, Telemetry};
 
 const USAGE: &str = "\
@@ -51,25 +56,6 @@ fn controller() -> VasarhelyiController {
     VasarhelyiController::new(VasarhelyiParams::default())
 }
 
-/// How `--telemetry` renders the collected snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TelemetryMode {
-    Off,
-    Summary,
-    Json,
-}
-
-fn telemetry_mode(args: &Args) -> Result<TelemetryMode, CliError> {
-    match args.raw("telemetry") {
-        None | Some("off") => Ok(TelemetryMode::Off),
-        Some("summary") => Ok(TelemetryMode::Summary),
-        Some("json") => Ok(TelemetryMode::Json),
-        Some(other) => Err(CliError::Other(format!(
-            "--telemetry must be 'off', 'summary' or 'json', got {other:?}"
-        ))),
-    }
-}
-
 /// Prints the snapshot in the requested format (summary to stderr, JSON to
 /// stdout so it can be piped).
 fn emit_telemetry(mode: TelemetryMode, telemetry: &Telemetry) {
@@ -92,33 +78,31 @@ fn human_line(mode: TelemetryMode, line: std::fmt::Arguments<'_>) {
 }
 
 fn main() -> ExitCode {
-    let mut argv = std::env::args().skip(1);
-    let Some(command) = argv.next() else {
-        eprint!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let args = match Args::parse(argv) {
-        Ok(a) => a,
-        Err(e) => {
+    let command = match parse::parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(ParseError::NoCommand) => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        Err(e @ (ParseError::UnknownCommand(_) | ParseError::Arg(_))) => {
             eprintln!("error: {e}\n");
             eprint!("{USAGE}");
             return ExitCode::FAILURE;
         }
+        Err(e @ ParseError::Invalid(_)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    let result = match command.as_str() {
-        "audit" => cmd_audit(&args),
-        "campaign" => cmd_campaign(&args),
-        "baseline" => cmd_baseline(&args),
-        "replay" => cmd_replay(&args),
-        "stress" => cmd_stress(&args),
-        "help" | "--help" | "-h" => {
+    let result = match command {
+        Command::Audit(opts) => cmd_audit(&opts),
+        Command::Campaign(opts) => cmd_campaign(&opts),
+        Command::Baseline(opts) => cmd_baseline(&opts),
+        Command::Replay(opts) => cmd_replay(&opts),
+        Command::Stress(opts) => cmd_stress(&opts),
+        Command::Help => {
             print!("{USAGE}");
             Ok(())
-        }
-        other => {
-            eprintln!("error: unknown command {other:?}\n");
-            eprint!("{USAGE}");
-            return ExitCode::FAILURE;
         }
     };
     match result {
@@ -132,7 +116,6 @@ fn main() -> ExitCode {
 
 #[derive(Debug)]
 enum CliError {
-    Arg(ArgError),
     Fuzz(FuzzError),
     Sim(swarm_sim::SimError),
     Other(String),
@@ -141,7 +124,6 @@ enum CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Arg(e) => write!(f, "{e}"),
             CliError::Fuzz(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
             CliError::Other(msg) => write!(f, "{msg}"),
@@ -149,11 +131,6 @@ impl std::fmt::Display for CliError {
     }
 }
 
-impl From<ArgError> for CliError {
-    fn from(e: ArgError) -> Self {
-        CliError::Arg(e)
-    }
-}
 impl From<FuzzError> for CliError {
     fn from(e: FuzzError) -> Self {
         CliError::Fuzz(e)
@@ -165,22 +142,18 @@ impl From<swarm_sim::SimError> for CliError {
     }
 }
 
-fn cmd_audit(args: &Args) -> Result<(), CliError> {
-    let drones: usize = args.get_or("drones", 10)?;
-    let deviation: f64 = args.get_or("deviation", 10.0)?;
-    let missions: usize = args.get_or("missions", 10)?;
-    let base_seed: u64 = args.get_or("seed", 0)?;
-    let mode = telemetry_mode(args)?;
+fn cmd_audit(opts: &AuditOpts) -> Result<(), CliError> {
+    let mode = opts.telemetry;
     let telemetry =
         if mode == TelemetryMode::Off { Telemetry::off() } else { Telemetry::enabled(1) };
 
-    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(deviation))
+    let fuzzer = Fuzzer::new(controller(), FuzzerConfig::swarmfuzz(opts.deviation))
         .with_telemetry(telemetry.clone());
     let mut vulnerable = 0usize;
     let mut audited = 0usize;
-    let mut seed = base_seed;
-    while audited < missions {
-        let spec = MissionSpec::paper_delivery(drones, seed);
+    let mut seed = opts.seed;
+    while audited < opts.missions {
+        let spec = MissionSpec::paper_delivery(opts.drones, seed);
         seed += 1;
         match fuzzer.fuzz(&spec) {
             Err(FuzzError::BaselineCollision(_)) => {
@@ -224,40 +197,30 @@ fn cmd_audit(args: &Args) -> Result<(), CliError> {
     }
     human_line(
         mode,
-        format_args!("\n{vulnerable}/{audited} missions vulnerable at {deviation:.0} m spoofing"),
+        format_args!(
+            "\n{vulnerable}/{audited} missions vulnerable at {:.0} m spoofing",
+            opts.deviation
+        ),
     );
     emit_telemetry(mode, &telemetry);
     Ok(())
 }
 
-fn cmd_campaign(args: &Args) -> Result<(), CliError> {
-    let missions: usize = args.get_or("missions", 20)?;
-    let workers: usize =
-        args.get_or("workers", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))?;
-    let resume = match args.raw("resume") {
-        None | Some("no") => false,
-        Some("yes") => true,
-        Some(other) => {
-            return Err(CliError::Other(format!("--resume must be 'yes' or 'no', got {other:?}")))
-        }
-    };
-    let journal = args.raw("journal").map(|p| JournalSpec { path: p.into(), resume });
-    if resume && journal.is_none() {
-        return Err(CliError::Other("--resume yes requires --journal PATH".into()));
-    }
-    let max_retries: usize = args.get_or("retries", 1)?;
-    let mode = telemetry_mode(args)?;
+fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
+    let mode = opts.telemetry;
+    let workers = opts.workers;
     let telemetry = if mode == TelemetryMode::Off {
         Telemetry::off()
     } else {
         // One progress line roughly every 10% of a worker's share.
-        let every = ((missions * 6 / workers.max(1)) as u64 / 10).max(5);
+        let every = ((opts.missions * 6 / workers.max(1)) as u64 / 10).max(5);
         Telemetry::enabled_with_progress(workers, every)
     };
-    let mut campaign = CampaignConfig::paper_grid(missions, 0xC0FFEE);
+    let mut campaign = CampaignConfig::paper_grid(opts.missions, 0xC0FFEE);
     campaign.workers = workers;
     let ctrl = controller();
-    let options = CampaignRunOptions { journal, max_retries };
+    let options =
+        CampaignRunOptions { journal: opts.journal.clone(), max_retries: opts.max_retries };
     let report = run_campaign_with_options(
         &campaign,
         |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)),
@@ -284,9 +247,8 @@ fn cmd_campaign(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_baseline(args: &Args) -> Result<(), CliError> {
-    let drones: usize = args.get_or("drones", 10)?;
-    let seed: u64 = args.get_or("seed", 0)?;
+fn cmd_baseline(opts: &BaselineOpts) -> Result<(), CliError> {
+    let BaselineOpts { drones, seed } = *opts;
     let spec = MissionSpec::paper_delivery(drones, seed);
     let sim = Simulation::new(spec, controller())?;
     let out = sim.run(None)?;
@@ -303,29 +265,19 @@ fn cmd_baseline(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_stress(args: &Args) -> Result<(), CliError> {
+fn cmd_stress(opts: &StressOpts) -> Result<(), CliError> {
     use swarm_sim::{metrics, scenario, SimConfig, SpatialGrid, SpatialPolicy};
 
-    let drones: usize = args.get_or("drones", 100)?;
-    let seed: u64 = args.get_or("seed", 0)?;
-    let duration: f64 = args.get_or("duration", 20.0)?;
-    let spatial = match args.raw("grid") {
-        None | Some("auto") => SpatialPolicy::Auto,
-        Some("on") => SpatialPolicy::ForceOn,
-        Some("off") => SpatialPolicy::ForceOff,
-        Some(other) => {
-            return Err(CliError::Other(format!(
-                "--grid must be 'auto', 'on' or 'off', got {other:?}"
-            )))
-        }
-    };
-    let mode = telemetry_mode(args)?;
+    let StressOpts { drones, seed, duration, spatial, telemetry: mode } = *opts;
     let telemetry =
         if mode == TelemetryMode::Off { Telemetry::off() } else { Telemetry::enabled(1) };
 
     let mut spec = scenario::large_swarm(drones, seed);
     spec.duration = duration;
-    let range = spec.comms.range.expect("large_swarm always sets a radio range");
+    let range = spec
+        .comms
+        .range
+        .ok_or_else(|| CliError::Other("large_swarm scenario did not set a radio range".into()))?;
     let sim = Simulation::new(spec.clone(), controller())?
         .with_config(SimConfig { spatial, ..Default::default() });
 
@@ -369,47 +321,36 @@ fn cmd_stress(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_replay(args: &Args) -> Result<(), CliError> {
-    let drones: usize = args.get_or("drones", 10)?;
-    let seed: u64 = args.get_or("seed", 0)?;
-    let target: usize = args.require("target")?;
-    let direction = match args.raw("direction") {
-        Some("left") => SpoofDirection::Left,
-        Some("right") => SpoofDirection::Right,
-        Some(other) => {
-            return Err(CliError::Other(format!(
-                "--direction must be 'left' or 'right', got {other:?}"
-            )))
-        }
-        None => return Err(CliError::Arg(ArgError::Required("--direction".into()))),
-    };
-    let start: f64 = args.require("start")?;
-    let duration: f64 = args.require("duration")?;
-    let deviation: f64 = args.get_or("deviation", 10.0)?;
-
-    let spec = MissionSpec::paper_delivery(drones, seed);
+fn cmd_replay(opts: &ReplayOpts) -> Result<(), CliError> {
+    let spec = MissionSpec::paper_delivery(opts.drones, opts.seed);
     let sim = Simulation::new(spec, controller())?;
-    let attack = SpoofingAttack::new(DroneId(target), direction, start, duration, deviation)?;
+    let attack = SpoofingAttack::new(
+        DroneId(opts.target),
+        opts.direction,
+        opts.start,
+        opts.duration,
+        opts.deviation,
+    )?;
     println!("replaying: {attack}");
     let out = sim.run(Some(&attack))?;
-    match out.spv_collision(DroneId(target)) {
+    match out.spv_collision(DroneId(opts.target)) {
         Some((victim, t)) => {
             println!("SPV confirmed: {victim} crashes into the obstacle at t = {t:.1} s");
-            if args.raw("minimize") == Some("yes") {
+            if opts.minimize {
                 use swarmfuzz::minimize::{minimize_attack, MinimizeConfig};
                 use swarmfuzz::seed::Seed;
                 use swarmfuzz::SpvFinding;
                 let finding = SpvFinding {
                     seed: Seed {
-                        target: DroneId(target),
+                        target: DroneId(opts.target),
                         victim,
-                        direction,
+                        direction: opts.direction,
                         influence: 0.0,
                         victim_vdo: 0.0,
                     },
-                    start,
-                    duration,
-                    deviation,
+                    start: opts.start,
+                    duration: opts.duration,
+                    deviation: opts.deviation,
                     actual_victim: victim,
                     collision_time: t,
                 };

@@ -1,0 +1,484 @@
+//! Command-line parsing, separated from execution so every subcommand and
+//! flag combination is unit-testable without running missions.
+//!
+//! [`parse_args`] turns an argument iterator (everything after the binary
+//! name) into a typed [`Command`]. Validation — flag spelling, value
+//! parsing, enum values like `--telemetry` and `--resume`, cross-flag rules
+//! like `--resume yes` requiring `--journal` — all happens here; `main`
+//! only dispatches on the result.
+
+use std::fmt;
+
+use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::SpatialPolicy;
+use swarmfuzz::campaign::JournalSpec;
+
+use crate::args::{ArgError, Args};
+
+/// How `--telemetry` renders the collected snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    Off,
+    Summary,
+    Json,
+}
+
+/// Why the command line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand was given at all.
+    NoCommand,
+    /// The first token is not a known subcommand.
+    UnknownCommand(String),
+    /// Token-level failure (missing value, unparsable number, ...).
+    Arg(ArgError),
+    /// A structurally valid flag carried a rejected value, or flags
+    /// contradict each other.
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NoCommand => write!(f, "no command given"),
+            ParseError::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?}"),
+            ParseError::Arg(e) => write!(f, "{e}"),
+            ParseError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ArgError> for ParseError {
+    fn from(e: ArgError) -> Self {
+        ParseError::Arg(e)
+    }
+}
+
+/// `swarmfuzz audit` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditOpts {
+    pub drones: usize,
+    pub deviation: f64,
+    pub missions: usize,
+    pub seed: u64,
+    pub telemetry: TelemetryMode,
+}
+
+/// `swarmfuzz campaign` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOpts {
+    pub missions: usize,
+    pub workers: usize,
+    pub journal: Option<JournalSpec>,
+    pub max_retries: usize,
+    pub telemetry: TelemetryMode,
+}
+
+/// `swarmfuzz baseline` options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineOpts {
+    pub drones: usize,
+    pub seed: u64,
+}
+
+/// `swarmfuzz replay` options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOpts {
+    pub drones: usize,
+    pub seed: u64,
+    pub target: usize,
+    pub direction: SpoofDirection,
+    pub start: f64,
+    pub duration: f64,
+    pub deviation: f64,
+    pub minimize: bool,
+}
+
+/// `swarmfuzz stress` options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressOpts {
+    pub drones: usize,
+    pub seed: u64,
+    pub duration: f64,
+    pub spatial: SpatialPolicy,
+    pub telemetry: TelemetryMode,
+}
+
+/// A fully validated command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Audit(AuditOpts),
+    Campaign(CampaignOpts),
+    Baseline(BaselineOpts),
+    Replay(ReplayOpts),
+    Stress(StressOpts),
+    Help,
+}
+
+/// Parses everything after the binary name into a [`Command`].
+///
+/// # Errors
+///
+/// See [`ParseError`]; `main` prints the message and the usage text.
+pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, ParseError> {
+    let mut it = argv.into_iter();
+    let Some(command) = it.next() else { return Err(ParseError::NoCommand) };
+    let args = Args::parse(it)?;
+    match command.as_str() {
+        "audit" => parse_audit(&args).map(Command::Audit),
+        "campaign" => parse_campaign(&args).map(Command::Campaign),
+        "baseline" => parse_baseline(&args).map(Command::Baseline),
+        "replay" => parse_replay(&args).map(Command::Replay),
+        "stress" => parse_stress(&args).map(Command::Stress),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Rejects flags the subcommand does not define — a typo like `--drone`
+/// must not silently fall back to the default.
+fn reject_unknown_flags(args: &Args, command: &str, known: &[&str]) -> Result<(), ParseError> {
+    let mut unknown: Vec<&str> = args.keys().filter(|k| !known.contains(k)).collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        None => Ok(()),
+        Some(flag) => Err(ParseError::Invalid(format!("unknown flag --{flag} for '{command}'"))),
+    }
+}
+
+fn telemetry_mode(args: &Args) -> Result<TelemetryMode, ParseError> {
+    match args.raw("telemetry") {
+        None | Some("off") => Ok(TelemetryMode::Off),
+        Some("summary") => Ok(TelemetryMode::Summary),
+        Some("json") => Ok(TelemetryMode::Json),
+        Some(other) => Err(ParseError::Invalid(format!(
+            "--telemetry must be 'off', 'summary' or 'json', got {other:?}"
+        ))),
+    }
+}
+
+fn yes_no(args: &Args, flag: &str) -> Result<bool, ParseError> {
+    match args.raw(flag) {
+        None | Some("no") => Ok(false),
+        Some("yes") => Ok(true),
+        Some(other) => {
+            Err(ParseError::Invalid(format!("--{flag} must be 'yes' or 'no', got {other:?}")))
+        }
+    }
+}
+
+fn parse_audit(args: &Args) -> Result<AuditOpts, ParseError> {
+    reject_unknown_flags(args, "audit", &["drones", "deviation", "missions", "seed", "telemetry"])?;
+    Ok(AuditOpts {
+        drones: args.get_or("drones", 10)?,
+        deviation: args.get_or("deviation", 10.0)?,
+        missions: args.get_or("missions", 10)?,
+        seed: args.get_or("seed", 0)?,
+        telemetry: telemetry_mode(args)?,
+    })
+}
+
+fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
+    reject_unknown_flags(
+        args,
+        "campaign",
+        &["missions", "workers", "journal", "resume", "retries", "telemetry"],
+    )?;
+    let resume = yes_no(args, "resume")?;
+    let journal = args.raw("journal").map(|p| JournalSpec { path: p.into(), resume });
+    if resume && journal.is_none() {
+        return Err(ParseError::Invalid("--resume yes requires --journal PATH".into()));
+    }
+    Ok(CampaignOpts {
+        missions: args.get_or("missions", 20)?,
+        workers: args.get_or(
+            "workers",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        )?,
+        journal,
+        max_retries: args.get_or("retries", 1)?,
+        telemetry: telemetry_mode(args)?,
+    })
+}
+
+fn parse_baseline(args: &Args) -> Result<BaselineOpts, ParseError> {
+    reject_unknown_flags(args, "baseline", &["drones", "seed"])?;
+    Ok(BaselineOpts { drones: args.get_or("drones", 10)?, seed: args.get_or("seed", 0)? })
+}
+
+fn parse_replay(args: &Args) -> Result<ReplayOpts, ParseError> {
+    reject_unknown_flags(
+        args,
+        "replay",
+        &["drones", "seed", "target", "direction", "start", "duration", "deviation", "minimize"],
+    )?;
+    let direction = match args.raw("direction") {
+        Some("left") => SpoofDirection::Left,
+        Some("right") => SpoofDirection::Right,
+        Some(other) => {
+            return Err(ParseError::Invalid(format!(
+                "--direction must be 'left' or 'right', got {other:?}"
+            )))
+        }
+        None => return Err(ParseError::Arg(ArgError::Required("--direction".into()))),
+    };
+    Ok(ReplayOpts {
+        drones: args.get_or("drones", 10)?,
+        seed: args.get_or("seed", 0)?,
+        target: args.require("target")?,
+        direction,
+        start: args.require("start")?,
+        duration: args.require("duration")?,
+        deviation: args.get_or("deviation", 10.0)?,
+        minimize: yes_no(args, "minimize")?,
+    })
+}
+
+fn parse_stress(args: &Args) -> Result<StressOpts, ParseError> {
+    reject_unknown_flags(args, "stress", &["drones", "seed", "duration", "grid", "telemetry"])?;
+    let spatial = match args.raw("grid") {
+        None | Some("auto") => SpatialPolicy::Auto,
+        Some("on") => SpatialPolicy::ForceOn,
+        Some("off") => SpatialPolicy::ForceOff,
+        Some(other) => {
+            return Err(ParseError::Invalid(format!(
+                "--grid must be 'auto', 'on' or 'off', got {other:?}"
+            )))
+        }
+    };
+    Ok(StressOpts {
+        drones: args.get_or("drones", 100)?,
+        seed: args.get_or("seed", 0)?,
+        duration: args.get_or("duration", 20.0)?,
+        spatial,
+        telemetry: telemetry_mode(args)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Command, ParseError> {
+        parse_args(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn no_command_is_rejected() {
+        assert_eq!(parse(""), Err(ParseError::NoCommand));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected_with_its_name() {
+        let err = parse("attack --drones 5").unwrap_err();
+        assert_eq!(err, ParseError::UnknownCommand("attack".into()));
+        assert_eq!(err.to_string(), "unknown command \"attack\"");
+    }
+
+    #[test]
+    fn help_aliases_all_parse() {
+        for line in ["help", "--help", "-h"] {
+            assert_eq!(parse(line), Ok(Command::Help));
+        }
+    }
+
+    #[test]
+    fn audit_defaults_match_the_usage_text() {
+        let Ok(Command::Audit(opts)) = parse("audit") else { panic!("audit must parse") };
+        assert_eq!(
+            opts,
+            AuditOpts {
+                drones: 10,
+                deviation: 10.0,
+                missions: 10,
+                seed: 0,
+                telemetry: TelemetryMode::Off,
+            }
+        );
+    }
+
+    #[test]
+    fn audit_flags_override_defaults() {
+        let Ok(Command::Audit(opts)) =
+            parse("audit --drones 6 --deviation 7.5 --missions 3 --seed 42 --telemetry summary")
+        else {
+            panic!("audit must parse")
+        };
+        assert_eq!(opts.drones, 6);
+        assert_eq!(opts.deviation, 7.5);
+        assert_eq!(opts.missions, 3);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.telemetry, TelemetryMode::Summary);
+    }
+
+    #[test]
+    fn telemetry_accepts_exactly_three_modes() {
+        for (value, mode) in [
+            ("off", TelemetryMode::Off),
+            ("summary", TelemetryMode::Summary),
+            ("json", TelemetryMode::Json),
+        ] {
+            let Ok(Command::Audit(opts)) = parse(&format!("audit --telemetry {value}")) else {
+                panic!("--telemetry {value} must parse")
+            };
+            assert_eq!(opts.telemetry, mode);
+        }
+        let err = parse("audit --telemetry verbose").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "--telemetry must be 'off', 'summary' or 'json', got \"verbose\""
+        );
+    }
+
+    #[test]
+    fn campaign_defaults_and_overrides() {
+        let Ok(Command::Campaign(opts)) = parse("campaign") else { panic!("campaign must parse") };
+        assert_eq!(opts.missions, 20);
+        assert!(opts.workers >= 1, "workers default to available parallelism");
+        assert_eq!(opts.journal, None);
+        assert_eq!(opts.max_retries, 1);
+
+        let Ok(Command::Campaign(opts)) =
+            parse("campaign --missions 4 --workers 2 --retries 3 --telemetry json")
+        else {
+            panic!("campaign must parse")
+        };
+        assert_eq!(opts.missions, 4);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.max_retries, 3);
+        assert_eq!(opts.telemetry, TelemetryMode::Json);
+    }
+
+    #[test]
+    fn campaign_journal_and_resume_combine() {
+        let Ok(Command::Campaign(opts)) = parse("campaign --journal out.jsonl") else {
+            panic!("journal without resume must parse")
+        };
+        let journal = opts.journal.expect("journal spec present");
+        assert_eq!(journal.path, std::path::PathBuf::from("out.jsonl"));
+        assert!(!journal.resume);
+
+        let Ok(Command::Campaign(opts)) = parse("campaign --journal out.jsonl --resume yes") else {
+            panic!("journal + resume must parse")
+        };
+        assert!(opts.journal.expect("journal spec present").resume);
+    }
+
+    #[test]
+    fn campaign_rejects_bad_resume_values() {
+        let err = parse("campaign --journal out.jsonl --resume maybe").unwrap_err();
+        assert_eq!(err.to_string(), "--resume must be 'yes' or 'no', got \"maybe\"");
+    }
+
+    #[test]
+    fn campaign_resume_requires_a_journal() {
+        let err = parse("campaign --resume yes").unwrap_err();
+        assert_eq!(err.to_string(), "--resume yes requires --journal PATH");
+        // `--resume no` without a journal stays fine.
+        assert!(matches!(parse("campaign --resume no"), Ok(Command::Campaign(_))));
+    }
+
+    #[test]
+    fn baseline_parses_its_two_flags() {
+        let Ok(Command::Baseline(opts)) = parse("baseline --drones 5 --seed 9") else {
+            panic!("baseline must parse")
+        };
+        assert_eq!(opts, BaselineOpts { drones: 5, seed: 9 });
+        let Ok(Command::Baseline(opts)) = parse("baseline") else { panic!("baseline must parse") };
+        assert_eq!(opts, BaselineOpts { drones: 10, seed: 0 });
+    }
+
+    #[test]
+    fn replay_requires_target_direction_start_and_duration() {
+        let full = "replay --target 3 --direction right --start 12.5 --duration 10";
+        let Ok(Command::Replay(opts)) = parse(full) else { panic!("replay must parse") };
+        assert_eq!(opts.target, 3);
+        assert_eq!(opts.direction, SpoofDirection::Right);
+        assert_eq!(opts.start, 12.5);
+        assert_eq!(opts.duration, 10.0);
+        assert_eq!(opts.deviation, 10.0);
+        assert!(!opts.minimize);
+
+        assert_eq!(
+            parse("replay --target 3 --start 1 --duration 2").unwrap_err(),
+            ParseError::Arg(ArgError::Required("--direction".into()))
+        );
+        assert_eq!(
+            parse("replay --direction left --start 1 --duration 2").unwrap_err(),
+            ParseError::Arg(ArgError::Required("--target".into()))
+        );
+        assert_eq!(
+            parse("replay --target 3 --direction left --duration 2").unwrap_err(),
+            ParseError::Arg(ArgError::Required("--start".into()))
+        );
+        assert_eq!(
+            parse("replay --target 3 --direction left --start 1").unwrap_err(),
+            ParseError::Arg(ArgError::Required("--duration".into()))
+        );
+    }
+
+    #[test]
+    fn replay_rejects_bad_direction_and_minimize() {
+        let err = parse("replay --target 3 --direction up --start 1 --duration 2").unwrap_err();
+        assert_eq!(err.to_string(), "--direction must be 'left' or 'right', got \"up\"");
+        let err = parse("replay --target 3 --direction left --start 1 --duration 2 --minimize si")
+            .unwrap_err();
+        assert_eq!(err.to_string(), "--minimize must be 'yes' or 'no', got \"si\"");
+        let Ok(Command::Replay(opts)) =
+            parse("replay --target 3 --direction left --start 1 --duration 2 --minimize yes")
+        else {
+            panic!("minimize yes must parse")
+        };
+        assert!(opts.minimize);
+    }
+
+    #[test]
+    fn stress_grid_policy_values() {
+        for (value, policy) in [
+            ("auto", SpatialPolicy::Auto),
+            ("on", SpatialPolicy::ForceOn),
+            ("off", SpatialPolicy::ForceOff),
+        ] {
+            let Ok(Command::Stress(opts)) = parse(&format!("stress --grid {value}")) else {
+                panic!("--grid {value} must parse")
+            };
+            assert_eq!(opts.spatial, policy);
+        }
+        let Ok(Command::Stress(opts)) = parse("stress") else { panic!("stress must parse") };
+        assert_eq!(opts.spatial, SpatialPolicy::Auto);
+        assert_eq!(opts.drones, 100);
+        assert_eq!(opts.duration, 20.0);
+        let err = parse("stress --grid maybe").unwrap_err();
+        assert_eq!(err.to_string(), "--grid must be 'auto', 'on' or 'off', got \"maybe\"");
+    }
+
+    #[test]
+    fn unparsable_numbers_are_bad_values() {
+        let err = parse("audit --drones ten").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Arg(ArgError::BadValue { flag: "--drones".into(), value: "ten".into() })
+        );
+    }
+
+    #[test]
+    fn token_level_errors_surface_before_dispatch() {
+        assert_eq!(
+            parse("audit --drones"),
+            Err(ParseError::Arg(ArgError::MissingValue("--drones".into())))
+        );
+        assert!(matches!(parse("audit stray"), Err(ParseError::Arg(ArgError::Unknown(_)))));
+    }
+
+    #[test]
+    fn mistyped_flags_are_rejected_per_command() {
+        let err = parse("audit --drone 5").unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --drone for 'audit'");
+        let err = parse("baseline --telemetry json").unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --telemetry for 'baseline'");
+        let err = parse("stress --missions 3").unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --missions for 'stress'");
+    }
+}

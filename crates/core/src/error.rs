@@ -34,6 +34,10 @@ pub enum FuzzError {
     /// The campaign journal failed (I/O, corruption, or a fingerprint
     /// mismatch); the only error class that still aborts a campaign.
     Journal(StoreError),
+    /// Minimization was handed a finding that does not reproduce on the
+    /// given simulation (mismatched mission or fuzzer configuration). The
+    /// payload renders the attack that failed to crash its victim.
+    NonReproducingFinding(String),
 }
 
 impl fmt::Display for FuzzError {
@@ -55,6 +59,9 @@ impl fmt::Display for FuzzError {
                 )
             }
             FuzzError::Journal(e) => write!(f, "campaign journal error: {e}"),
+            FuzzError::NonReproducingFinding(attack) => {
+                write!(f, "finding must reproduce before minimization: {attack}")
+            }
         }
     }
 }

@@ -67,13 +67,9 @@ impl MinimizedAttack {
 /// # Errors
 ///
 /// * [`FuzzError::Sim`] if a probe mission fails to run;
-/// * [`FuzzError::InvalidAttack`]-wrapped errors cannot occur (parameters
-///   stay within the original's bounds).
-///
-/// # Panics
-///
-/// Panics if `finding` does not reproduce on `sim` (minimization of a
-/// non-reproducing finding indicates mismatched mission/config).
+/// * [`FuzzError::NonReproducingFinding`] if `finding` does not reproduce
+///   on `sim` (minimization of a non-reproducing finding indicates a
+///   mismatched mission or configuration).
 pub fn minimize_attack<C: SwarmController, D: Dynamics>(
     sim: &Simulation<C, D>,
     finding: &SpvFinding,
@@ -93,7 +89,9 @@ pub fn minimize_attack<C: SwarmController, D: Dynamics>(
         finding.duration,
         finding.deviation,
     )?;
-    assert!(crashes(&original)?, "finding must reproduce before minimization: {original}");
+    if !crashes(&original)? {
+        return Err(FuzzError::NonReproducingFinding(original.to_string()));
+    }
 
     // Pass 1: shrink the duration. Invariant: `hi` crashes, `lo` does not
     // (lo = 0 is attack-off, which cannot crash a screened mission).
@@ -227,10 +225,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must reproduce")]
-    fn non_reproducing_finding_panics() {
+    fn minimization_converges_to_an_idempotent_fixpoint() {
+        // Greedy one-parameter-at-a-time bisection is NOT a joint optimum:
+        // pass 2 re-anchors the start into a region where pass 1 of a
+        // *second* run can shrink the window much further (observed:
+        // 20.2 s -> 1.9 s on this rig). What the algorithm does guarantee is
+        // monotone convergence to a fixpoint, and idempotence at it.
+        let (sim, finding) = rig();
+        let cfg = MinimizeConfig::default();
+
+        let reminimize = |f: &SpvFinding| -> (MinimizedAttack, SpvFinding) {
+            let m = minimize_attack(&sim, f, &cfg).unwrap();
+            let next = SpvFinding {
+                start: m.attack.start,
+                duration: m.attack.duration,
+                deviation: m.attack.deviation,
+                ..*f
+            };
+            (m, next)
+        };
+
+        let mut prev = None;
+        let mut f = finding;
+        let mut fixpoint = None;
+        for _ in 0..5 {
+            let (m, next) = reminimize(&f);
+            if let Some(p) = prev {
+                // Monotone: re-minimizing never grows the attack.
+                assert!(
+                    m.attack.duration <= p + 1e-9,
+                    "duration grew: {p} -> {}",
+                    m.attack.duration
+                );
+            }
+            if prev == Some(m.attack.duration) {
+                fixpoint = Some(m);
+                break;
+            }
+            prev = Some(m.attack.duration);
+            f = next;
+        }
+        let fixpoint = fixpoint.expect("minimization must converge within 5 rounds");
+
+        // Idempotence at the fixpoint: one more run returns the identical
+        // attack (the simulation is deterministic, so this is exact).
+        let again = SpvFinding {
+            start: fixpoint.attack.start,
+            duration: fixpoint.attack.duration,
+            deviation: fixpoint.attack.deviation,
+            ..f
+        };
+        let (m, _) = reminimize(&again);
+        assert_eq!(m.attack, fixpoint.attack, "fixpoint must be idempotent");
+        // And it still reproduces the collision.
+        let out = sim.run(Some(&m.attack)).unwrap();
+        assert!(out.spv_collision(m.attack.target).is_some());
+    }
+
+    /// Regression: a non-reproducing finding used to abort the process via
+    /// `assert!`; it is now a typed error the caller can handle.
+    #[test]
+    fn non_reproducing_finding_is_a_typed_error() {
         let (sim, mut finding) = rig();
         finding.duration = 0.1; // far too short to crash anything
-        let _ = minimize_attack(&sim, &finding, &MinimizeConfig::default());
+        match minimize_attack(&sim, &finding, &MinimizeConfig::default()) {
+            Err(FuzzError::NonReproducingFinding(attack)) => {
+                assert!(!attack.is_empty(), "payload must render the attack");
+            }
+            other => panic!("expected NonReproducingFinding, got {other:?}"),
+        }
     }
 }

@@ -1,40 +1,24 @@
-//! Randomized property tests for the graph substrate: structural invariants
-//! of the digraph, involution of transposition, and invariance/normalization
-//! properties of the centrality measures. Cases are drawn from a seeded
-//! generator so every run checks the same sample deterministically.
+//! Property tests for the graph substrate, run on `swarm-testkit`:
+//! structural invariants of the digraph, involution of transposition, and
+//! invariance/normalization of the centrality measures. Failures shrink to
+//! a minimal graph and persist to `tests/corpus/` at the workspace root.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use swarm_graph::centrality::{eigenvector, pagerank, weighted_degree, Direction, PageRankConfig};
 use swarm_graph::paths::{betweenness, closeness, shortest_distances};
 use swarm_graph::DiGraph;
+use swarm_testkit::domain::digraph;
+use swarm_testkit::metamorphic::apply_permutation;
+use swarm_testkit::{check, gens, tk_ensure, Gen};
 
-const CASES: usize = 96;
-
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x0047_5241_5048)
-}
-
-/// A random digraph of up to 12 nodes with positive weights.
-fn graph(rng: &mut StdRng) -> DiGraph {
-    let n = rng.gen_range(2usize..12);
-    let mut g = DiGraph::new(n);
-    for _ in 0..rng.gen_range(0..40) {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
-        let w = rng.gen_range(0.05..2.0);
-        if a != b {
-            g.add_edge(a, b, w).unwrap();
-        }
-    }
-    g
+/// A random digraph of 2–11 nodes with positive weights, matching the
+/// historical hand-rolled sampler of this suite.
+fn graph() -> Gen<DiGraph> {
+    digraph(2..=11, 39, 0.05, 2.0)
 }
 
 #[test]
 fn transpose_is_an_involution() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
+    check("graph-transpose-involution", &graph(), |g| {
         // Compare canonical edge sets (adjacency-list order is not
         // semantically meaningful).
         let canon = |g: &DiGraph| {
@@ -43,125 +27,130 @@ fn transpose_is_an_involution() {
             e.sort_unstable();
             e
         };
-        assert_eq!(canon(&g.transposed().transposed()), canon(&g));
-    }
+        tk_ensure!(canon(&g.transposed().transposed()) == canon(g));
+        Ok(())
+    });
 }
 
 #[test]
 fn transpose_preserves_edge_and_weight_totals() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
+    check("graph-transpose-totals", &graph(), |g| {
         let t = g.transposed();
-        assert_eq!(t.edge_count(), g.edge_count());
+        tk_ensure!(t.edge_count() == g.edge_count());
         let total = |g: &DiGraph| g.edges().map(|e| e.weight).sum::<f64>();
-        assert!((total(&t) - total(&g)).abs() < 1e-9);
-        // in/out weights swap.
+        tk_ensure!((total(&t) - total(g)).abs() < 1e-9);
         for u in 0..g.node_count() {
-            assert!((g.out_weight(u) - t.in_weight(u)).abs() < 1e-9);
+            tk_ensure!(
+                (g.out_weight(u) - t.in_weight(u)).abs() < 1e-9,
+                "in/out weights of node {u} did not swap"
+            );
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn pagerank_is_normalized_and_positive() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
-        let pr = pagerank(&g, &PageRankConfig::default());
-        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
-        assert!(pr.iter().all(|&x| x > 0.0), "damping guarantees positivity");
-    }
+    check("graph-pagerank-normalized", &graph(), |g| {
+        let pr = pagerank(g, &PageRankConfig::default());
+        let sum: f64 = pr.iter().sum();
+        tk_ensure!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        tk_ensure!(pr.iter().all(|&x| x > 0.0), "damping guarantees positivity");
+        Ok(())
+    });
 }
 
 #[test]
 fn pagerank_is_invariant_under_node_relabeling() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
-        // Reverse the node labels and check the scores permute along.
-        let n = g.node_count();
-        let relabel = |i: usize| n - 1 - i;
-        let mut h = DiGraph::new(n);
+    // Strengthened from the historical label-reversal to an arbitrary
+    // permutation: new node `i` is old node `perm[i]`.
+    let gen =
+        graph().flat_map(|g| gens::permutation(g.node_count()).map(move |perm| (g.clone(), perm)));
+    check("graph-pagerank-relabel-invariance", &gen, |(g, perm)| {
+        let mut inverse = vec![0usize; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inverse[old] = new;
+        }
+        let mut h = DiGraph::new(g.node_count());
         for e in g.edges() {
-            h.add_edge(relabel(e.from), relabel(e.to), e.weight).unwrap();
+            h.add_edge(inverse[e.from], inverse[e.to], e.weight).expect("relabeled endpoints");
         }
-        let pr_g = pagerank(&g, &PageRankConfig::default());
-        let pr_h = pagerank(&h, &PageRankConfig::default());
-        for i in 0..n {
-            assert!((pr_g[i] - pr_h[relabel(i)]).abs() < 1e-9);
+        let expected = apply_permutation(&pagerank(g, &PageRankConfig::default()), perm);
+        let got = pagerank(&h, &PageRankConfig::default());
+        for (node, (a, b)) in expected.iter().zip(&got).enumerate() {
+            tk_ensure!((a - b).abs() < 1e-9, "node {node}: {a} vs {b}");
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn degree_totals_are_consistent() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
-        let inc = weighted_degree(&g, Direction::Incoming);
-        let out = weighted_degree(&g, Direction::Outgoing);
-        let tot = weighted_degree(&g, Direction::Total);
+    check("graph-degree-totals", &graph(), |g| {
+        let inc = weighted_degree(g, Direction::Incoming);
+        let out = weighted_degree(g, Direction::Outgoing);
+        let tot = weighted_degree(g, Direction::Total);
         for i in 0..g.node_count() {
-            assert!((inc[i] + out[i] - tot[i]).abs() < 1e-9);
+            tk_ensure!((inc[i] + out[i] - tot[i]).abs() < 1e-9, "node {i} totals inconsistent");
         }
         // Conservation: total incoming weight == total outgoing weight.
-        assert!((inc.iter().sum::<f64>() - out.iter().sum::<f64>()).abs() < 1e-9);
-    }
+        tk_ensure!((inc.iter().sum::<f64>() - out.iter().sum::<f64>()).abs() < 1e-9);
+        Ok(())
+    });
 }
 
 #[test]
 fn eigenvector_scores_are_normalized() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
-        let ev = eigenvector(&g, 300, 1e-10);
+    check("graph-eigenvector-normalized", &graph(), |g| {
+        let ev = eigenvector(g, 300, 1e-10);
         let norm: f64 = ev.iter().map(|x| x * x).sum::<f64>().sqrt();
-        assert!((norm - 1.0).abs() < 1e-6, "norm={norm}");
-    }
+        tk_ensure!((norm - 1.0).abs() < 1e-6, "norm = {norm}");
+        Ok(())
+    });
 }
 
 #[test]
 fn shortest_distances_satisfy_triangle_inequality() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
+    check("graph-shortest-triangle", &graph(), |g| {
         // d(s, v) <= d(s, u) + len(u -> v) for every edge.
         for s in 0..g.node_count() {
-            let d = shortest_distances(&g, s);
+            let d = shortest_distances(g, s);
+            tk_ensure!(d[s] == 0.0, "d({s}, {s}) = {}", d[s]);
             for e in g.edges() {
                 if d[e.from].is_finite() {
-                    assert!(d[e.to] <= d[e.from] + 1.0 / e.weight + 1e-9);
+                    tk_ensure!(
+                        d[e.to] <= d[e.from] + 1.0 / e.weight + 1e-9,
+                        "triangle violated on edge {} -> {} from source {s}",
+                        e.from,
+                        e.to
+                    );
                 }
             }
-            assert_eq!(d[s], 0.0);
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn closeness_and_betweenness_are_nonnegative() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
-        assert!(closeness(&g).iter().all(|&x| x >= 0.0));
-        assert!(betweenness(&g).iter().all(|&x| x >= -1e-12));
-    }
+    check("graph-path-centralities-nonnegative", &graph(), |g| {
+        tk_ensure!(closeness(g).iter().all(|&x| x >= 0.0));
+        tk_ensure!(betweenness(g).iter().all(|&x| x >= -1e-12));
+        Ok(())
+    });
 }
 
 #[test]
 fn parallel_edge_insertion_accumulates() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let g = graph(&mut rng);
-        let w = rng.gen_range(0.05..2.0);
+    let gen = gens::zip2(&graph(), &gens::f64_in(0.05, 2.0));
+    check("graph-parallel-edges-accumulate", &gen, |(g, w)| {
+        let Some(e) = g.edges().next() else { return Ok(()) };
         let mut g2 = g.clone();
-        if g.edge_count() > 0 {
-            let e = g.edges().next().unwrap();
-            let before = g2.edge_weight(e.from, e.to).unwrap();
-            g2.add_edge(e.from, e.to, w).unwrap();
-            assert!((g2.edge_weight(e.from, e.to).unwrap() - before - w).abs() < 1e-12);
-            assert_eq!(g2.edge_count(), g.edge_count());
-        }
-    }
+        let before = g2.edge_weight(e.from, e.to).ok_or("existing edge has a weight")?;
+        g2.add_edge(e.from, e.to, *w).map_err(|err| err.to_string())?;
+        let after = g2.edge_weight(e.from, e.to).ok_or("edge still present")?;
+        tk_ensure!((after - before - w).abs() < 1e-12, "weight {before} + {w} != {after}");
+        tk_ensure!(g2.edge_count() == g.edge_count(), "parallel insert must not add an edge");
+        Ok(())
+    });
 }

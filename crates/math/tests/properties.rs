@@ -1,200 +1,178 @@
-//! Randomized property tests for the math substrate: algebraic identities of
-//! the vector types, invariants of the statistics helpers, and convergence
-//! properties of the integrators. Cases are drawn from a seeded generator so
-//! every run checks the same (large) sample deterministically.
+//! Property tests for the math substrate, run on `swarm-testkit`: algebraic
+//! identities of the vector types, invariants of the statistics helpers, and
+//! convergence of the integrators. Failures shrink to a minimal
+//! counterexample and persist to `tests/corpus/` at the workspace root.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use swarm_math::integrate::{rk4_step, semi_implicit_euler_step, State};
 use swarm_math::stats::{cumulative_rate_by_threshold, mean, median, min_max, percentile, Ecdf};
 use swarm_math::{Vec2, Vec3};
+use swarm_testkit::domain::{finite_f64, vec2_in, vec3_in};
+use swarm_testkit::{check, gens, tk_ensure, Gen};
 
-const CASES: usize = 128;
-
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x4D41_5448)
+fn vec3() -> Gen<Vec3> {
+    vec3_in(1e6)
 }
 
-fn fin(rng: &mut StdRng) -> f64 {
-    rng.gen_range(-1e6..1e6)
+fn vec2() -> Gen<Vec2> {
+    vec2_in(1e6)
 }
 
-fn vec3(rng: &mut StdRng) -> Vec3 {
-    Vec3::new(fin(rng), fin(rng), fin(rng))
-}
-
-fn vec2(rng: &mut StdRng) -> Vec2 {
-    Vec2::new(fin(rng), fin(rng))
-}
-
-fn sample_vec(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
-    let len = rng.gen_range(1..max_len);
-    (0..len).map(|_| fin(rng)).collect()
+fn sample_vec() -> Gen<Vec<f64>> {
+    gens::vec_of(&finite_f64(), 1..=63)
 }
 
 #[test]
 fn vec3_addition_commutes() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
-        assert_eq!(a + b, b + a);
-    }
+    check("math-vec3-add-commutes", &gens::zip2(&vec3(), &vec3()), |(a, b)| {
+        tk_ensure!(*a + *b == *b + *a, "{a:?} + {b:?} != {b:?} + {a:?}");
+        Ok(())
+    });
 }
 
 #[test]
 fn vec3_scalar_distributes() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
-        let s = rng.gen_range(-1e3..1e3);
-        let lhs = (a + b) * s;
-        let rhs = a * s + b * s;
-        assert!((lhs - rhs).norm() <= 1e-6 * (1.0 + lhs.norm()));
-    }
+    let gen = gens::zip3(&vec3(), &vec3(), &gens::f64_in(-1e3, 1e3));
+    check("math-vec3-scalar-distributes", &gen, |(a, b, s)| {
+        let lhs = (*a + *b) * *s;
+        let rhs = *a * *s + *b * *s;
+        tk_ensure!((lhs - rhs).norm() <= 1e-6 * (1.0 + lhs.norm()), "lhs {lhs:?} rhs {rhs:?}");
+        Ok(())
+    });
 }
 
 #[test]
 fn vec3_dot_is_symmetric_and_cauchy_schwarz() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
-        assert_eq!(a.dot(b), b.dot(a));
-        assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12));
-    }
+    check("math-vec3-dot", &gens::zip2(&vec3(), &vec3()), |(a, b)| {
+        tk_ensure!(a.dot(*b) == b.dot(*a));
+        tk_ensure!(
+            a.dot(*b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12),
+            "Cauchy-Schwarz violated for {a:?}, {b:?}"
+        );
+        Ok(())
+    });
 }
 
 #[test]
 fn vec3_cross_is_orthogonal() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
-        let c = a.cross(b);
+    check("math-vec3-cross-orthogonal", &gens::zip2(&vec3(), &vec3()), |(a, b)| {
+        let c = a.cross(*b);
         let scale = a.norm() * b.norm();
-        assert!(c.dot(a).abs() <= 1e-6 * (1.0 + scale * a.norm()));
-        assert!(c.dot(b).abs() <= 1e-6 * (1.0 + scale * b.norm()));
-    }
+        tk_ensure!(c.dot(*a).abs() <= 1e-6 * (1.0 + scale * a.norm()));
+        tk_ensure!(c.dot(*b).abs() <= 1e-6 * (1.0 + scale * b.norm()));
+        Ok(())
+    });
 }
 
 #[test]
 fn vec3_triangle_inequality() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
-        assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
-    }
+    check("math-vec3-triangle", &gens::zip2(&vec3(), &vec3()), |(a, b)| {
+        tk_ensure!((*a + *b).norm() <= a.norm() + b.norm() + 1e-9);
+        Ok(())
+    });
 }
 
 #[test]
 fn vec3_normalized_is_unit_or_zero() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let n = vec3(&mut rng).normalized().norm();
-        assert!(n == 0.0 || (n - 1.0).abs() < 1e-9);
-    }
+    check("math-vec3-normalized", &vec3(), |a| {
+        let n = a.normalized().norm();
+        tk_ensure!(n == 0.0 || (n - 1.0).abs() < 1e-9, "norm {n}");
+        Ok(())
+    });
 }
 
 #[test]
 fn vec3_clamp_norm_never_exceeds() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let a = vec3(&mut rng);
-        let max = rng.gen_range(0.0..1e3);
-        assert!(a.clamp_norm(max).norm() <= max * (1.0 + 1e-12) + 1e-12);
-    }
+    let gen = gens::zip2(&vec3(), &gens::f64_in(0.0, 1e3));
+    check("math-vec3-clamp-norm", &gen, |(a, max)| {
+        let clamped = a.clamp_norm(*max).norm();
+        tk_ensure!(clamped <= *max * (1.0 + 1e-12) + 1e-12, "clamped to {clamped} > {max}");
+        Ok(())
+    });
 }
 
 #[test]
 fn vec2_perp_is_rotation() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let a = vec2(&mut rng);
+    check("math-vec2-perp", &vec2(), |a| {
         let p = a.perp();
-        assert!(a.dot(p).abs() <= 1e-9 * (1.0 + a.norm_squared()));
-        assert!((p.norm() - a.norm()).abs() <= 1e-9 * (1.0 + a.norm()));
-    }
+        tk_ensure!(a.dot(p).abs() <= 1e-9 * (1.0 + a.norm_squared()));
+        tk_ensure!((p.norm() - a.norm()).abs() <= 1e-9 * (1.0 + a.norm()));
+        Ok(())
+    });
 }
 
 #[test]
 fn vec2_rotation_preserves_norm() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let a = vec2(&mut rng);
-        let angle = rng.gen_range(-10.0..10.0);
-        assert!((a.rotated(angle).norm() - a.norm()).abs() <= 1e-6 * (1.0 + a.norm()));
-    }
+    let gen = gens::zip2(&vec2(), &gens::f64_in(-10.0, 10.0));
+    check("math-vec2-rotation-norm", &gen, |(a, angle)| {
+        tk_ensure!((a.rotated(*angle).norm() - a.norm()).abs() <= 1e-6 * (1.0 + a.norm()));
+        Ok(())
+    });
 }
 
 #[test]
 fn mean_is_between_min_and_max() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let xs = sample_vec(&mut rng, 64);
-        let m = mean(&xs).unwrap();
-        let (lo, hi) = min_max(&xs).unwrap();
-        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
-    }
+    check("math-mean-bounded", &sample_vec(), |xs| {
+        let m = mean(xs).ok_or("mean of non-empty sample")?;
+        let (lo, hi) = min_max(xs).ok_or("min_max of non-empty sample")?;
+        tk_ensure!(m >= lo - 1e-9 && m <= hi + 1e-9, "mean {m} outside [{lo}, {hi}]");
+        Ok(())
+    });
 }
 
 #[test]
 fn median_is_a_percentile() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let xs = sample_vec(&mut rng, 64);
-        assert_eq!(median(&xs), percentile(&xs, 50.0));
-    }
+    check("math-median-is-p50", &sample_vec(), |xs| {
+        tk_ensure!(median(xs) == percentile(xs, 50.0));
+        Ok(())
+    });
 }
 
 #[test]
 fn percentiles_are_monotone() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let xs = sample_vec(&mut rng, 64);
-        let p1 = rng.gen_range(0.0..100.0);
-        let p2 = rng.gen_range(0.0..100.0);
-        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        assert!(percentile(&xs, lo).unwrap() <= percentile(&xs, hi).unwrap() + 1e-9);
-    }
+    let gen = gens::zip3(&sample_vec(), &gens::f64_in(0.0, 100.0), &gens::f64_in(0.0, 100.0));
+    check("math-percentiles-monotone", &gen, |(xs, p1, p2)| {
+        let (lo, hi) = if p1 <= p2 { (*p1, *p2) } else { (*p2, *p1) };
+        let (a, b) = (percentile(xs, lo).ok_or("p_lo")?, percentile(xs, hi).ok_or("p_hi")?);
+        tk_ensure!(a <= b + 1e-9, "p{lo} = {a} > p{hi} = {b}");
+        Ok(())
+    });
 }
 
 #[test]
 fn ecdf_of_sample_max_is_one() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let xs = sample_vec(&mut rng, 64);
+    check("math-ecdf-max-is-one", &sample_vec(), |xs| {
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let cdf = Ecdf::new(xs);
-        assert_eq!(cdf.eval(max), 1.0);
-    }
+        let cdf = Ecdf::new(xs.clone());
+        tk_ensure!(cdf.eval(max) == 1.0, "F(max) = {}", cdf.eval(max));
+        Ok(())
+    });
 }
 
 #[test]
 fn cumulative_rate_is_a_valid_probability() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let data: Vec<(f64, bool)> = (0..rng.gen_range(0..40))
-            .map(|_| (rng.gen_range(-100.0..100.0), rng.gen_bool(0.5)))
-            .collect();
-        let thresholds: Vec<f64> =
-            (0..rng.gen_range(1..10)).map(|_| rng.gen_range(-100.0..100.0)).collect();
-        for (_, rate) in cumulative_rate_by_threshold(&data, &thresholds) {
+    let point = gens::zip2(&gens::f64_in(-100.0, 100.0), &gens::bool_any());
+    let gen = gens::zip2(
+        &gens::vec_of(&point, 0..=39),
+        &gens::vec_of(&gens::f64_in(-100.0, 100.0), 1..=9),
+    );
+    check("math-cumulative-rate-probability", &gen, |(data, thresholds)| {
+        for (threshold, rate) in cumulative_rate_by_threshold(data, thresholds) {
             if let Some(r) = rate {
-                assert!((0.0..=1.0).contains(&r));
+                tk_ensure!((0.0..=1.0).contains(&r), "rate {r} at threshold {threshold}");
             }
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn integrators_agree_on_constant_acceleration() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let px = rng.gen_range(-10.0..10.0);
-        let vx = rng.gen_range(-10.0..10.0);
-        let ax = rng.gen_range(-10.0..10.0);
+    let coord = gens::f64_in(-10.0, 10.0);
+    check("math-integrators-agree", &gens::zip3(&coord, &coord, &coord), |(px, vx, ax)| {
         // Under constant acceleration both integrators land near the
         // closed-form solution after many small steps.
-        let accel = Vec3::new(ax, 0.0, 0.0);
-        let mut euler = State::new(Vec3::new(px, 0.0, 0.0), Vec3::new(vx, 0.0, 0.0));
+        let accel = Vec3::new(*ax, 0.0, 0.0);
+        let mut euler = State::new(Vec3::new(*px, 0.0, 0.0), Vec3::new(*vx, 0.0, 0.0));
         let mut rk = euler;
         let dt = 1e-3;
         for _ in 0..1000 {
@@ -203,7 +181,12 @@ fn integrators_agree_on_constant_acceleration() {
         }
         let t = 1.0;
         let exact = px + vx * t + 0.5 * ax * t * t;
-        assert!((rk.position.x - exact).abs() < 1e-6);
-        assert!((euler.position.x - exact).abs() < 2e-2 * (1.0 + ax.abs()));
-    }
+        tk_ensure!((rk.position.x - exact).abs() < 1e-6, "rk4 drifted to {}", rk.position.x);
+        tk_ensure!(
+            (euler.position.x - exact).abs() < 2e-2 * (1.0 + ax.abs()),
+            "euler drifted to {}",
+            euler.position.x
+        );
+        Ok(())
+    });
 }

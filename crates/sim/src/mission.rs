@@ -183,6 +183,13 @@ impl MissionSpec {
         if not_positive(self.arrival_radius) {
             return Err(SimError::InvalidMission("arrival radius must be positive".into()));
         }
+        // Catch this here: `GpsConfig::period` asserts mid-run otherwise.
+        if not_positive(self.gps.rate_hz) {
+            return Err(SimError::InvalidMission(format!(
+                "GPS rate must be positive, got {} Hz",
+                self.gps.rate_hz
+            )));
+        }
         for (i, o) in self.world.obstacles.iter().enumerate() {
             if o.surface_distance(self.destination) <= 0.0 {
                 return Err(SimError::InvalidMission(format!(
@@ -279,5 +286,21 @@ mod tests {
         let mut m = MissionSpec::paper_delivery(5, 0);
         m.destination = Vec3::new(130.0, 0.0, CRUISE_ALTITUDE);
         assert!(m.validate().is_err(), "destination inside obstacle must be rejected");
+    }
+
+    /// Regression: a zero GPS rate used to pass validation and panic later
+    /// inside `GpsConfig::period` mid-run; it is now a typed error up front.
+    #[test]
+    fn validate_rejects_non_positive_gps_rate() {
+        for bad in [0.0, -5.0, f64::NAN] {
+            let mut m = MissionSpec::paper_delivery(5, 0);
+            m.gps.rate_hz = bad;
+            match m.validate() {
+                Err(SimError::InvalidMission(msg)) => {
+                    assert!(msg.contains("GPS rate"), "unexpected message: {msg}")
+                }
+                other => panic!("rate {bad} must be rejected, got {other:?}"),
+            }
+        }
     }
 }

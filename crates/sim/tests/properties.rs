@@ -1,10 +1,11 @@
-//! Randomized property tests for the simulator substrate: obstacle geometry
-//! consistency, comms-bus delivery semantics, spatial-index equivalence with
-//! brute force, and PID/dynamics boundedness. Cases are drawn from a seeded
-//! generator so every run checks the same sample deterministically.
+//! Property tests for the simulator substrate, run on `swarm-testkit`:
+//! obstacle geometry consistency, comms-bus delivery semantics,
+//! spatial-index equivalence with brute force, and PID/dynamics
+//! boundedness. Failures shrink to a minimal counterexample and persist to
+//! `tests/corpus/` at the workspace root.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use swarm_math::{Vec2, Vec3};
 use swarm_sim::comms::{CommsBus, CommsConfig, StateMessage};
 use swarm_sim::dynamics::{DroneParams, DroneState, Dynamics, PointMass};
@@ -12,74 +13,74 @@ use swarm_sim::pid::{Pid, PidConfig};
 use swarm_sim::spatial::SpatialGrid;
 use swarm_sim::world::Obstacle;
 use swarm_sim::DroneId;
+use swarm_testkit::{check, gens, tk_ensure, Gen};
 
-const CASES: usize = 128;
-
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x5349_4D50)
+/// A point in the simulation's usual airspace envelope.
+fn point() -> Gen<Vec3> {
+    gens::zip3(&gens::f64_in(-500.0, 500.0), &gens::f64_in(-500.0, 500.0), &gens::f64_in(0.0, 50.0))
+        .map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
-fn point(rng: &mut StdRng) -> Vec3 {
-    Vec3::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0), rng.gen_range(0.0..50.0))
-}
-
-fn obstacle(rng: &mut StdRng) -> Obstacle {
-    if rng.gen_bool(0.5) {
-        Obstacle::Cylinder {
-            center: Vec2::new(rng.gen_range(-200.0..200.0), rng.gen_range(-200.0..200.0)),
-            radius: rng.gen_range(0.5..30.0),
-        }
-    } else {
-        Obstacle::Sphere { center: point(rng), radius: rng.gen_range(0.5..30.0) }
-    }
+fn obstacle() -> Gen<Obstacle> {
+    let cylinder = gens::zip3(
+        &gens::f64_in(-200.0, 200.0),
+        &gens::f64_in(-200.0, 200.0),
+        &gens::f64_in(0.5, 30.0),
+    )
+    .map(|(x, y, radius)| Obstacle::Cylinder { center: Vec2::new(x, y), radius });
+    let sphere = gens::zip2(&point(), &gens::f64_in(0.5, 30.0))
+        .map(|(center, radius)| Obstacle::Sphere { center, radius });
+    gens::bool_any().flat_map(
+        move |is_cylinder| {
+            if is_cylinder {
+                cylinder.clone()
+            } else {
+                sphere.clone()
+            }
+        },
+    )
 }
 
 /// The closest surface point really is on the surface, and its distance from
 /// the query point equals |surface_distance| (outside the body).
 #[test]
 fn obstacle_geometry_is_consistent() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let o = obstacle(&mut rng);
-        let p = point(&mut rng);
-        let sd = o.surface_distance(p);
-        let cp = o.closest_surface_point(p);
-        assert!(o.surface_distance(cp).abs() < 1e-6, "closest point must lie on surface");
+    check("sim-obstacle-geometry", &gens::zip2(&obstacle(), &point()), |(o, p)| {
+        let sd = o.surface_distance(*p);
+        let cp = o.closest_surface_point(*p);
+        tk_ensure!(o.surface_distance(cp).abs() < 1e-6, "closest point must lie on surface");
         if sd > 0.0 {
             let gap = match o {
                 Obstacle::Cylinder { .. } => p.horizontal_distance(cp),
                 Obstacle::Sphere { .. } => p.distance(cp),
             };
-            assert!((gap - sd).abs() < 1e-6, "gap {gap} vs sd {sd}");
+            tk_ensure!((gap - sd).abs() < 1e-6, "gap {gap} vs sd {sd}");
         }
-    }
+        Ok(())
+    });
 }
 
 /// The outward normal is a unit vector and walking along it increases the
 /// surface distance.
 #[test]
 fn outward_normal_points_outward() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let o = obstacle(&mut rng);
-        let p = point(&mut rng);
-        let n = o.outward_normal(p);
-        assert!((n.norm() - 1.0).abs() < 1e-9);
-        let sd = o.surface_distance(p);
-        let sd_stepped = o.surface_distance(p + n * 0.5);
-        assert!(sd_stepped >= sd - 1e-9, "stepping outward must not approach");
-    }
+    check("sim-outward-normal", &gens::zip2(&obstacle(), &point()), |(o, p)| {
+        let n = o.outward_normal(*p);
+        tk_ensure!((n.norm() - 1.0).abs() < 1e-9, "normal not unit: {n:?}");
+        let sd = o.surface_distance(*p);
+        let sd_stepped = o.surface_distance(*p + n * 0.5);
+        tk_ensure!(sd_stepped >= sd - 1e-9, "stepping outward must not approach");
+        Ok(())
+    });
 }
 
 /// An ideal bus delivers every broadcast to every other drone, and never to
 /// the sender.
 #[test]
 fn ideal_bus_delivers_to_all_others() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let n = rng.gen_range(2usize..8);
-        let sender_count = rng.gen_range(1usize..8);
-        let senders: Vec<usize> = (0..sender_count).map(|_| rng.gen_range(0usize..8)).collect();
+    let gen = gens::zip2(&gens::usize_in(2..=7), &gens::vec_of(&gens::usize_in(0..=7), 1..=7));
+    check("sim-ideal-bus-delivery", &gen, |(n, senders)| {
+        let n = *n;
         let mut bus = CommsBus::new(n, CommsConfig::default());
         let mut bus_rng = StdRng::seed_from_u64(0);
         let positions = vec![Vec3::ZERO; n];
@@ -101,41 +102,43 @@ fn ideal_bus_delivers_to_all_others() {
                 bus.neighbors_of(DroneId(r)).map(|m| m.sender.index()).collect();
             let expected: std::collections::BTreeSet<usize> =
                 sent.iter().copied().filter(|&s| s != r).collect();
-            assert_eq!(heard, expected);
+            tk_ensure!(heard == expected, "drone {r} heard {heard:?}, expected {expected:?}");
         }
-    }
+        Ok(())
+    });
 }
 
 /// The spatial grid returns exactly the brute-force neighbor set.
 #[test]
 fn spatial_grid_matches_brute_force() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let count = rng.gen_range(1usize..24);
-        let positions: Vec<Vec3> = (0..count).map(|_| point(&mut rng)).collect();
-        let cell = rng.gen_range(1.0..40.0);
-        let radius = rng.gen_range(0.5..120.0);
-        let q = rng.gen_range(0usize..24) % positions.len();
-        let center = positions[q];
-        let grid = SpatialGrid::build(&positions, cell);
-        let mut got: Vec<usize> = grid.within(center, radius).map(|(id, _)| id.index()).collect();
+    let gen = gens::zip4(
+        &gens::vec_of(&point(), 1..=23),
+        &gens::f64_in(1.0, 40.0),
+        &gens::f64_in(0.5, 120.0),
+        &gens::usize_in(0..=23),
+    );
+    check("sim-spatial-grid-equivalence", &gen, |(positions, cell, radius, q)| {
+        let center = positions[q % positions.len()];
+        let grid = SpatialGrid::build(positions, *cell);
+        let mut got: Vec<usize> = grid.within(center, *radius).map(|(id, _)| id.index()).collect();
         got.sort_unstable();
         let mut expect: Vec<usize> = positions
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.horizontal_distance(center) <= radius)
+            .filter(|(_, p)| p.horizontal_distance(center) <= *radius)
             .map(|(i, _)| i)
             .collect();
         expect.sort_unstable();
-        assert_eq!(got, expect);
-    }
+        tk_ensure!(got == expect, "grid returned {got:?}, brute force {expect:?}");
+        Ok(())
+    });
 }
 
 /// PID output respects its limit for arbitrary error sequences.
 #[test]
 fn pid_output_is_bounded() {
-    let mut rng = rng();
-    for _ in 0..CASES {
+    let gen = gens::vec_of(&gens::f64_in(-100.0, 100.0), 1..=63);
+    check("sim-pid-bounded", &gen, |errors| {
         let mut pid = Pid::new(PidConfig {
             kp: 2.0,
             ki: 0.8,
@@ -143,33 +146,40 @@ fn pid_output_is_bounded() {
             integral_limit: 5.0,
             output_limit: 7.0,
         });
-        for _ in 0..rng.gen_range(1usize..64) {
-            let e = rng.gen_range(-100.0..100.0);
+        for &e in errors {
             let u = pid.update(e, 0.05);
-            assert!(u.abs() <= 7.0 + 1e-12);
-            assert!(u.is_finite());
+            tk_ensure!(u.abs() <= 7.0 + 1e-12, "output {u} exceeds limit after error {e}");
+            tk_ensure!(u.is_finite());
         }
-    }
+        Ok(())
+    });
 }
 
 /// The point-mass model never exceeds its speed limit and never produces
 /// non-finite state, whatever commands arrive.
 #[test]
 fn point_mass_respects_limits() {
-    let mut rng = rng();
-    for _ in 0..CASES {
+    let cmd = gens::zip3(
+        &gens::f64_in(-100.0, 100.0),
+        &gens::f64_in(-100.0, 100.0),
+        &gens::f64_in(-20.0, 20.0),
+    )
+    .map(|(x, y, z)| Vec3::new(x, y, z));
+    let gen = gens::vec_of(&cmd, 1..=127);
+    check("sim-point-mass-limits", &gen, |commands| {
         let params = DroneParams::default();
         let mut model = PointMass::new(params);
         let mut s = DroneState::default();
-        for _ in 0..rng.gen_range(1usize..128) {
-            let cmd = Vec3::new(
-                rng.gen_range(-100.0..100.0),
-                rng.gen_range(-100.0..100.0),
-                rng.gen_range(-20.0..20.0),
-            );
+        for &cmd in commands {
             s = model.step(&s, cmd, 0.01);
-            assert!(s.position.is_finite() && s.velocity.is_finite());
-            assert!(s.velocity.norm() <= params.max_speed + 1e-9);
+            tk_ensure!(s.position.is_finite() && s.velocity.is_finite(), "state diverged");
+            tk_ensure!(
+                s.velocity.norm() <= params.max_speed + 1e-9,
+                "speed {} exceeds {}",
+                s.velocity.norm(),
+                params.max_speed
+            );
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,186 @@
+//! The committed failure corpus.
+//!
+//! Every shrunk failure is persisted as a tape file under
+//! `tests/corpus/<property>/` at the workspace root and replayed *before*
+//! fresh random cases on the next run, so a once-found counterexample can
+//! never silently regress. Tape files are plain text (one choice per line)
+//! and deterministic for a given failure, so they diff cleanly in review.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How a property run locates its corpus directory.
+#[derive(Debug, Clone, Default)]
+pub enum CorpusMode {
+    /// `$SWARM_TESTKIT_CORPUS`, else `tests/corpus/` at the workspace root
+    /// (the first ancestor of `CARGO_MANIFEST_DIR` holding `Cargo.lock` or
+    /// `.git`); disabled when neither resolves.
+    #[default]
+    Auto,
+    /// An explicit corpus root (tests use a temp dir).
+    Dir(PathBuf),
+    /// No replay, no persistence.
+    Disabled,
+}
+
+const TAPE_HEADER: &str = "swarm-testkit tape v1";
+
+/// The workspace root inferred from `CARGO_MANIFEST_DIR`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = PathBuf::from(std::env::var_os("CARGO_MANIFEST_DIR")?);
+    loop {
+        if dir.join("Cargo.lock").exists() || dir.join(".git").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Directory names stay readable: alphanumerics, `_`, `-` pass through,
+/// everything else becomes `-`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '-' })
+        .collect()
+}
+
+/// Resolves the corpus directory for a property, if any.
+pub fn dir_for(mode: &CorpusMode, property: &str) -> Option<PathBuf> {
+    let root = match mode {
+        CorpusMode::Disabled => return None,
+        CorpusMode::Dir(dir) => dir.clone(),
+        CorpusMode::Auto => match std::env::var_os("SWARM_TESTKIT_CORPUS") {
+            Some(dir) => PathBuf::from(dir),
+            None => workspace_root()?.join("tests").join("corpus"),
+        },
+    };
+    Some(root.join(sanitize(property)))
+}
+
+/// FNV-1a over the tape, used for stable, content-addressed file names.
+fn tape_hash(tape: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &choice in tape {
+        for byte in choice.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Serializes a tape (header, property name comment, one choice per line).
+fn render(property: &str, tape: &[u64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{TAPE_HEADER}");
+    let _ = writeln!(out, "# property: {property}");
+    for choice in tape {
+        let _ = writeln!(out, "{choice}");
+    }
+    out
+}
+
+/// Parses a tape file; `None` for files that are not testkit tapes.
+fn parse(text: &str) -> Option<Vec<u64>> {
+    let mut lines = text.lines();
+    if lines.next()?.trim() != TAPE_HEADER {
+        return None;
+    }
+    let mut tape = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        tape.push(line.parse().ok()?);
+    }
+    Some(tape)
+}
+
+/// Persists a shrunk failing tape; returns the file path. Idempotent: the
+/// file name is a content hash, so re-finding the same failure rewrites the
+/// same bytes.
+pub fn save_tape(dir: &Path, property: &str, tape: &[u64]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("tape-{:016x}.txt", tape_hash(tape)));
+    let tmp = dir.join(format!(".tape-{:016x}.tmp-{}", tape_hash(tape), std::process::id()));
+    std::fs::write(&tmp, render(property, tape))?;
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// Loads every tape in `dir`, sorted by file name for deterministic replay
+/// order. Missing directories and non-tape files are skipped silently.
+pub fn load_tapes(dir: &Path) -> Vec<(PathBuf, Vec<u64>)> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .filter_map(|path| {
+            let text = std::fs::read_to_string(&path).ok()?;
+            Some((path, parse(&text)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("swarm-testkit-corpus-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let tape = vec![1, 1 << 63, 42];
+        let path = save_tape(&dir, "demo-prop", &tape).unwrap();
+        assert!(path.file_name().unwrap().to_string_lossy().starts_with("tape-"));
+        let loaded = load_tapes(&dir);
+        assert_eq!(loaded, vec![(path.clone(), tape.clone())]);
+        // Saving the same tape again is idempotent.
+        assert_eq!(save_tape(&dir, "demo-prop", &tape).unwrap(), path);
+        assert_eq!(load_tapes(&dir).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_skipped() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a tape").unwrap();
+        save_tape(&dir, "p", &[7]).unwrap();
+        let loaded = load_tapes(&dir);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, vec![7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_empty() {
+        assert!(load_tapes(Path::new("/nonexistent/swarm-testkit")).is_empty());
+    }
+
+    #[test]
+    fn auto_mode_resolves_inside_the_workspace() {
+        let dir = dir_for(&CorpusMode::Auto, "some::prop name").unwrap();
+        assert!(dir.ends_with("tests/corpus/some--prop-name"), "got {}", dir.display());
+    }
+
+    #[test]
+    fn disabled_mode_resolves_to_none() {
+        assert!(dir_for(&CorpusMode::Disabled, "p").is_none());
+    }
+}

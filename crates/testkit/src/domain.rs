@@ -1,0 +1,272 @@
+//! Generators for the workspace's domain types: vectors, digraphs, mission
+//! scenarios, spoofing windows, fuzzer configurations, and campaign journal
+//! rows. Property suites compose these instead of hand-rolling sampling
+//! loops per file.
+
+use std::ops::RangeInclusive;
+
+use swarm_graph::DiGraph;
+use swarm_math::{Vec2, Vec3};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::DroneId;
+use swarmfuzz::campaign::{MissionFailure, MissionResult, SwarmConfig};
+use swarmfuzz::seed::Seed;
+use swarmfuzz::store::JournalRow;
+use swarmfuzz::{CentralityKind, FuzzerConfig, SearchStrategy, SeedStrategy, SpvFinding};
+
+use crate::gen::{bool_any, f64_in, one_of, u64_any, usize_in, zip2, zip3, zip4, Gen};
+
+/// A finite `f64` in `±1e6` — the workhorse scalar of the math suite.
+pub fn finite_f64() -> Gen<f64> {
+    f64_in(-1e6, 1e6)
+}
+
+/// A `Vec2` with both components in `±extent`.
+pub fn vec2_in(extent: f64) -> Gen<Vec2> {
+    zip2(&f64_in(-extent, extent), &f64_in(-extent, extent)).map(|(x, y)| Vec2::new(x, y))
+}
+
+/// A `Vec3` with all components in `±extent`.
+pub fn vec3_in(extent: f64) -> Gen<Vec3> {
+    zip3(&f64_in(-extent, extent), &f64_in(-extent, extent), &f64_in(-extent, extent))
+        .map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+/// An `f64` biased toward codec-hostile values: signed zero, infinities,
+/// subnormals, `f64::MAX`, plus a uniform tail. NaN is deliberately absent
+/// so generated structures stay `PartialEq`-comparable; dedicated unit
+/// tests cover NaN round-trips.
+pub fn interesting_f64() -> Gen<f64> {
+    zip2(&usize_in(0..=9), &f64_in(-1e9, 1e9)).map(|(selector, uniform)| match selector {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 1.0,
+        3 => -1.0,
+        4 => f64::INFINITY,
+        5 => f64::NEG_INFINITY,
+        6 => 5e-324,
+        7 => f64::MAX,
+        _ => uniform,
+    })
+}
+
+/// A string exercising every JSON escape class the journal codec handles.
+pub fn codec_string() -> Gen<String> {
+    let fragment = one_of(vec![
+        "plain".to_string(),
+        "with \"quotes\"".to_string(),
+        "back\\slash".to_string(),
+        "line\nbreak\ttab".to_string(),
+        "control\u{1}char".to_string(),
+        "unicode λ→∞".to_string(),
+        String::new(),
+    ]);
+    crate::gen::vec_of(&fragment, 0..=3).map(|parts| parts.join(" "))
+}
+
+/// A digraph with `nodes` vertices and up to `max_edges` random edges of
+/// weight in `[w_lo, w_hi)`; self-loops are skipped, parallel edges
+/// accumulate (the graph crate's semantics).
+pub fn digraph(
+    nodes: RangeInclusive<usize>,
+    max_edges: usize,
+    w_lo: f64,
+    w_hi: f64,
+) -> Gen<DiGraph> {
+    let node_count = usize_in(nodes);
+    let edge_count = usize_in(0..=max_edges);
+    let endpoint = u64_any();
+    let weight = f64_in(w_lo, w_hi);
+    Gen::from_fn(move |src| {
+        let n = node_count.generate(src);
+        let mut g = DiGraph::new(n);
+        for _ in 0..edge_count.generate(src) {
+            let a = (endpoint.generate(src) % n as u64) as usize;
+            let b = (endpoint.generate(src) % n as u64) as usize;
+            let w = weight.generate(src);
+            if a != b {
+                g.add_edge(a, b, w).expect("endpoints in range");
+            }
+        }
+        g
+    })
+}
+
+/// A paper-style delivery mission over the given swarm sizes, with a fully
+/// generated layout seed.
+pub fn delivery_mission(sizes: RangeInclusive<usize>) -> Gen<MissionSpec> {
+    zip2(&usize_in(sizes), &u64_any()).map(|(n, seed)| MissionSpec::paper_delivery(n, seed))
+}
+
+/// A spoofing direction (`Right` is the simpler pole).
+pub fn spoof_direction() -> Gen<SpoofDirection> {
+    one_of(vec![SpoofDirection::Right, SpoofDirection::Left])
+}
+
+/// A valid spoofing window against a swarm of `swarm_size` drones: start in
+/// `[0, 150)`, duration in `[0, 40)`, deviation in `[0, 20)`.
+pub fn spoof_window(swarm_size: usize) -> Gen<SpoofingAttack> {
+    assert!(swarm_size > 0, "spoof_window needs a non-empty swarm");
+    zip4(
+        &usize_in(0..=swarm_size - 1),
+        &spoof_direction(),
+        &zip2(&f64_in(0.0, 150.0), &f64_in(0.0, 40.0)),
+        &f64_in(0.0, 20.0),
+    )
+    .map(|(target, direction, (start, duration), deviation)| {
+        SpoofingAttack::new(DroneId(target), direction, start, duration, deviation)
+            .expect("generated window parameters are finite and non-negative")
+    })
+}
+
+/// A fuzzer configuration across every strategy/centrality ablation.
+pub fn fuzzer_config() -> Gen<FuzzerConfig> {
+    zip4(
+        &one_of(vec![SeedStrategy::Svg, SeedStrategy::Random]),
+        &one_of(vec![SearchStrategy::Gradient, SearchStrategy::Random]),
+        &one_of(vec![
+            CentralityKind::PageRank,
+            CentralityKind::Degree,
+            CentralityKind::Eigenvector,
+            CentralityKind::Closeness,
+            CentralityKind::Betweenness,
+        ]),
+        &zip4(&f64_in(1.0, 20.0), &usize_in(0..=40), &f64_in(1.0, 30.0), &u64_any()),
+    )
+    .map(
+        |(seed_strategy, search_strategy, centrality, (deviation, budget, lead, rng_seed))| {
+            FuzzerConfig {
+                seed_strategy,
+                search_strategy,
+                centrality,
+                deviation,
+                eval_budget: budget,
+                lead_time: lead,
+                initial_duration: 12.0,
+                max_duration: 30.0,
+                rng_seed,
+            }
+        },
+    )
+}
+
+fn swarm_config() -> Gen<SwarmConfig> {
+    zip2(&usize_in(1..=100), &interesting_f64())
+        .map(|(swarm_size, deviation)| SwarmConfig { swarm_size, deviation })
+}
+
+fn spv_finding() -> Gen<SpvFinding> {
+    let seed = zip4(
+        &usize_in(0..=30),
+        &usize_in(0..=30),
+        &spoof_direction(),
+        &zip2(&interesting_f64(), &interesting_f64()),
+    )
+    .map(|(target, victim, direction, (influence, victim_vdo))| Seed {
+        target: DroneId(target),
+        victim: DroneId(victim),
+        direction,
+        influence,
+        victim_vdo,
+    });
+    zip3(
+        &seed,
+        &zip3(&interesting_f64(), &interesting_f64(), &interesting_f64()),
+        &zip2(&usize_in(0..=30), &interesting_f64()),
+    )
+    .map(|(seed, (start, duration, deviation), (victim, collision_time))| SpvFinding {
+        seed,
+        start,
+        duration,
+        deviation,
+        actual_victim: DroneId(victim),
+        collision_time,
+    })
+}
+
+/// An arbitrary campaign journal row (both variants, hostile floats and
+/// strings included) — the metamorphic round-trip oracle's input.
+pub fn journal_row() -> Gen<JournalRow> {
+    let done = zip4(
+        &swarm_config(),
+        &zip2(&u64_any(), &interesting_f64()),
+        &zip2(&bool_any(), &spv_finding()),
+        &zip3(&usize_in(0..=10_000), &usize_in(0..=50), &usize_in(0..=1000)),
+    )
+    .map(
+        |(config, (mission_seed, vdo), (has_finding, finding), (evaluations, seeds, index))| {
+            JournalRow::Done {
+                index,
+                result: MissionResult {
+                    config,
+                    mission_seed,
+                    vdo,
+                    success: has_finding,
+                    finding: has_finding.then_some(finding),
+                    evaluations,
+                    seeds_tried: seeds,
+                },
+            }
+        },
+    );
+    let failed = zip4(&swarm_config(), &usize_in(0..=10_000), &codec_string(), &usize_in(0..=9))
+        .map(|(config, index, error, retries)| {
+            JournalRow::Failed(MissionFailure { config, index, error, retries })
+        });
+    bool_any().flat_map(move |is_done| if is_done { done.clone() } else { failed.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    fn sample<T: 'static>(gen: &Gen<T>, seed: u64, n: usize) -> Vec<T> {
+        let mut src = Source::fresh(seed);
+        (0..n).map(|_| gen.generate(&mut src)).collect()
+    }
+
+    #[test]
+    fn digraphs_have_no_self_loops_and_positive_weights() {
+        for g in sample(&digraph(2..=11, 39, 0.05, 2.0), 1, 50) {
+            for e in g.edges() {
+                assert_ne!(e.from, e.to);
+                assert!(e.weight > 0.0);
+            }
+            assert!((2..=11).contains(&g.node_count()));
+        }
+    }
+
+    #[test]
+    fn spoof_windows_are_valid_and_in_range() {
+        for a in sample(&spoof_window(8), 2, 100) {
+            assert!(a.target.0 < 8);
+            assert!((0.0..150.0).contains(&a.start));
+            assert!((0.0..40.0).contains(&a.duration));
+            assert!((0.0..20.0).contains(&a.deviation));
+        }
+    }
+
+    #[test]
+    fn missions_validate() {
+        for spec in sample(&delivery_mission(2..=6), 3, 20) {
+            assert!(spec.validate().is_ok(), "generated mission must be valid");
+        }
+    }
+
+    #[test]
+    fn journal_rows_cover_both_variants() {
+        let rows = sample(&journal_row(), 4, 200);
+        assert!(rows.iter().any(|r| matches!(r, JournalRow::Done { .. })));
+        assert!(rows.iter().any(|r| matches!(r, JournalRow::Failed(_))));
+    }
+
+    #[test]
+    fn interesting_floats_hit_the_edge_pool() {
+        let values = sample(&interesting_f64(), 5, 400);
+        assert!(values.iter().any(|v| v.is_infinite()));
+        assert!(values.iter().any(|&v| v == 0.0 && v.is_sign_negative()));
+        assert!(values.iter().all(|v| !v.is_nan()));
+    }
+}

@@ -1,0 +1,121 @@
+//! Metamorphic-oracle helpers.
+//!
+//! A metamorphic oracle checks a *relation between two runs* instead of a
+//! predicted output: translate a whole control scene and the command must
+//! not change; rotate it and the command must co-rotate; permute the drones
+//! and per-drone scores must permute along; zero the spoof amplitude and the
+//! mission must equal the baseline bit-for-bit. This module provides the
+//! scene transforms and comparison helpers; the oracles themselves live in
+//! `crates/control/tests/metamorphic.rs` and `tests/metamorphic_oracles.rs`.
+
+use swarm_math::Vec3;
+use swarm_sim::world::{Obstacle, World};
+
+/// Rotates `v` about the z (altitude) axis by `angle` radians.
+pub fn rotate_z(v: Vec3, angle: f64) -> Vec3 {
+    let xy = v.xy().rotated(angle);
+    Vec3::new(xy.x, xy.y, v.z)
+}
+
+/// Translates an obstacle. Cylinders are infinite in z, so only the
+/// horizontal components of `offset` move them — which is exactly what
+/// keeps a z-translated scene physically identical.
+pub fn translate_obstacle(obstacle: Obstacle, offset: Vec3) -> Obstacle {
+    match obstacle {
+        Obstacle::Cylinder { center, radius } => {
+            Obstacle::Cylinder { center: center + offset.xy(), radius }
+        }
+        Obstacle::Sphere { center, radius } => Obstacle::Sphere { center: center + offset, radius },
+    }
+}
+
+/// Rotates an obstacle about the world z axis.
+pub fn rotate_obstacle_z(obstacle: Obstacle, angle: f64) -> Obstacle {
+    match obstacle {
+        Obstacle::Cylinder { center, radius } => {
+            Obstacle::Cylinder { center: center.rotated(angle), radius }
+        }
+        Obstacle::Sphere { center, radius } => {
+            Obstacle::Sphere { center: rotate_z(center, angle), radius }
+        }
+    }
+}
+
+/// A world with every obstacle passed through `f`.
+pub fn map_world(world: &World, f: impl Fn(Obstacle) -> Obstacle) -> World {
+    World::with_obstacles(world.obstacles.iter().map(|&o| f(o)).collect())
+}
+
+/// Applies a permutation: `out[i] = items[perm[i]]`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..items.len()`.
+pub fn apply_permutation<T: Clone>(items: &[T], perm: &[usize]) -> Vec<T> {
+    assert_eq!(items.len(), perm.len(), "permutation length mismatch");
+    perm.iter().map(|&i| items[i].clone()).collect()
+}
+
+/// Relative closeness: `|a - b| <= tol * max(1, |a|, |b|)`. Non-finite
+/// values must match exactly (same infinity, or both NaN).
+pub fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return a == b || (a.is_nan() && b.is_nan());
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Component-wise [`rel_close`] over `Vec3`.
+pub fn vec3_close(a: Vec3, b: Vec3, tol: f64) -> bool {
+    rel_close(a.x, b.x, tol) && rel_close(a.y, b.y, tol) && rel_close(a.z, b.z, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_math::Vec2;
+
+    #[test]
+    fn rotate_z_preserves_norm_and_altitude() {
+        let v = Vec3::new(3.0, -4.0, 2.5);
+        let r = rotate_z(v, 1.234);
+        assert!(rel_close(r.norm(), v.norm(), 1e-12));
+        assert_eq!(r.z, v.z);
+        assert!(vec3_close(rotate_z(r, -1.234), v, 1e-12));
+    }
+
+    #[test]
+    fn obstacle_transforms_preserve_surface_distance() {
+        let obstacle = Obstacle::Cylinder { center: Vec2::new(10.0, -3.0), radius: 4.0 };
+        let point = Vec3::new(2.0, 5.0, 7.0);
+        let offset = Vec3::new(-8.0, 11.0, 3.0);
+        let translated = translate_obstacle(obstacle, offset);
+        assert!(rel_close(
+            translated.surface_distance(point + offset),
+            obstacle.surface_distance(point),
+            1e-12
+        ));
+        let rotated = rotate_obstacle_z(obstacle, 0.7);
+        assert!(rel_close(
+            rotated.surface_distance(rotate_z(point, 0.7)),
+            obstacle.surface_distance(point),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn permutation_application_is_a_bijection_action() {
+        let items = vec!['a', 'b', 'c', 'd'];
+        assert_eq!(apply_permutation(&items, &[2, 0, 3, 1]), vec!['c', 'a', 'd', 'b']);
+        assert_eq!(apply_permutation(&items, &[0, 1, 2, 3]), items);
+    }
+
+    #[test]
+    fn rel_close_handles_non_finite_values() {
+        assert!(rel_close(f64::INFINITY, f64::INFINITY, 1e-9));
+        assert!(!rel_close(f64::INFINITY, f64::NEG_INFINITY, 1e-9));
+        assert!(rel_close(f64::NAN, f64::NAN, 1e-9));
+        assert!(!rel_close(f64::NAN, 0.0, 1e-9));
+        assert!(rel_close(1e12, 1e12 * (1.0 + 1e-13), 1e-9));
+    }
+}

@@ -1,0 +1,328 @@
+//! The property runner: corpus replay, random search, shrink, persist.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use swarm_math::rng::derive_seed;
+
+use crate::corpus::{self, CorpusMode};
+use crate::gen::Gen;
+use crate::shrink;
+use crate::source::Source;
+
+/// Default fresh cases per property when `SWARM_TESTKIT_CASES` is unset.
+pub const DEFAULT_CASES: usize = 128;
+
+/// Fresh cases per property: `SWARM_TESTKIT_CASES` when set and parsable
+/// (0 = corpus replay only), else [`DEFAULT_CASES`]. CI's per-push job
+/// leaves this at the default; the scheduled deep job sets 2048.
+pub fn cases() -> usize {
+    std::env::var("SWARM_TESTKIT_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Knobs for one property run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Fresh random cases to try after corpus replay.
+    pub cases: usize,
+    /// Base seed; each case derives its own stream from it and the
+    /// property name, so properties never share case sequences.
+    pub seed: u64,
+    /// Where the failure corpus lives.
+    pub corpus: CorpusMode,
+    /// Property executions the shrinker may spend.
+    pub shrink_budget: usize,
+}
+
+impl Config {
+    /// The environment-driven configuration `check` uses.
+    pub fn from_env() -> Self {
+        Config { cases: cases(), seed: 0x5357_544B, corpus: CorpusMode::Auto, shrink_budget: 4096 }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::from_env()
+    }
+}
+
+/// A failing case, minimal under the shrinker's tape order.
+pub struct Failure<T> {
+    /// The shrunk counterexample.
+    pub value: T,
+    /// The property's failure message on it.
+    pub message: String,
+    /// The effective tape decoding to `value`.
+    pub tape: Vec<u64>,
+    /// Accepted shrink steps (0 when replayed from the corpus).
+    pub shrink_steps: usize,
+    /// Corpus file the failure was persisted to or replayed from.
+    pub corpus_file: Option<PathBuf>,
+    /// `true` when a committed corpus tape reproduced the failure.
+    pub from_corpus: bool,
+    /// Fresh cases executed before the failure surfaced.
+    pub cases_run: usize,
+}
+
+impl<T: std::fmt::Debug> Failure<T> {
+    /// A multi-line report suitable for a test panic message.
+    pub fn report(&self, property: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "property {property} failed: {}", self.message);
+        let _ = writeln!(out, "  counterexample: {:?}", self.value);
+        if self.from_corpus {
+            let _ = writeln!(out, "  replayed from corpus (fix the code or delete the tape):");
+        } else {
+            let _ = writeln!(
+                out,
+                "  found after {} case(s), shrunk in {} step(s); persisted to:",
+                self.cases_run, self.shrink_steps
+            );
+        }
+        match &self.corpus_file {
+            Some(path) => {
+                let _ = writeln!(out, "    {}", path.display());
+            }
+            None => {
+                let _ = writeln!(out, "    (corpus disabled; tape: {:?})", self.tape);
+            }
+        }
+        out
+    }
+}
+
+/// The result of running one property.
+pub enum Outcome<T> {
+    /// Every corpus tape and fresh case passed.
+    Passed {
+        /// Fresh cases executed.
+        cases: usize,
+        /// Corpus tapes replayed first.
+        corpus_replayed: usize,
+    },
+    /// A counterexample survived shrinking (or replayed from the corpus).
+    Failed(Failure<T>),
+}
+
+/// Runs a property: replays the committed corpus first, then searches fresh
+/// random cases, shrinking and persisting the first failure.
+pub fn run<T: std::fmt::Debug + 'static>(
+    property: &str,
+    config: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) -> Outcome<T> {
+    let corpus_dir = corpus::dir_for(&config.corpus, property);
+
+    // Phase 1: the committed corpus. A tape that still fails is reported
+    // as-is — it was minimal when written, and drift between the written
+    // value and the replayed one is exactly what the corpus is for.
+    let mut corpus_replayed = 0;
+    if let Some(dir) = &corpus_dir {
+        for (path, tape) in corpus::load_tapes(dir) {
+            corpus_replayed += 1;
+            let mut src = Source::replay(tape);
+            let value = gen.generate(&mut src);
+            if let Err(message) = prop(&value) {
+                return Outcome::Failed(Failure {
+                    value,
+                    message,
+                    tape: src.into_record(),
+                    shrink_steps: 0,
+                    corpus_file: Some(path),
+                    from_corpus: true,
+                    cases_run: 0,
+                });
+            }
+        }
+    }
+
+    // Phase 2: fresh random search. Case seeds are derived from the
+    // property name so adding a property never reshuffles another's cases.
+    let base = derive_seed(config.seed, name_hash(property));
+    for case in 0..config.cases {
+        let mut src = Source::fresh(derive_seed(base, case as u64));
+        let value = gen.generate(&mut src);
+        if let Err(message) = prop(&value) {
+            let shrunk = shrink::minimize(
+                gen,
+                &prop,
+                src.into_record(),
+                value,
+                message,
+                config.shrink_budget,
+            );
+            let corpus_file = corpus_dir
+                .as_ref()
+                .and_then(|dir| corpus::save_tape(dir, property, &shrunk.tape).ok());
+            return Outcome::Failed(Failure {
+                value: shrunk.value,
+                message: shrunk.message,
+                tape: shrunk.tape,
+                shrink_steps: shrunk.steps,
+                corpus_file,
+                from_corpus: false,
+                cases_run: case + 1,
+            });
+        }
+    }
+    Outcome::Passed { cases: config.cases, corpus_replayed }
+}
+
+/// FNV-1a over the property name, mixed into the per-case seed stream.
+fn name_hash(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Checks a property with the environment-driven configuration, panicking
+/// with a shrunk counterexample on failure.
+///
+/// # Panics
+///
+/// Panics when the property fails on a corpus tape or a fresh case.
+pub fn check<T: std::fmt::Debug + 'static>(
+    property: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    check_budgeted(property, cases(), gen, prop);
+}
+
+/// [`check`] with an explicit case count, for properties whose single case
+/// is expensive (full missions); pass a fraction of [`cases`].
+///
+/// # Panics
+///
+/// Panics when the property fails on a corpus tape or a fresh case.
+pub fn check_budgeted<T: std::fmt::Debug + 'static>(
+    property: &str,
+    cases: usize,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let config = Config { cases, ..Config::from_env() };
+    match run(property, &config, gen, prop) {
+        Outcome::Passed { .. } => {}
+        Outcome::Failed(failure) => panic!("{}", failure.report(property)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{f64_in, vec_of};
+
+    fn temp_corpus(tag: &str) -> CorpusMode {
+        let dir =
+            std::env::temp_dir().join(format!("swarm-testkit-runner-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        CorpusMode::Dir(dir)
+    }
+
+    fn config(tag: &str) -> Config {
+        Config { cases: 64, seed: 1, corpus: temp_corpus(tag), shrink_budget: 4096 }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        let gen = f64_in(0.0, 1.0);
+        match run("runner-pass", &config("pass"), &gen, |v| {
+            if (0.0..1.0).contains(v) {
+                Ok(())
+            } else {
+                Err(format!("{v} out of range"))
+            }
+        }) {
+            Outcome::Passed { cases, corpus_replayed } => {
+                assert_eq!(cases, 64);
+                assert_eq!(corpus_replayed, 0);
+            }
+            Outcome::Failed(f) => panic!("unexpected failure: {}", f.report("runner-pass")),
+        }
+    }
+
+    #[test]
+    fn failure_is_shrunk_persisted_and_replayed() {
+        let cfg = config("fail");
+        let gen = vec_of(&f64_in(0.0, 2000.0), 0..=8);
+        let prop = |v: &Vec<f64>| {
+            if v.iter().any(|&x| x >= 1000.0) {
+                Err("element over 1000".into())
+            } else {
+                Ok(())
+            }
+        };
+
+        // First run: random search finds, shrinks, persists.
+        let first = match run("runner-fail", &cfg, &gen, prop) {
+            Outcome::Failed(f) => f,
+            Outcome::Passed { .. } => panic!("property must fail"),
+        };
+        assert_eq!(first.value, vec![1000.0]);
+        assert!(!first.from_corpus);
+        assert!(first.shrink_steps > 0);
+        let file = first.corpus_file.expect("corpus file written");
+        assert!(file.exists());
+
+        // Second run: the corpus tape reproduces before any fresh case.
+        let second = match run("runner-fail", &cfg, &gen, prop) {
+            Outcome::Failed(f) => f,
+            Outcome::Passed { .. } => panic!("corpus replay must fail"),
+        };
+        assert!(second.from_corpus);
+        assert_eq!(second.cases_run, 0);
+        assert_eq!(second.value, vec![1000.0]);
+        assert_eq!(second.corpus_file.as_deref(), Some(&*file));
+        if let CorpusMode::Dir(dir) = &cfg.corpus {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn case_streams_differ_between_properties() {
+        let collect = |name: &str| {
+            let gen = f64_in(0.0, 1.0);
+            let seen = std::cell::RefCell::new(Vec::new());
+            let cfg = Config { cases: 8, seed: 1, corpus: CorpusMode::Disabled, shrink_budget: 0 };
+            let _ = run(name, &cfg, &gen, |v| {
+                seen.borrow_mut().push(*v);
+                Ok(())
+            });
+            seen.into_inner()
+        };
+        assert_ne!(collect("prop-a"), collect("prop-b"));
+        assert_eq!(collect("prop-a"), collect("prop-a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "counterexample")]
+    fn check_panics_with_a_report() {
+        let gen = f64_in(0.0, 10.0);
+        // Disabled corpus so the intentional failure leaves no files behind.
+        let cfg = Config { cases: 32, seed: 2, corpus: CorpusMode::Disabled, shrink_budget: 256 };
+        match run(
+            "runner-panic",
+            &cfg,
+            &gen,
+            |&v| {
+                if v < 5.0 {
+                    Ok(())
+                } else {
+                    Err("too big".into())
+                }
+            },
+        ) {
+            Outcome::Failed(f) => panic!("{}", f.report("runner-panic")),
+            Outcome::Passed { .. } => panic!("expected failure, not counterexample"),
+        }
+    }
+}

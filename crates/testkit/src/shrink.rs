@@ -1,0 +1,251 @@
+//! Greedy tape shrinking.
+//!
+//! Shrinking operates on the recorded choice tape, never on the generated
+//! value, so it works unchanged for every composed generator. A candidate
+//! tape is *simpler* than the current one when `(len, lexicographic)` is
+//! strictly smaller; the shrinker only ever accepts simpler still-failing
+//! tapes, so it terminates on a well-founded order (a budget bounds it too).
+//!
+//! Three passes run to fixpoint:
+//!
+//! 1. **block deletion** — remove a window of choices outright;
+//! 2. **deletion with re-count** — remove a window *and* subtract its size
+//!    from an earlier choice; this is what collapses `vec_of` tapes, where a
+//!    leading length choice governs how many element choices follow;
+//! 3. **pointwise lowering** — binary-search each choice down to the
+//!    smallest value that still fails, holding the tape structure fixed.
+//!
+//! For monotone properties (e.g. "some element exceeds a threshold" over
+//! monotone float generators) pass 3 converges to the exact boundary value,
+//! which is why the meta-test can pin its counterexample to `[1000.0]`.
+
+use crate::gen::Gen;
+use crate::source::Source;
+
+/// A minimized failing case.
+pub struct Shrunk<T> {
+    /// The minimal effective tape.
+    pub tape: Vec<u64>,
+    /// The value the minimal tape decodes to.
+    pub value: T,
+    /// The property's failure message on that value.
+    pub message: String,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Property executions spent shrinking.
+    pub executions: usize,
+}
+
+/// `true` when tape `a` is strictly simpler than `b`.
+fn simpler(a: &[u64], b: &[u64]) -> bool {
+    (a.len(), a) < (b.len(), b)
+}
+
+/// Shrinks a failing tape against `prop`, spending at most `budget`
+/// property executions.
+pub fn minimize<T: 'static>(
+    gen: &Gen<T>,
+    prop: &dyn Fn(&T) -> Result<(), String>,
+    tape: Vec<u64>,
+    value: T,
+    message: String,
+    budget: usize,
+) -> Shrunk<T> {
+    let mut best = Shrunk { tape, value, message, steps: 0, executions: 0 };
+
+    // Replays `candidate`; returns the effective tape + failure if it still
+    // fails. Every call costs one execution.
+    let attempt = |candidate: &[u64], best: &mut Shrunk<T>| -> Option<(Vec<u64>, T, String)> {
+        best.executions += 1;
+        let mut src = Source::replay(candidate.to_vec());
+        let value = gen.generate(&mut src);
+        match prop(&value) {
+            Err(message) => Some((src.into_record(), value, message)),
+            Ok(()) => None,
+        }
+    };
+
+    let accept = |rec: Vec<u64>, value: T, message: String, best: &mut Shrunk<T>| {
+        best.tape = rec;
+        best.value = value;
+        best.message = message;
+        best.steps += 1;
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: plain block deletion.
+        for block in [8usize, 4, 2, 1] {
+            let mut i = 0;
+            while i + block <= best.tape.len() && best.executions < budget {
+                let mut candidate = best.tape.clone();
+                candidate.drain(i..i + block);
+                match attempt(&candidate, &mut best) {
+                    Some((rec, v, m)) if simpler(&rec, &best.tape) => {
+                        accept(rec, v, m, &mut best);
+                        improved = true;
+                        // Keep i: the tape shifted left under us.
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+
+        // Pass 2: block deletion plus decrementing an earlier choice by the
+        // block size (collapses length-prefixed structures).
+        for block in [4usize, 2, 1] {
+            let mut i = 1;
+            while i + block <= best.tape.len() && best.executions < budget {
+                let mut advanced = true;
+                for j in 0..i {
+                    if best.tape[j] < block as u64 || best.executions >= budget {
+                        continue;
+                    }
+                    let mut candidate = best.tape.clone();
+                    candidate[j] -= block as u64;
+                    candidate.drain(i..i + block);
+                    if let Some((rec, v, m)) = attempt(&candidate, &mut best) {
+                        if simpler(&rec, &best.tape) {
+                            accept(rec, v, m, &mut best);
+                            improved = true;
+                            advanced = false;
+                            break;
+                        }
+                    }
+                }
+                if advanced {
+                    i += 1;
+                }
+            }
+        }
+
+        // Pass 3: lower each choice. Small canonical constants go first —
+        // many choice→value maps are modular (length prefixes, `one_of`
+        // selectors), where a pure binary search cannot cross residue
+        // classes — then a binary search finds the minimal failing value,
+        // holding structure fixed (candidate accepted only when the
+        // effective tape equals the candidate; structural changes that are
+        // simpler anyway are accepted greedily).
+        let mut i = 0;
+        while i < best.tape.len() && best.executions < budget {
+            for small in [0u64, 1, 2, 3] {
+                if best.executions >= budget || i >= best.tape.len() || small >= best.tape[i] {
+                    break;
+                }
+                let mut candidate = best.tape.clone();
+                candidate[i] = small;
+                if let Some((rec, v, m)) = attempt(&candidate, &mut best) {
+                    if rec == candidate || simpler(&rec, &best.tape) {
+                        accept(rec, v, m, &mut best);
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if i >= best.tape.len() {
+                break;
+            }
+            let original = best.tape[i];
+            if original == 0 {
+                i += 1;
+                continue;
+            }
+            let (mut lo, mut hi) = (0u64, original);
+            while lo < hi && best.executions < budget {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.tape.clone();
+                candidate[i] = mid;
+                match attempt(&candidate, &mut best) {
+                    Some((rec, v, m)) if rec == candidate => {
+                        hi = mid;
+                        accept(rec, v, m, &mut best);
+                        improved = true;
+                    }
+                    Some((rec, v, m)) if simpler(&rec, &best.tape) => {
+                        accept(rec, v, m, &mut best);
+                        improved = true;
+                        break;
+                    }
+                    _ => lo = mid + 1,
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || best.executions >= budget {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{f64_in, u64_in, vec_of};
+
+    fn fail_when<T: 'static>(
+        gen: &Gen<T>,
+        pred: impl Fn(&T) -> bool + Copy,
+        seed: u64,
+    ) -> Shrunk<T> {
+        let prop = move |v: &T| if pred(v) { Err("failed".into()) } else { Ok(()) };
+        for case in 0u64.. {
+            let mut src = Source::fresh(seed.wrapping_add(case));
+            let value = gen.generate(&mut src);
+            if pred(&value) {
+                return minimize(gen, &prop, src.into_record(), value, "failed".into(), 4096);
+            }
+        }
+        unreachable!("a failing case exists for every predicate under test")
+    }
+
+    #[test]
+    fn scalar_shrinks_to_the_exact_boundary() {
+        let gen = u64_in(0..=u64::MAX);
+        let shrunk = fail_when(&gen, |&v| v >= 1_000_000, 1);
+        assert_eq!(shrunk.value, 1_000_000);
+        assert_eq!(shrunk.tape, vec![1_000_000]);
+        assert!(shrunk.steps > 0);
+    }
+
+    #[test]
+    fn vec_shrinks_to_a_single_minimal_element() {
+        let gen = vec_of(&f64_in(0.0, 2000.0), 0..=8);
+        let shrunk = fail_when(&gen, |v: &Vec<f64>| v.iter().any(|&x| x >= 1000.0), 3);
+        assert_eq!(shrunk.value, vec![1000.0], "documented minimal counterexample");
+        assert_eq!(shrunk.tape, vec![1, 1 << 63]);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic_across_starting_points() {
+        let gen = vec_of(&f64_in(0.0, 2000.0), 0..=8);
+        let a = fail_when(&gen, |v: &Vec<f64>| v.iter().any(|&x| x >= 1000.0), 10);
+        let b = fail_when(&gen, |v: &Vec<f64>| v.iter().any(|&x| x >= 1000.0), 77);
+        assert_eq!(a.tape, b.tape, "different failures converge to one minimum");
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn budget_bounds_executions() {
+        let gen = vec_of(&f64_in(0.0, 2000.0), 0..=8);
+        let prop = |v: &Vec<f64>| {
+            if v.iter().any(|&x| x >= 1000.0) {
+                Err("over".into())
+            } else {
+                Ok(())
+            }
+        };
+        let (tape, value) = (0u64..)
+            .find_map(|case| {
+                let mut src = Source::fresh(3 + case);
+                let v = gen.generate(&mut src);
+                prop(&v).is_err().then(|| (src.into_record(), v))
+            })
+            .unwrap();
+        let shrunk = minimize(&gen, &prop, tape, value, "over".into(), 7);
+        assert!(shrunk.executions <= 7, "executions {}", shrunk.executions);
+        // Whatever it settled on must still fail.
+        assert!(prop(&shrunk.value).is_err());
+    }
+}

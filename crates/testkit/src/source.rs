@@ -1,0 +1,99 @@
+//! The choice tape underlying every generator.
+//!
+//! A generator never touches an RNG directly; it *draws choices* (raw
+//! `u64`s) from a [`Source`]. In fresh mode the choices come from a seeded
+//! PRNG and are recorded; in replay mode they come from a previously
+//! recorded tape. The recorded tape therefore fully determines the generated
+//! value, which is what makes shrinking and corpus replay generator-agnostic:
+//! both operate on tapes, never on values.
+//!
+//! Replaying past the end of a tape yields `0`, the minimal choice. Every
+//! combinator in [`crate::gen`] maps the zero choice to its simplest output
+//! (empty vec, smallest integer, `lo` for float ranges), so a truncated tape
+//! still decodes to a well-formed — merely simpler — value.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where a [`Source`] gets its choices from.
+enum Mode {
+    /// Draw fresh choices from a seeded PRNG.
+    Fresh(Box<StdRng>),
+    /// Replay a recorded tape, zero-filling past its end.
+    Replay(Vec<u64>),
+}
+
+/// A stream of `u64` choices feeding a generator, with a record of every
+/// choice handed out.
+pub struct Source {
+    mode: Mode,
+    record: Vec<u64>,
+}
+
+impl Source {
+    /// A source drawing fresh random choices from `seed`.
+    pub fn fresh(seed: u64) -> Self {
+        Source { mode: Mode::Fresh(Box::new(StdRng::seed_from_u64(seed))), record: Vec::new() }
+    }
+
+    /// A source replaying `tape`; draws beyond its end return `0`.
+    pub fn replay(tape: Vec<u64>) -> Self {
+        Source { mode: Mode::Replay(tape), record: Vec::new() }
+    }
+
+    /// Draws the next choice and records it.
+    pub fn next_choice(&mut self) -> u64 {
+        let choice = match &mut self.mode {
+            Mode::Fresh(rng) => rng.gen(),
+            Mode::Replay(tape) => tape.get(self.record.len()).copied().unwrap_or(0),
+        };
+        self.record.push(choice);
+        choice
+    }
+
+    /// The choices drawn so far (the *effective tape*).
+    pub fn record(&self) -> &[u64] {
+        &self.record
+    }
+
+    /// Consumes the source and returns the effective tape.
+    pub fn into_record(self) -> Vec<u64> {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_seed_deterministic() {
+        let draw = |seed: u64| {
+            let mut s = Source::fresh(seed);
+            (0..8).map(|_| s.next_choice()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn replay_reproduces_the_record() {
+        let mut fresh = Source::fresh(3);
+        let original: Vec<u64> = (0..5).map(|_| fresh.next_choice()).collect();
+        assert_eq!(fresh.record(), &original[..]);
+
+        let mut replay = Source::replay(original.clone());
+        let replayed: Vec<u64> = (0..5).map(|_| replay.next_choice()).collect();
+        assert_eq!(replayed, original);
+        assert_eq!(replay.into_record(), original);
+    }
+
+    #[test]
+    fn replay_zero_fills_past_the_end() {
+        let mut s = Source::replay(vec![42]);
+        assert_eq!(s.next_choice(), 42);
+        assert_eq!(s.next_choice(), 0);
+        assert_eq!(s.next_choice(), 0);
+        assert_eq!(s.record(), &[42, 0, 0]);
+    }
+}

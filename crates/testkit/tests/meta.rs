@@ -1,0 +1,111 @@
+//! Meta-tests: the engine must *provably* shrink, persist, and replay.
+//!
+//! The property under test is intentionally failing: over
+//! `vec_of(f64_in(0.0, 2000.0), 0..=8)`, assert every element is below
+//! 1000. Its documented minimal counterexample is the single-element vector
+//! `[1000.0]` — `1000.0` is exactly representable as the midpoint choice
+//! `1 << 63`, so the shrinker's binary search lands on it bit-exactly, and
+//! the minimal tape is `[1, 1 << 63]` (length choice, element choice).
+
+use std::path::PathBuf;
+
+use swarm_testkit::{gens, run, Config, CorpusMode, Gen, Outcome};
+
+const PROPERTY: &str = "meta-vec-f64-bounded";
+const MINIMAL_TAPE: [u64; 2] = [1, 1 << 63];
+
+fn bounded_vec() -> Gen<Vec<f64>> {
+    gens::vec_of(&gens::f64_in(0.0, 2000.0), 0..=8)
+}
+
+#[allow(clippy::ptr_arg)] // `run` passes the generated value as `&Vec<f64>`
+fn all_below_1000(values: &Vec<f64>) -> Result<(), String> {
+    match values.iter().find(|&&x| x >= 1000.0) {
+        Some(x) => Err(format!("element {x} >= 1000")),
+        None => Ok(()),
+    }
+}
+
+fn temp_corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swarm-testkit-meta-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Fresh search finds a failure, shrinks it to the documented minimal
+/// counterexample, and persists the tape.
+#[test]
+fn failing_property_shrinks_to_documented_minimal_counterexample() {
+    let dir = temp_corpus("shrink");
+    let config = Config { corpus: CorpusMode::Dir(dir.clone()), ..Config::from_env() };
+    let failure = match run(PROPERTY, &config, &bounded_vec(), all_below_1000) {
+        Outcome::Failed(f) => f,
+        Outcome::Passed { .. } => panic!("the meta property must fail"),
+    };
+    assert!(!failure.from_corpus, "first run must fail from fresh search");
+    assert!(failure.shrink_steps > 0, "the raw failure is never already minimal");
+    assert_eq!(failure.value, vec![1000.0], "documented minimal counterexample");
+    assert_eq!(failure.tape, MINIMAL_TAPE);
+    let file = failure.corpus_file.expect("shrunk tape must be persisted");
+    assert!(file.starts_with(&dir), "tape written under the corpus root");
+    assert!(file.exists());
+
+    // The next run replays that tape before any fresh case.
+    let replayed = match run(PROPERTY, &config, &bounded_vec(), all_below_1000) {
+        Outcome::Failed(f) => f,
+        Outcome::Passed { .. } => panic!("the persisted tape must reproduce"),
+    };
+    assert!(replayed.from_corpus);
+    assert_eq!(replayed.cases_run, 0, "corpus replay happens before the search");
+    assert_eq!(replayed.value, vec![1000.0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tape committed under `tests/corpus/` still reproduces the minimal
+/// counterexample. This is CI's corpus-replay gate: if a shrinking or
+/// generator change makes the committed seed decode differently, this fails
+/// until the seed is re-shrunk and re-committed.
+#[test]
+fn committed_corpus_seed_replays_cleanly() {
+    // cases: 0 = corpus replay only; CorpusMode::Auto resolves to the
+    // workspace's committed tests/corpus/.
+    let config = Config { cases: 0, corpus: CorpusMode::Auto, ..Config::from_env() };
+    let failure = match run(PROPERTY, &config, &bounded_vec(), all_below_1000) {
+        Outcome::Failed(f) => f,
+        Outcome::Passed { corpus_replayed, .. } => panic!(
+            "committed corpus tape missing or no longer failing \
+             (replayed {corpus_replayed} tape(s)); restore tests/corpus/{PROPERTY}/"
+        ),
+    };
+    assert!(failure.from_corpus);
+    assert_eq!(
+        failure.value,
+        vec![1000.0],
+        "committed seed must decode to the documented minimal counterexample; \
+         re-shrink and re-commit it after generator/shrinker changes"
+    );
+    assert_eq!(failure.tape, MINIMAL_TAPE);
+}
+
+/// Deliberately break the property the other way (reject everything) and
+/// confirm the corpus tape is what fails first — proving replay precedence.
+#[test]
+fn corpus_tapes_take_precedence_over_fresh_search() {
+    let dir = temp_corpus("precedence");
+    let config = Config { corpus: CorpusMode::Dir(dir.clone()), ..Config::from_env() };
+    // Seed the corpus via a first failing run.
+    match run(PROPERTY, &config, &bounded_vec(), all_below_1000) {
+        Outcome::Failed(_) => {}
+        Outcome::Passed { .. } => panic!("seeding run must fail"),
+    }
+    // A property failing on *everything* now reports the corpus tape, not a
+    // random case.
+    let failure =
+        match run(PROPERTY, &config, &bounded_vec(), |_: &Vec<f64>| Err("always fails".into())) {
+            Outcome::Failed(f) => f,
+            Outcome::Passed { .. } => panic!("property fails on everything"),
+        };
+    assert!(failure.from_corpus);
+    assert_eq!(failure.value, vec![1000.0], "the minimal committed seed fails first");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,25 +1,18 @@
-//! Randomized tests spanning crates: random mission geometry, random attack
-//! parameters and random graphs must never violate the core invariants
-//! (finiteness, budget discipline, probability mass, ordering). Cases are
-//! drawn from a seeded generator so every run checks the same sample
-//! deterministically.
+//! Property tests spanning crates, run on `swarm-testkit`: random mission
+//! geometry, random attack parameters and random graphs must never violate
+//! the core invariants (finiteness, budget discipline, probability mass,
+//! ordering). Failures shrink to a minimal counterexample and persist to
+//! `tests/corpus/`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_graph::centrality::{pagerank, rank_order, PageRankConfig};
-use swarm_graph::DiGraph;
 use swarm_math::stats::Ecdf;
 use swarm_math::{Vec2, Vec3};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
 use swarm_sim::{ControlContext, DroneId, NeighborState, PerceivedSelf, SwarmController};
-
-const CASES: usize = 64;
-
-fn rng() -> StdRng {
-    StdRng::seed_from_u64(0x0043_524F_5353)
-}
+use swarm_testkit::domain::digraph;
+use swarm_testkit::{check, gens, tk_ensure};
 
 fn controller() -> VasarhelyiController {
     VasarhelyiController::new(VasarhelyiParams::default())
@@ -29,30 +22,33 @@ fn controller() -> VasarhelyiController {
 /// neighbor geometry.
 #[test]
 fn controller_output_always_finite() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let px = rng.gen_range(-300.0..300.0);
-        let py = rng.gen_range(-100.0..100.0);
-        let vx = rng.gen_range(-10.0..10.0);
-        let vy = rng.gen_range(-10.0..10.0);
+    let neighbor = gens::zip2(
+        &gens::zip2(&gens::f64_in(-300.0, 300.0), &gens::f64_in(-100.0, 100.0)),
+        &gens::zip2(&gens::f64_in(-10.0, 10.0), &gens::f64_in(-10.0, 10.0)),
+    )
+    .map(|((x, y), (vx, vy))| (Vec3::new(x, y, 10.0), Vec3::new(vx, vy, 0.0)));
+    let gen = gens::zip3(
+        &gens::zip2(&gens::f64_in(-300.0, 300.0), &gens::f64_in(-100.0, 100.0)),
+        &gens::zip2(&gens::f64_in(-10.0, 10.0), &gens::f64_in(-10.0, 10.0)),
+        &gens::vec_of(&neighbor, 0..=15),
+    );
+    check("cross-controller-finite", &gen, |((px, py), (vx, vy), neighbors)| {
         let spec = MissionSpec::paper_delivery(2, 0);
-        let nbs: Vec<NeighborState> = (0..rng.gen_range(0usize..16))
-            .map(|i| NeighborState {
+        let nbs: Vec<NeighborState> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, &(position, velocity))| NeighborState {
                 id: DroneId(i + 1),
-                position: Vec3::new(
-                    rng.gen_range(-300.0..300.0),
-                    rng.gen_range(-100.0..100.0),
-                    10.0,
-                ),
-                velocity: Vec3::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), 0.0),
+                position,
+                velocity,
                 age: 0.0,
             })
             .collect();
         let ctx = ControlContext {
             id: DroneId(0),
             self_state: PerceivedSelf {
-                position: Vec3::new(px, py, 10.0),
-                velocity: Vec3::new(vx, vy, 0.0),
+                position: Vec3::new(*px, *py, 10.0),
+                velocity: Vec3::new(*vx, *vy, 0.0),
             },
             neighbors: &nbs,
             world: &spec.world,
@@ -60,109 +56,114 @@ fn controller_output_always_finite() {
             time: 0.0,
         };
         let cmd = controller().desired_velocity(&ctx);
-        assert!(cmd.is_finite());
+        tk_ensure!(cmd.is_finite(), "command diverged: {cmd:?}");
         let p = VasarhelyiParams::default();
-        assert!(cmd.horizontal().norm() <= p.v_max + 1e-9);
-    }
+        tk_ensure!(
+            cmd.horizontal().norm() <= p.v_max + 1e-9,
+            "speed {} exceeds v_max {}",
+            cmd.horizontal().norm(),
+            p.v_max
+        );
+        Ok(())
+    });
 }
 
 /// PageRank is a probability distribution on any random graph.
 #[test]
 fn pagerank_mass_conserved() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let n = rng.gen_range(1usize..20);
-        let mut g = DiGraph::new(n);
-        for _ in 0..rng.gen_range(0usize..60) {
-            let a = rng.gen_range(0usize..20);
-            let b = rng.gen_range(0usize..20);
-            let w = rng.gen_range(0.01..1.0);
-            if a < n && b < n && a != b {
-                g.add_edge(a, b, w).unwrap();
-            }
-        }
-        let pr = pagerank(&g, &PageRankConfig::default());
+    check("cross-pagerank-mass", &digraph(1..=19, 59, 0.01, 1.0), |g| {
+        let pr = pagerank(g, &PageRankConfig::default());
         let sum: f64 = pr.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "sum={sum}");
-        assert!(pr.iter().all(|&x| x >= 0.0));
+        tk_ensure!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        tk_ensure!(pr.iter().all(|&x| x >= 0.0));
         // rank_order is a permutation.
         let mut order = rank_order(&pr);
         order.sort_unstable();
-        assert!(order.iter().enumerate().all(|(i, &x)| i == x));
-    }
+        tk_ensure!(order.iter().enumerate().all(|(i, &x)| i == x), "rank_order not a permutation");
+        Ok(())
+    });
 }
 
 /// The spoofing offset has the configured magnitude inside the window and is
 /// zero outside, for arbitrary parameters and axes.
 #[test]
 fn spoof_offset_window_algebra() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let start = rng.gen_range(0.0..200.0);
-        let duration = rng.gen_range(0.0..100.0);
-        let deviation = rng.gen_range(0.0..20.0);
-        let t = rng.gen_range(0.0..400.0);
-        let axis_angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let gen = gens::zip4(
+        &gens::zip2(&gens::f64_in(0.0, 200.0), &gens::f64_in(0.0, 100.0)),
+        &gens::f64_in(0.0, 20.0),
+        &gens::f64_in(0.0, 400.0),
+        &gens::f64_in(0.0, std::f64::consts::TAU),
+    );
+    check("cross-spoof-window-algebra", &gen, |((start, duration), deviation, t, axis_angle)| {
         let axis = Vec2::new(axis_angle.cos(), axis_angle.sin());
         let atk =
-            SpoofingAttack::new(DroneId(0), SpoofDirection::Right, start, duration, deviation)
-                .unwrap();
-        let offset = atk.offset_for(DroneId(0), t, axis);
-        if t >= start && t < start + duration {
-            assert!((offset.norm() - deviation).abs() < 1e-9);
+            SpoofingAttack::new(DroneId(0), SpoofDirection::Right, *start, *duration, *deviation)
+                .map_err(|e| format!("valid window rejected: {e}"))?;
+        let offset = atk.offset_for(DroneId(0), *t, axis);
+        if *t >= *start && *t < start + duration {
+            tk_ensure!((offset.norm() - deviation).abs() < 1e-9, "magnitude {}", offset.norm());
             // Horizontal only.
-            assert_eq!(offset.z, 0.0);
+            tk_ensure!(offset.z == 0.0);
             // Perpendicular to the mission axis.
-            assert!(offset.xy().dot(axis).abs() < 1e-9 * (1.0 + deviation));
+            tk_ensure!(offset.xy().dot(axis).abs() < 1e-9 * (1.0 + deviation));
         } else {
-            assert_eq!(offset, Vec3::ZERO);
+            tk_ensure!(offset == Vec3::ZERO, "offset {offset:?} outside the window");
         }
         // Never an offset for another drone.
-        assert_eq!(atk.offset_for(DroneId(1), t, axis), Vec3::ZERO);
-    }
+        tk_ensure!(atk.offset_for(DroneId(1), *t, axis) == Vec3::ZERO);
+        Ok(())
+    });
 }
 
 /// ECDFs are monotone, bounded in [0,1], and hit 1 at the max sample.
 #[test]
 fn ecdf_is_monotone_cdf() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let sample: Vec<f64> =
-            (0..rng.gen_range(1usize..50)).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let gen = gens::vec_of(&gens::f64_in(-100.0, 100.0), 1..=49);
+    check("cross-ecdf-monotone", &gen, |sample| {
         let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let cdf = Ecdf::new(sample);
+        let cdf = Ecdf::new(sample.clone());
         let mut last = 0.0;
         for i in -100..=100 {
             let x = i as f64;
             let y = cdf.eval(x);
-            assert!((0.0..=1.0).contains(&y));
-            assert!(y >= last);
+            tk_ensure!((0.0..=1.0).contains(&y), "F({x}) = {y}");
+            tk_ensure!(y >= last, "F({x}) = {y} dropped below {last}");
             last = y;
         }
-        assert_eq!(cdf.eval(max), 1.0);
-    }
+        tk_ensure!(cdf.eval(max) == 1.0, "F(max) = {}", cdf.eval(max));
+        Ok(())
+    });
 }
 
 /// Mission initial positions always respect the box and separation.
 #[test]
 fn initial_positions_in_box() {
-    let mut rng = rng();
-    for _ in 0..CASES {
-        let n = rng.gen_range(1usize..16);
-        let seed = rng.gen_range(0u64..5000);
-        let spec = MissionSpec::paper_delivery(n, seed);
+    let gen = gens::zip2(&gens::usize_in(1..=15), &gens::u64_in(0..=4999));
+    check("cross-initial-positions", &gen, |(n, seed)| {
+        let spec = MissionSpec::paper_delivery(*n, *seed);
         let pos = spec.initial_positions();
-        assert_eq!(pos.len(), n);
+        tk_ensure!(pos.len() == *n);
         for p in &pos {
-            assert!(p.x >= spec.start_min.x - 1e-9 && p.x <= spec.start_max.x + 1e-9);
-            assert!(p.y >= spec.start_min.y - 1e-9 && p.y <= spec.start_max.y + 1e-9);
+            tk_ensure!(
+                p.x >= spec.start_min.x - 1e-9 && p.x <= spec.start_max.x + 1e-9,
+                "x out of box: {p:?}"
+            );
+            tk_ensure!(
+                p.y >= spec.start_min.y - 1e-9 && p.y <= spec.start_max.y + 1e-9,
+                "y out of box: {p:?}"
+            );
         }
         for i in 0..pos.len() {
             for j in 0..i {
-                assert!(pos[i].distance(pos[j]) >= spec.min_start_separation - 1e-9);
+                tk_ensure!(
+                    pos[i].distance(pos[j]) >= spec.min_start_separation - 1e-9,
+                    "drones {i} and {j} start {} m apart",
+                    pos[i].distance(pos[j])
+                );
             }
         }
-    }
+        Ok(())
+    });
 }
 
 /// Non-randomized cross-crate check: seed scheduling on a real mission yields
