@@ -40,7 +40,7 @@ COMMANDS:
     campaign  run the paper's 6-configuration evaluation grid
                 --missions K (20)  --workers W (cores)
                 --journal PATH (off)  --resume yes|no (no)  --retries N (1)
-                --telemetry off|summary|json (off)
+                --snapshot on|off (on)  --telemetry off|summary|json (off)
     baseline  fly one mission without any attack and print statistics
                 --drones N (10)  --seed S (0)
     replay    replay a specific spoofing attack and report the outcome
@@ -219,8 +219,11 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
     let mut campaign = CampaignConfig::paper_grid(opts.missions, 0xC0FFEE);
     campaign.workers = workers;
     let ctrl = controller();
-    let options =
-        CampaignRunOptions { journal: opts.journal.clone(), max_retries: opts.max_retries };
+    let options = CampaignRunOptions {
+        journal: opts.journal.clone(),
+        max_retries: opts.max_retries,
+        snapshot: opts.snapshot,
+    };
     let report = run_campaign_with_options(
         &campaign,
         |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)),

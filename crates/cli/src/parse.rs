@@ -73,6 +73,7 @@ pub struct CampaignOpts {
     pub workers: usize,
     pub journal: Option<JournalSpec>,
     pub max_retries: usize,
+    pub snapshot: bool,
     pub telemetry: TelemetryMode,
 }
 
@@ -184,13 +185,22 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
     reject_unknown_flags(
         args,
         "campaign",
-        &["missions", "workers", "journal", "resume", "retries", "telemetry"],
+        &["missions", "workers", "journal", "resume", "retries", "snapshot", "telemetry"],
     )?;
     let resume = yes_no(args, "resume")?;
     let journal = args.raw("journal").map(|p| JournalSpec { path: p.into(), resume });
     if resume && journal.is_none() {
         return Err(ParseError::Invalid("--resume yes requires --journal PATH".into()));
     }
+    let snapshot = match args.raw("snapshot") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(ParseError::Invalid(format!(
+                "--snapshot must be 'on' or 'off', got {other:?}"
+            )))
+        }
+    };
     Ok(CampaignOpts {
         missions: args.get_or("missions", 20)?,
         workers: args.get_or(
@@ -199,6 +209,7 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
         )?,
         journal,
         max_retries: args.get_or("retries", 1)?,
+        snapshot,
         telemetry: telemetry_mode(args)?,
     })
 }
@@ -339,6 +350,7 @@ mod tests {
         assert!(opts.workers >= 1, "workers default to available parallelism");
         assert_eq!(opts.journal, None);
         assert_eq!(opts.max_retries, 1);
+        assert!(opts.snapshot, "snapshot forking defaults to on");
 
         let Ok(Command::Campaign(opts)) =
             parse("campaign --missions 4 --workers 2 --retries 3 --telemetry json")
@@ -349,6 +361,20 @@ mod tests {
         assert_eq!(opts.workers, 2);
         assert_eq!(opts.max_retries, 3);
         assert_eq!(opts.telemetry, TelemetryMode::Json);
+    }
+
+    #[test]
+    fn campaign_snapshot_flag_values() {
+        let Ok(Command::Campaign(opts)) = parse("campaign --snapshot on") else {
+            panic!("--snapshot on must parse")
+        };
+        assert!(opts.snapshot);
+        let Ok(Command::Campaign(opts)) = parse("campaign --snapshot off") else {
+            panic!("--snapshot off must parse")
+        };
+        assert!(!opts.snapshot);
+        let err = parse("campaign --snapshot maybe").unwrap_err();
+        assert_eq!(err.to_string(), "--snapshot must be 'on' or 'off', got \"maybe\"");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use swarm_sim::mission::MissionSpec;
 use swarm_sim::SwarmController;
 
 use crate::fuzzer::{Fuzzer, FuzzerConfig, SpvFinding};
+use crate::snapshot::SnapshotCache;
 use crate::store::{campaign_fingerprint, CampaignJournal, JournalRow};
 use crate::telemetry::{Counter, Telemetry};
 use crate::FuzzError;
@@ -242,11 +243,17 @@ pub struct CampaignRunOptions {
     /// Retries per mission before it is quarantined as a `failed` row
     /// (0 = fail fast into the report).
     pub max_retries: usize,
+    /// Snapshot-and-fork execution: cache each mission's baseline trajectory
+    /// plus a snapshot ring (shared across all workers and fuzzer variants)
+    /// and fork every search probe from the newest snapshot preceding its
+    /// spoofing start instead of re-simulating the prefix. Bit-identical to
+    /// running with it off — only faster (`tests/snapshot_equivalence.rs`).
+    pub snapshot: bool,
 }
 
 impl Default for CampaignRunOptions {
     fn default() -> Self {
-        CampaignRunOptions { journal: None, max_retries: 1 }
+        CampaignRunOptions { journal: None, max_retries: 1, snapshot: true }
     }
 }
 
@@ -321,6 +328,10 @@ where
         .filter(|&(c, i)| !completed.contains(&(c.swarm_size, c.deviation.to_bits(), i)))
         .collect();
 
+    // One snapshot cache for the whole campaign: every worker (and every
+    // fuzzer variant) forks from the same per-mission baselines.
+    let snapshot_cache = options.snapshot.then(SnapshotCache::new);
+
     let workers = campaign.workers.max(1);
     let (job_tx, job_rx) = channel::unbounded::<(SwarmConfig, usize)>();
     for job in jobs {
@@ -338,6 +349,7 @@ where
             let campaign = &campaign;
             let telemetry = telemetry.clone();
             let max_retries = options.max_retries;
+            let snapshot_cache = snapshot_cache.clone();
             scope.spawn(move || {
                 while let Ok((config, index)) = job_rx.recv() {
                     let row = fuzz_one_isolated(
@@ -347,6 +359,7 @@ where
                         make_fuzzer,
                         &telemetry,
                         max_retries,
+                        snapshot_cache.as_ref(),
                     );
                     if let JournalRow::Done { result, .. } = &row {
                         telemetry.worker_mission_done(
@@ -421,6 +434,7 @@ fn fuzz_one_isolated<C, F>(
     make_fuzzer: &F,
     telemetry: &Telemetry,
     max_retries: usize,
+    snapshot_cache: Option<&SnapshotCache>,
 ) -> JournalRow
 where
     C: SwarmController + Clone,
@@ -428,7 +442,7 @@ where
 {
     let mut retries = 0usize;
     loop {
-        match fuzz_one(campaign, config, index, make_fuzzer, telemetry) {
+        match fuzz_one(campaign, config, index, make_fuzzer, telemetry, snapshot_cache) {
             Ok(result) => return JournalRow::Done { index, result },
             Err(_) if retries < max_retries => {
                 retries += 1;
@@ -453,12 +467,18 @@ fn fuzz_one<C, F>(
     index: usize,
     make_fuzzer: &F,
     telemetry: &Telemetry,
+    snapshot_cache: Option<&SnapshotCache>,
 ) -> Result<MissionResult, FuzzError>
 where
     C: SwarmController + Clone,
     F: Fn(f64) -> Fuzzer<C>,
 {
-    let fuzzer = make_fuzzer(config.deviation).with_telemetry(telemetry.clone());
+    let mut fuzzer = make_fuzzer(config.deviation)
+        .with_telemetry(telemetry.clone())
+        .with_snapshots(snapshot_cache.is_some());
+    if let Some(cache) = snapshot_cache {
+        fuzzer = fuzzer.with_snapshot_cache(cache.clone());
+    }
     // Deterministic, collision-free per-(config, index) seed stream.
     let start_seed = mission_base_seed(campaign.base_seed, config, index);
     let (seed, report) = with_baseline_skips(config, start_seed, 100, telemetry, |seed| {

@@ -17,18 +17,21 @@
 //! | `G_Fuzz`   | random          | gradient         |
 //! | `S_Fuzz`   | SVG             | random           |
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use swarm_math::rng::{rng_for, streams};
-use swarm_sim::dynamics::Dynamics;
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::recorder::MissionRecord;
-use swarm_sim::{DroneId, SimObserver, Simulation, SwarmController};
+use swarm_sim::{DroneId, MissionOutcome, SimObserver, Simulation, SwarmController};
 
 use crate::objective::Objective;
 use crate::schedule::{random_schedule, svg_schedule_instrumented};
 use crate::search::{gradient_search, random_search, GradientConfig, SearchResult};
 use crate::seed::Seed;
+use crate::snapshot::{cache_key, MissionCache, SnapshotCache, SnapshotRing};
 use crate::svg::CentralityKind;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::FuzzError;
@@ -179,12 +182,22 @@ pub struct Fuzzer<C> {
     controller: C,
     config: FuzzerConfig,
     telemetry: Telemetry,
+    snapshots: bool,
+    snapshot_cache: Option<SnapshotCache>,
 }
 
 impl<C: SwarmController + Clone> Fuzzer<C> {
     /// Creates a fuzzer for the given controller and configuration.
+    /// Snapshot forking is on by default (it is bit-identical to fresh
+    /// simulation — see `tests/snapshot_equivalence.rs`).
     pub fn new(controller: C, config: FuzzerConfig) -> Self {
-        Fuzzer { controller, config, telemetry: Telemetry::off() }
+        Fuzzer {
+            controller,
+            config,
+            telemetry: Telemetry::off(),
+            snapshots: true,
+            snapshot_cache: None,
+        }
     }
 
     /// Attaches a telemetry handle recording phase timings and counters.
@@ -194,6 +207,30 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Enables or disables snapshot-and-fork execution. When off, every
+    /// probe re-simulates its mission from `t = 0` (the pre-snapshot
+    /// behavior); results are identical either way, only the wall-clock
+    /// differs. Deliberately NOT part of [`FuzzerConfig`]: it is an
+    /// execution detail, and must not perturb campaign fingerprints.
+    pub fn with_snapshots(mut self, snapshots: bool) -> Self {
+        self.snapshots = snapshots;
+        self
+    }
+
+    /// Shares a baseline snapshot cache with other fuzzers (the campaign
+    /// layer hands every worker the same handle, so a mission's baseline is
+    /// simulated once across all fuzzer variants). Only consulted while
+    /// snapshots are enabled.
+    pub fn with_snapshot_cache(mut self, cache: SnapshotCache) -> Self {
+        self.snapshot_cache = Some(cache);
+        self
+    }
+
+    /// `true` when snapshot-and-fork execution is enabled.
+    pub fn snapshots_enabled(&self) -> bool {
+        self.snapshots
     }
 
     /// The fuzzer configuration.
@@ -218,19 +255,57 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
     /// * [`FuzzError::Sim`] for simulation-level failures.
     pub fn fuzz(&self, spec: &MissionSpec) -> Result<FuzzReport, FuzzError> {
         let sim = Simulation::new(spec.clone(), self.controller.clone())?;
+        let observer: Option<&dyn SimObserver> =
+            if self.telemetry.is_enabled() { Some(&self.telemetry) } else { None };
 
-        // Step 1: initial no-attack test.
-        let baseline = {
-            let _span = self.telemetry.span(Phase::Baseline);
-            let observer: Option<&dyn SimObserver> =
-                if self.telemetry.is_enabled() { Some(&self.telemetry) } else { None };
-            sim.run_observed(None, observer)?
-        };
-        if let Some(c) = baseline.first_collision() {
-            return Err(FuzzError::BaselineCollision(*c));
+        // Step 1: initial no-attack test. With snapshots on, the baseline
+        // run also captures a snapshot ring for the window search to fork
+        // from; a shared campaign cache may already hold both.
+        let mut mission_cache: Option<Arc<MissionCache>> = None;
+        let mut owned_baseline: Option<MissionOutcome> = None;
+        if self.snapshots {
+            let key = cache_key(spec, sim.config().spatial);
+            let shared = self.snapshot_cache.as_ref();
+            if let Some(hit) = shared.and_then(|c| c.get(&key)) {
+                mission_cache = Some(hit);
+            } else {
+                let ring = RefCell::new(SnapshotRing::new(spec.steps_per_gps()));
+                let outcome = {
+                    let _span = self.telemetry.span(Phase::Baseline);
+                    sim.run_observed_with_snapshots(
+                        None,
+                        observer,
+                        |step| ring.borrow().wants(step),
+                        |snap| ring.borrow_mut().push(snap),
+                    )?
+                };
+                if let Some(c) = outcome.first_collision() {
+                    return Err(FuzzError::BaselineCollision(*c));
+                }
+                self.telemetry.incr(Counter::MissionsRun);
+                let built =
+                    Arc::new(MissionCache::new(outcome.record, ring.into_inner().into_snapshots()));
+                if let Some(shared) = shared {
+                    shared.insert(key, built.clone());
+                }
+                mission_cache = Some(built);
+            }
+        } else {
+            let outcome = {
+                let _span = self.telemetry.span(Phase::Baseline);
+                sim.run_observed(None, observer)?
+            };
+            if let Some(c) = outcome.first_collision() {
+                return Err(FuzzError::BaselineCollision(*c));
+            }
+            self.telemetry.incr(Counter::MissionsRun);
+            owned_baseline = Some(outcome);
         }
-        self.telemetry.incr(Counter::MissionsRun);
-        let record = &baseline.record;
+        let record: &MissionRecord = match (&mission_cache, &owned_baseline) {
+            (Some(cache), _) => cache.baseline(),
+            (None, Some(outcome)) => &outcome.record,
+            (None, None) => unreachable!("one baseline source is always populated"),
+        };
         let (vdo_drone, mission_vdo) = record.mission_vdo().ok_or(FuzzError::NoObstacle)?;
 
         // Step 2: seed scheduling.
@@ -263,7 +338,15 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             seeds_tried += 1;
             self.telemetry.incr(Counter::SeedsTried);
             let remaining = self.config.eval_budget - evaluations;
-            let result = self.search_seed(&sim, record, *seed, remaining, t_mission, &mut rng)?;
+            let result = self.search_seed(
+                &sim,
+                mission_cache.as_deref(),
+                record,
+                *seed,
+                remaining,
+                t_mission,
+                &mut rng,
+            )?;
             evaluations += result.evaluations;
             self.telemetry.add(Counter::Evaluations, result.evaluations as u64);
             if let Some(s) = result.success {
@@ -290,9 +373,15 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         })
     }
 
-    fn search_seed<D: Dynamics>(
+    /// Searches one seed's spoofing window. A probe whose mission forks
+    /// from a cached snapshot counts exactly like a from-scratch probe —
+    /// one search iteration — so the paper's eval budget is unaffected by
+    /// how the mission is executed.
+    #[allow(clippy::too_many_arguments)]
+    fn search_seed(
         &self,
-        sim: &Simulation<C, D>,
+        sim: &Simulation<C>,
+        fork: Option<&MissionCache>,
         record: &MissionRecord,
         seed: Seed,
         budget: usize,
@@ -305,6 +394,21 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         }
         let telemetry = &self.telemetry;
         let mut eval = |ts: f64, dt: f64| {
+            if let Some(cache) = fork {
+                // Clamp like the objective will, so fork admission sees the
+                // start time the attack window actually uses.
+                if let Some(snap) = cache.newest_admitting(ts.max(0.0)) {
+                    telemetry.incr(Counter::ForkHits);
+                    telemetry.add(Counter::PrefixStepsSaved, snap.stats().physics_steps);
+                    let prefix = {
+                        let _span = telemetry.span(Phase::PrefixSim);
+                        sim.prefix_record(snap, cache.baseline())?
+                    };
+                    let _span = telemetry.span(Phase::ForkedSim);
+                    return objective.evaluate_forked(snap, prefix, ts, dt);
+                }
+                telemetry.incr(Counter::ForkMisses);
+            }
             let _span = telemetry.span(Phase::MissionSim);
             objective.evaluate(ts, dt)
         };

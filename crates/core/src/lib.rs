@@ -60,6 +60,7 @@ pub mod report;
 pub mod schedule;
 pub mod search;
 pub mod seed;
+pub mod snapshot;
 pub mod store;
 pub mod svg;
 pub mod telemetry;
@@ -67,6 +68,7 @@ pub mod telemetry;
 pub use error::FuzzError;
 pub use fuzzer::{FuzzReport, Fuzzer, FuzzerConfig, SearchStrategy, SeedStrategy, SpvFinding};
 pub use seed::{Seed, Seedpool};
+pub use snapshot::{MissionCache, SnapshotCache, SnapshotRing};
 pub use store::{CampaignJournal, StoreError};
 pub use svg::{CentralityKind, SvgAnalysis, SvgBuilder};
 pub use telemetry::{Telemetry, TelemetryReport};

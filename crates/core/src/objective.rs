@@ -7,8 +7,9 @@
 //! simulated mission — the unit the paper calls a *search iteration*.
 
 use swarm_sim::dynamics::Dynamics;
+use swarm_sim::recorder::MissionRecord;
 use swarm_sim::spoof::SpoofingAttack;
-use swarm_sim::{DroneId, SimObserver, Simulation, SwarmController};
+use swarm_sim::{DroneId, MissionOutcome, SimObserver, SimSnapshot, Simulation, SwarmController};
 
 use crate::seed::Seed;
 use crate::FuzzError;
@@ -104,15 +105,24 @@ impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
     pub fn evaluate(&self, start: f64, duration: f64) -> Result<Evaluation, FuzzError> {
         let start = start.max(0.0);
         let duration = duration.max(0.0);
-        let attack = SpoofingAttack::new(
+        let attack = self.attack(start, duration)?;
+        let outcome = self.sim.run_observed(Some(&attack), self.observer)?;
+        Ok(self.classify(&outcome, start, duration))
+    }
+
+    /// Builds the seed's attack for a (pre-clamped) window.
+    fn attack(&self, start: f64, duration: f64) -> Result<SpoofingAttack, FuzzError> {
+        Ok(SpoofingAttack::new(
             self.seed.target,
             self.seed.direction,
             start,
             duration,
             self.deviation,
-        )?;
-        let outcome = self.sim.run_observed(Some(&attack), self.observer)?;
+        )?)
+    }
 
+    /// Derives the [`Evaluation`] from an attacked mission's outcome.
+    fn classify(&self, outcome: &MissionOutcome, start: f64, duration: f64) -> Evaluation {
         let eval_outcome = match outcome.spv_collision(self.seed.target) {
             Some((victim, time)) => EvalOutcome::SpvCollision { victim, time },
             None => match outcome.first_collision() {
@@ -132,7 +142,36 @@ impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
             _ => outcome.record.vdo(self.seed.victim).map_or(f64::INFINITY, |v| v - radius),
         };
 
-        Ok(Evaluation { value, outcome: eval_outcome, start, duration })
+        Evaluation { value, outcome: eval_outcome, start, duration }
+    }
+}
+
+impl<C: SwarmController, D: Dynamics + Clone> Objective<'_, C, D> {
+    /// [`Objective::evaluate`], but forking the attacked mission from
+    /// `snapshot` (with `prefix` the record returned by
+    /// [`Simulation::prefix_record`]) instead of re-simulating the no-attack
+    /// prefix. Bit-identical to the from-scratch evaluation whenever the
+    /// snapshot admits the (clamped) start time — see
+    /// [`SimSnapshot::admits_attack_start`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Objective::evaluate`], plus
+    /// [`swarm_sim::SimError::SnapshotMismatch`] (wrapped in
+    /// [`FuzzError::Sim`]) when the snapshot does not admit the window.
+    pub fn evaluate_forked(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        prefix: MissionRecord,
+        start: f64,
+        duration: f64,
+    ) -> Result<Evaluation, FuzzError> {
+        let start = start.max(0.0);
+        let duration = duration.max(0.0);
+        let attack = self.attack(start, duration)?;
+        let outcome =
+            self.sim.resume_record_observed(snapshot, prefix, Some(&attack), self.observer)?;
+        Ok(self.classify(&outcome, start, duration))
     }
 }
 
@@ -219,6 +258,18 @@ mod tests {
         let e = obj.evaluate(-5.0, -1.0).unwrap();
         assert_eq!(e.start, 0.0);
         assert_eq!(e.duration, 0.0);
+    }
+
+    #[test]
+    fn forked_evaluation_is_bit_identical_to_fresh() {
+        let sim = Simulation::new(spec(), FollowY).unwrap();
+        let obj = Objective::new(&sim, seed(), 10.0);
+        let fresh = obj.evaluate(10.0, 70.0).unwrap();
+        let (snap, source) = sim.run_to(10.0).unwrap();
+        let prefix = sim.prefix_record(&snap, &source).unwrap();
+        let forked = obj.evaluate_forked(&snap, prefix, 10.0, 70.0).unwrap();
+        assert_eq!(fresh, forked);
+        assert!(forked.is_success(), "the known SPV must survive forking");
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Baseline snapshot cache for fork-from-prefix fuzzing.
+//!
+//! Every candidate window `(t_s, Δt)` the window search probes used to
+//! re-simulate the identical no-attack prefix `[0, t_s)` from scratch — the
+//! single largest source of wasted work in a campaign. Since an attack only
+//! enters the mission loop through GPS offsets sampled inside its half-open
+//! window, the prefix of an attacked mission is *bit-identical* to the
+//! baseline's. [`MissionCache`] therefore stores one baseline
+//! [`MissionRecord`] plus a [`SimSnapshot`] ring over its trajectory, and
+//! every probe forks from the newest snapshot admitting its start time
+//! ([`SimSnapshot::admits_attack_start`]) instead of re-simulating.
+//!
+//! [`SnapshotCache`] shares these per-mission caches across the fuzzer
+//! configurations of a campaign: all four ablation variants (and both
+//! deviations) fuzz the same `(mission fingerprint, seed, grid policy)`
+//! missions, so the baseline is simulated once and forked everywhere.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use swarm_sim::dynamics::PointMass;
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::recorder::MissionRecord;
+use swarm_sim::{SimSnapshot, SpatialPolicy};
+
+/// Ring size that triggers thinning: when the ring outgrows this, every
+/// other snapshot is dropped and the capture stride doubles.
+const RING_CAPACITY: usize = 256;
+
+/// Missions kept in a shared [`SnapshotCache`] before the oldest entry is
+/// evicted. Bounds campaign memory: a paper-scale mission cache (record +
+/// ring) is a few megabytes, and a campaign can visit hundreds of missions.
+const CACHE_CAPACITY: usize = 16;
+
+/// The key identifying one cached mission: `(MissionSpec fingerprint,
+/// mission seed, spatial-policy tag)`. The fingerprint already covers the
+/// seed; it is kept separately so human-readable keys survive debugging.
+pub type CacheKey = (u64, u64, u8);
+
+/// Derives the [`CacheKey`] for a mission run under `policy`.
+pub fn cache_key(spec: &MissionSpec, policy: SpatialPolicy) -> CacheKey {
+    let tag = match policy {
+        SpatialPolicy::Auto => 0,
+        SpatialPolicy::ForceOn => 1,
+        SpatialPolicy::ForceOff => 2,
+    };
+    (spec.fingerprint(), spec.seed, tag)
+}
+
+/// One mission's fork sources: the collision-free baseline record and a ring
+/// of snapshots along its trajectory (ascending capture step).
+#[derive(Debug, Clone)]
+pub struct MissionCache {
+    baseline: MissionRecord,
+    ring: Vec<SimSnapshot<PointMass>>,
+}
+
+impl MissionCache {
+    /// Bundles a baseline record with its snapshot ring.
+    pub fn new(baseline: MissionRecord, ring: Vec<SimSnapshot<PointMass>>) -> Self {
+        MissionCache { baseline, ring }
+    }
+
+    /// The no-attack baseline record (the `source` for
+    /// [`swarm_sim::Simulation::prefix_record`]).
+    pub fn baseline(&self) -> &MissionRecord {
+        &self.baseline
+    }
+
+    /// Number of snapshots in the ring.
+    pub fn ring_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The newest snapshot from which an attack window opening at `start`
+    /// can be forked bit-identically. Snapshots at step 0 are skipped — a
+    /// fork from the initial state saves nothing over a fresh run, so the
+    /// caller should treat that case as a miss and simulate from scratch.
+    pub fn newest_admitting(&self, start: f64) -> Option<&SimSnapshot<PointMass>> {
+        self.ring
+            .iter()
+            .rev()
+            .find(|s| !s.is_terminal() && s.next_step() > 0 && s.admits_attack_start(start))
+    }
+}
+
+/// Bounded, stride-doubling collector for the baseline's snapshot ring.
+///
+/// Starts capturing every `stride` physics steps (one GPS period). When the
+/// ring exceeds [`RING_CAPACITY`], every other snapshot is dropped and the
+/// stride doubles, so arbitrarily long missions converge to ≤ `2 ×
+/// RING_CAPACITY` retained snapshots at a self-tuning cadence while the
+/// kept capture steps stay exact multiples of the current stride.
+#[derive(Debug)]
+pub struct SnapshotRing {
+    stride: usize,
+    snaps: Vec<SimSnapshot<PointMass>>,
+}
+
+impl SnapshotRing {
+    /// A collector capturing every `stride` physics steps (at least 1).
+    pub fn new(stride: usize) -> Self {
+        SnapshotRing { stride: stride.max(1), snaps: Vec::new() }
+    }
+
+    /// `true` when the ring wants a snapshot of `step` — the cheap per-step
+    /// predicate handed to
+    /// [`swarm_sim::Simulation::run_observed_with_snapshots`], so cloning
+    /// only happens for steps that are kept.
+    pub fn wants(&self, step: usize) -> bool {
+        step.is_multiple_of(self.stride)
+    }
+
+    /// Accepts a captured snapshot, thinning the ring when it outgrows
+    /// [`RING_CAPACITY`].
+    pub fn push(&mut self, snap: SimSnapshot<PointMass>) {
+        if !self.wants(snap.next_step()) {
+            return;
+        }
+        self.snaps.push(snap);
+        if self.snaps.len() > RING_CAPACITY {
+            let mut index = 0usize;
+            self.snaps.retain(|_| {
+                let keep = index.is_multiple_of(2);
+                index += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+
+    /// The current capture stride in physics steps.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Finalizes into the retained snapshots, ascending by capture step.
+    pub fn into_snapshots(self) -> Vec<SimSnapshot<PointMass>> {
+        self.snaps
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<MissionCache>>,
+    /// Insertion order, oldest first (FIFO eviction).
+    order: Vec<CacheKey>,
+}
+
+/// A thread-safe, bounded `(mission, policy) → MissionCache` map shared by
+/// every worker of a campaign run. Cloning the handle shares the store.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl SnapshotCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        SnapshotCache::default()
+    }
+
+    /// Looks up a mission's fork sources.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<MissionCache>> {
+        self.lock().map.get(key).cloned()
+    }
+
+    /// Inserts a mission's fork sources, evicting the oldest entry beyond
+    /// [`CACHE_CAPACITY`]. Re-inserting an existing key replaces the value
+    /// without refreshing its eviction age.
+    pub fn insert(&self, key: CacheKey, cache: Arc<MissionCache>) {
+        let mut inner = self.lock();
+        if inner.map.insert(key, cache).is_none() {
+            inner.order.push(key);
+        }
+        while inner.order.len() > CACHE_CAPACITY {
+            let oldest = inner.order.remove(0);
+            inner.map.remove(&oldest);
+        }
+    }
+
+    /// Number of cached missions.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A worker that panicked mid-insert leaves at worst a consistent
+        // (map, order) pair from before its mutation; recover rather than
+        // cascade the poison to every other campaign worker.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_record() -> MissionRecord {
+        MissionRecord::new(1, 0.1)
+    }
+
+    #[test]
+    fn cache_key_distinguishes_spec_seed_and_policy() {
+        let a = MissionSpec::paper_delivery(5, 1);
+        let b = MissionSpec::paper_delivery(5, 2);
+        assert_ne!(cache_key(&a, SpatialPolicy::Auto), cache_key(&b, SpatialPolicy::Auto));
+        assert_ne!(cache_key(&a, SpatialPolicy::Auto), cache_key(&a, SpatialPolicy::ForceOn));
+        assert_eq!(cache_key(&a, SpatialPolicy::Auto), cache_key(&a, SpatialPolicy::Auto));
+    }
+
+    #[test]
+    fn snapshot_cache_is_bounded_fifo() {
+        let cache = SnapshotCache::new();
+        for i in 0..(CACHE_CAPACITY as u64 + 4) {
+            let key = (i, i, 0);
+            cache.insert(key, Arc::new(MissionCache::new(dummy_record(), Vec::new())));
+        }
+        assert_eq!(cache.len(), CACHE_CAPACITY);
+        assert!(cache.get(&(0, 0, 0)).is_none(), "oldest entries must be evicted");
+        assert!(cache.get(&(CACHE_CAPACITY as u64 + 3, CACHE_CAPACITY as u64 + 3, 0)).is_some());
+    }
+
+    #[test]
+    fn snapshot_cache_is_shared_across_clones() {
+        let a = SnapshotCache::new();
+        let b = a.clone();
+        a.insert((1, 1, 0), Arc::new(MissionCache::new(dummy_record(), Vec::new())));
+        assert!(b.get(&(1, 1, 0)).is_some());
+    }
+
+    #[test]
+    fn ring_thins_and_doubles_stride() {
+        // Feed snapshots for every step of a long "mission" through the
+        // wants/push protocol and check the bound holds.
+        use swarm_sim::Simulation;
+        use swarm_sim::{ControlContext, SwarmController};
+        struct Hover;
+        impl SwarmController for Hover {
+            fn desired_velocity(&self, _ctx: &ControlContext<'_>) -> swarm_math::Vec3 {
+                swarm_math::Vec3::ZERO
+            }
+        }
+        let mut spec = MissionSpec::paper_delivery(1, 1);
+        spec.duration = 40.0; // 4000 steps at dt = 0.01
+        let sim = Simulation::new(spec.clone(), Hover).unwrap();
+        let ring = std::cell::RefCell::new(SnapshotRing::new(spec.steps_per_gps()));
+        sim.run_observed_with_snapshots(
+            None,
+            None,
+            |step| ring.borrow().wants(step),
+            |snap| ring.borrow_mut().push(snap),
+        )
+        .unwrap();
+        let ring = ring.into_inner();
+        assert!(ring.stride() > 1, "4000 offers at stride 1 must trigger thinning");
+        let snaps = ring.into_snapshots();
+        assert!(snaps.len() <= RING_CAPACITY);
+        assert!(snaps.len() > RING_CAPACITY / 2);
+        // Ascending, stride-aligned capture steps.
+        for pair in snaps.windows(2) {
+            assert!(pair[0].next_step() < pair[1].next_step());
+        }
+    }
+}

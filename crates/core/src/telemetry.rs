@@ -44,13 +44,20 @@ pub enum Phase {
     GradientSearch,
     /// Random window search (per seed).
     RandomSearch,
-    /// One simulated attacked mission (one objective evaluation).
+    /// One simulated attacked mission (one objective evaluation), run from
+    /// scratch (snapshot forking off or no usable snapshot).
     MissionSim,
+    /// Prefix-record reconstruction for a forked evaluation (the bookkeeping
+    /// that replaces re-simulating `[0, t_s)`).
+    PrefixSim,
+    /// The forked suffix of one objective evaluation (resumed from a
+    /// snapshot).
+    ForkedSim,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Baseline,
         Phase::SvgBuild,
         Phase::Centrality,
@@ -58,6 +65,8 @@ impl Phase {
         Phase::GradientSearch,
         Phase::RandomSearch,
         Phase::MissionSim,
+        Phase::PrefixSim,
+        Phase::ForkedSim,
     ];
 
     /// Stable snake_case name used in reports.
@@ -70,6 +79,8 @@ impl Phase {
             Phase::GradientSearch => "gradient_search",
             Phase::RandomSearch => "random_search",
             Phase::MissionSim => "mission_sim",
+            Phase::PrefixSim => "prefix_sim",
+            Phase::ForkedSim => "forked_sim",
         }
     }
 }
@@ -104,11 +115,19 @@ pub enum Counter {
     MissionRetries,
     /// Missions quarantined as `failed` rows after exhausting retries.
     MissionFailures,
+    /// Objective evaluations served by forking from a baseline snapshot.
+    ForkHits,
+    /// Objective evaluations that fell back to a from-scratch run while
+    /// snapshot forking was enabled (no snapshot preceding the window).
+    ForkMisses,
+    /// Physics steps *not* re-simulated thanks to forking (the prefix length
+    /// of every fork hit).
+    PrefixStepsSaved,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 16] = [
         Counter::MissionsRun,
         Counter::Evaluations,
         Counter::SpvFound,
@@ -122,6 +141,9 @@ impl Counter {
         Counter::ResumeSkips,
         Counter::MissionRetries,
         Counter::MissionFailures,
+        Counter::ForkHits,
+        Counter::ForkMisses,
+        Counter::PrefixStepsSaved,
     ];
 
     /// Stable snake_case name used in reports.
@@ -140,6 +162,9 @@ impl Counter {
             Counter::ResumeSkips => "resume_skips",
             Counter::MissionRetries => "mission_retries",
             Counter::MissionFailures => "mission_failures",
+            Counter::ForkHits => "fork_hits",
+            Counter::ForkMisses => "fork_misses",
+            Counter::PrefixStepsSaved => "prefix_steps_saved",
         }
     }
 }

@@ -53,7 +53,11 @@ pub struct StateMessage {
 }
 
 /// The broadcast bus plus each drone's neighbor table.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full evolving state (in-flight queue, delivery
+/// tables) so simulation snapshots containing a bus can be compared for
+/// bit-identity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommsBus {
     config: CommsConfig,
     swarm_size: usize,

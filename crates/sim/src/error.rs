@@ -17,6 +17,12 @@ pub enum SimError {
     },
     /// A spoofing attack has an invalid parameter (negative time, NaN, ...).
     InvalidAttack(String),
+    /// A [`crate::SimSnapshot`] cannot be resumed by this simulation: it was
+    /// captured under a different mission spec or runtime configuration, the
+    /// supplied source record is shorter than the snapshot's recorder cursor,
+    /// or the requested attack window opens inside the already-simulated
+    /// prefix.
+    SnapshotMismatch(String),
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +33,7 @@ impl fmt::Display for SimError {
                 write!(f, "attack target {target} outside swarm of {swarm_size} drones")
             }
             SimError::InvalidAttack(msg) => write!(f, "invalid attack: {msg}"),
+            SimError::SnapshotMismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
         }
     }
 }
@@ -44,5 +51,6 @@ mod tests {
         assert!(e.to_string().contains('5'));
         assert!(!SimError::InvalidMission("x".into()).to_string().is_empty());
         assert!(!SimError::InvalidAttack("y".into()).to_string().is_empty());
+        assert!(SimError::SnapshotMismatch("stale".into()).to_string().contains("stale"));
     }
 }

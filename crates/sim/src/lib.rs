@@ -66,7 +66,7 @@ pub mod world;
 pub use error::SimError;
 pub use runner::{
     ControlContext, MissionOutcome, NeighborState, PerceivedSelf, RunStats, SimConfig, SimObserver,
-    Simulation, SwarmController,
+    SimSnapshot, Simulation, SwarmController,
 };
 pub use spatial::{SpatialGrid, SpatialPolicy, GRID_AUTO_THRESHOLD};
 

@@ -10,7 +10,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use swarm_math::rng::{rng_for, streams};
+use swarm_math::rng::{derive_seed, rng_for, streams};
 use swarm_math::{Vec2, Vec3};
 
 use crate::comms::CommsConfig;
@@ -150,6 +150,64 @@ impl MissionSpec {
         ((self.gps.period() / self.physics_dt).round() as usize).max(1)
     }
 
+    /// A 64-bit fingerprint of every field of the spec, used to key snapshot
+    /// caches and to verify that a [`crate::SimSnapshot`] is resumed by a
+    /// simulation of the *same* mission. Built as a SplitMix64 hash chain
+    /// (like the campaign journal fingerprint), so two specs differing in any
+    /// field — including obstacle geometry — fingerprint differently with
+    /// overwhelming probability.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix_f64(h: u64, x: f64) -> u64 {
+            derive_seed(h, x.to_bits())
+        }
+        fn mix_vec2(h: u64, v: Vec2) -> u64 {
+            mix_f64(mix_f64(h, v.x), v.y)
+        }
+        fn mix_vec3(h: u64, v: Vec3) -> u64 {
+            mix_f64(mix_f64(mix_f64(h, v.x), v.y), v.z)
+        }
+        let mut h = derive_seed(0x5357_4653_4e41_5053, self.swarm_size as u64);
+        h = mix_vec2(h, self.start_min);
+        h = mix_vec2(h, self.start_max);
+        h = mix_f64(h, self.min_start_separation);
+        h = mix_vec3(h, self.destination);
+        h = mix_f64(h, self.arrival_radius);
+        h = derive_seed(h, self.world.obstacles.len() as u64);
+        for o in &self.world.obstacles {
+            match *o {
+                Obstacle::Cylinder { center, radius } => {
+                    h = derive_seed(h, 1);
+                    h = mix_f64(mix_vec2(h, center), radius);
+                }
+                Obstacle::Sphere { center, radius } => {
+                    h = derive_seed(h, 2);
+                    h = mix_f64(mix_vec3(h, center), radius);
+                }
+            }
+        }
+        h = mix_f64(h, self.duration);
+        h = mix_f64(h, self.physics_dt);
+        h = mix_f64(h, self.control_period);
+        h = mix_f64(h, self.gps.rate_hz);
+        h = mix_f64(h, self.gps.position_noise_std);
+        h = mix_f64(h, self.gps.velocity_noise_std);
+        h = derive_seed(h, self.comms.delay_ticks as u64);
+        h = mix_f64(h, self.comms.drop_probability);
+        h = derive_seed(h, self.comms.range.is_some() as u64);
+        h = mix_f64(h, self.comms.range.unwrap_or(0.0));
+        h = mix_f64(h, self.drone.mass);
+        h = mix_f64(h, self.drone.radius);
+        h = mix_f64(h, self.drone.max_speed);
+        h = mix_f64(h, self.drone.max_accel);
+        h = mix_f64(h, self.drone.velocity_time_constant);
+        h = mix_f64(h, self.drone.drag);
+        h = mix_vec3(h, self.wind.mean);
+        h = mix_f64(h, self.wind.gust_std);
+        h = mix_f64(h, self.wind.gust_time_constant);
+        h = mix_f64(h, self.max_neighbor_age);
+        derive_seed(h, self.seed)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -286,6 +344,23 @@ mod tests {
         let mut m = MissionSpec::paper_delivery(5, 0);
         m.destination = Vec3::new(130.0, 0.0, CRUISE_ALTITUDE);
         assert!(m.validate().is_err(), "destination inside obstacle must be rejected");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = MissionSpec::paper_delivery(5, 7);
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_eq!(a.fingerprint(), MissionSpec::paper_delivery(5, 7).fingerprint());
+        assert_ne!(a.fingerprint(), MissionSpec::paper_delivery(5, 8).fingerprint());
+        assert_ne!(a.fingerprint(), MissionSpec::paper_delivery(6, 7).fingerprint());
+
+        let mut b = a.clone();
+        b.world.obstacles[0] = Obstacle::Cylinder { center: Vec2::new(130.0, 1.0), radius: 4.0 };
+        assert_ne!(a.fingerprint(), b.fingerprint(), "obstacle geometry must be hashed");
+
+        let mut c = a.clone();
+        c.comms.range = Some(25.0);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "comms range must be hashed");
     }
 
     /// Regression: a zero GPS rate used to pass validation and panic later

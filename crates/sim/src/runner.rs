@@ -9,7 +9,19 @@
 //! control period (default 100 ms), mirroring SwarmLab.
 //!
 //! The loop is fully deterministic for a given [`MissionSpec`] and attack.
+//!
+//! ## Snapshot and fork
+//!
+//! The loop's entire evolving state lives in one private [`SimState`] value,
+//! which [`SimSnapshot`] captures verbatim. [`Simulation::run_to`] simulates
+//! the no-attack prefix up to a time and returns the snapshot;
+//! [`Simulation::resume`] forks from it under an attack whose window opens
+//! after the snapshot point. Because a spoofing attack only enters the loop
+//! through the GPS offsets sampled inside its half-open window
+//! `[t_s, t_s + Δt)`, the forked run is bit-identical to simulating the whole
+//! mission from scratch (proven by `tests/snapshot_equivalence.rs`).
 
+use rand::rngs::StdRng;
 use swarm_math::rng::{rng_for, streams};
 use swarm_math::{Vec2, Vec3};
 
@@ -109,6 +121,11 @@ pub struct RunStats {
 /// virtual call per *mission* rather than per step. Observers must not
 /// influence the simulation — [`Simulation::run_observed`] produces the same
 /// [`MissionOutcome`] with or without one.
+///
+/// A forked run ([`Simulation::resume`]) reports the stats of the *whole*
+/// mission — prefix included — because the snapshot carries the prefix's
+/// counters and the resumed loop keeps incrementing them. Observers therefore
+/// see identical stats whether a mission was forked or run from scratch.
 pub trait SimObserver: Sync {
     /// Called once when a mission run finishes.
     fn on_run_end(&self, stats: &RunStats);
@@ -176,6 +193,132 @@ impl MissionOutcome {
     }
 }
 
+/// A point-in-time capture of every piece of evolving state inside the
+/// mission loop, taken at the *top* of a physics step (before that step's
+/// GPS sampling).
+///
+/// The capture is exhaustive by construction — the loop keeps all evolving
+/// state in one private struct that this type clones: drone kinematic states,
+/// per-drone dynamics internals (PID integrators for the quadrotor model),
+/// GPS receiver warm state, the comms bus (in-flight queue and per-drone
+/// delivery tables), the three per-stream RNG positions, the wind gust state,
+/// alive flags, the persisted control commands, the run counters and the lazy
+/// collision broad-phase cache (candidate pairs + displacement anchor).
+/// Scratch buffers that the loop recomputes from scratch before every use
+/// (true-position staging, neighbor staging, the two grid indexes) are *not*
+/// state and are rebuilt on resume.
+///
+/// Instead of the full mission recording (which would dwarf the rest of the
+/// snapshot), only the recorder *cursor* is kept: the number of samples taken
+/// plus the collision/arrival events of the prefix.
+/// [`Simulation::prefix_record`] reconstructs the identical prefix record
+/// from any source record of the same mission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot<D> {
+    /// Index of the next physics step to execute (`time = next_step · dt`).
+    next_step: usize,
+    /// `true` when the run had already terminated (collision stop, all
+    /// arrived, or duration reached) at capture time; resuming returns the
+    /// prefix outcome unchanged.
+    done: bool,
+    /// [`MissionSpec::fingerprint`] of the captured mission.
+    spec_fingerprint: u64,
+    /// The runtime options the prefix ran under.
+    config: SimConfig,
+    /// Physics step length, kept for time conversions without the spec.
+    physics_dt: f64,
+    states: Vec<DroneState>,
+    dynamics: Vec<D>,
+    gps: Vec<GpsReceiver>,
+    bus: CommsBus,
+    rng_gps: StdRng,
+    rng_comms: StdRng,
+    rng_wind: StdRng,
+    wind: Wind,
+    alive: Vec<bool>,
+    commanded: Vec<Vec3>,
+    stats: RunStats,
+    pair_buf: Vec<(DroneId, DroneId)>,
+    broad_anchor: Vec<Vec3>,
+    /// Recorder cursor: samples recorded strictly before `next_step`.
+    record_ticks: usize,
+    /// Collisions recorded in the prefix, in push order.
+    prefix_collisions: Vec<CollisionEvent>,
+    /// Arrival time per drone as of the capture point.
+    prefix_arrivals: Vec<Option<f64>>,
+}
+
+impl<D> SimSnapshot<D> {
+    /// Index of the next physics step the snapshot would execute.
+    pub fn next_step(&self) -> usize {
+        self.next_step
+    }
+
+    /// Simulation time of the capture point in seconds.
+    pub fn time(&self) -> f64 {
+        self.next_step as f64 * self.physics_dt
+    }
+
+    /// `true` when the captured run had already terminated.
+    pub fn is_terminal(&self) -> bool {
+        self.done
+    }
+
+    /// Number of recorder samples taken before the capture point.
+    pub fn record_ticks(&self) -> usize {
+        self.record_ticks
+    }
+
+    /// The run counters accumulated over the prefix.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Fingerprint of the mission the snapshot belongs to.
+    pub fn spec_fingerprint(&self) -> u64 {
+        self.spec_fingerprint
+    }
+
+    /// `true` when a fork from this snapshot under an attack window opening
+    /// at `start` is bit-identical to a fresh run: the attack's half-open
+    /// window `[start, ..)` must not cover any GPS sample the prefix already
+    /// took, i.e. every executed step's time must be strictly below `start`.
+    pub fn admits_attack_start(&self, start: f64) -> bool {
+        self.next_step == 0 || (self.next_step - 1) as f64 * self.physics_dt < start
+    }
+}
+
+/// A per-step hook into [`Simulation::drive`], called at the top of every
+/// executed iteration (the exact state a [`SimSnapshot`] captures).
+type StepHook<'a, D> = &'a mut dyn FnMut(&SimState<D>, &MissionRecord);
+
+/// The complete evolving state of one mission run — the working form of
+/// [`SimSnapshot`]. Everything the loop mutates across iterations lives
+/// here; buffers recomputed before every use stay local to
+/// [`Simulation::drive`].
+#[derive(Debug)]
+struct SimState<D> {
+    /// Next physics step to execute.
+    next_step: usize,
+    /// Set when the run terminated (break or duration reached).
+    done: bool,
+    states: Vec<DroneState>,
+    dynamics: Vec<D>,
+    gps: Vec<GpsReceiver>,
+    bus: CommsBus,
+    rng_gps: StdRng,
+    rng_comms: StdRng,
+    rng_wind: StdRng,
+    wind: Wind,
+    alive: Vec<bool>,
+    commanded: Vec<Vec3>,
+    stats: RunStats,
+    /// Lazy collision broad-phase: cached candidate pairs ...
+    pair_buf: Vec<(DroneId, DroneId)>,
+    /// ... and the positions they were indexed at (displacement guard).
+    broad_anchor: Vec<Vec3>,
+}
+
 /// A configured, runnable swarm mission.
 ///
 /// Generic over the controller `C` and the dynamics model `D` (defaulting to
@@ -234,6 +377,11 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         &self.controller
     }
 
+    /// The runtime options in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// Runs the mission, optionally under a GPS spoofing attack.
     ///
     /// # Errors
@@ -256,16 +404,72 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         attack: Option<&SpoofingAttack>,
         observer: Option<&dyn SimObserver>,
     ) -> Result<MissionOutcome, SimError> {
-        let spec = &self.spec;
+        self.check_attack(attack)?;
+        let mut st = self.init_state();
+        let mut record = MissionRecord::new(self.spec.swarm_size, self.spec.control_period);
+        self.drive(&mut st, &mut record, attack, None, None);
+        if let Some(obs) = observer {
+            obs.on_run_end(&st.stats);
+        }
+        Ok(MissionOutcome { record })
+    }
+
+    /// Rejects attacks that reference a drone outside the swarm.
+    fn check_attack(&self, attack: Option<&SpoofingAttack>) -> Result<(), SimError> {
         if let Some(a) = attack {
-            if a.target.index() >= spec.swarm_size {
+            if a.target.index() >= self.spec.swarm_size {
                 return Err(SimError::UnknownTarget {
                     target: a.target,
-                    swarm_size: spec.swarm_size,
+                    swarm_size: self.spec.swarm_size,
                 });
             }
         }
+        Ok(())
+    }
 
+    /// The initial [`SimState`] every fresh run starts from.
+    fn init_state(&self) -> SimState<D> {
+        let spec = &self.spec;
+        let n = spec.swarm_size;
+        SimState {
+            next_step: 0,
+            done: false,
+            states: spec.initial_positions().into_iter().map(DroneState::at).collect(),
+            dynamics: (0..n).map(|_| (self.make_dynamics)(spec)).collect(),
+            gps: (0..n).map(|_| GpsReceiver::new(spec.gps)).collect(),
+            bus: CommsBus::new(n, spec.comms),
+            rng_gps: rng_for(spec.seed, streams::GPS_NOISE),
+            rng_comms: rng_for(spec.seed, streams::COMMS),
+            rng_wind: rng_for(spec.seed, streams::WIND),
+            wind: Wind::new(spec.wind),
+            alive: vec![true; n],
+            commanded: vec![Vec3::ZERO; n],
+            stats: RunStats::default(),
+            pair_buf: Vec::new(),
+            broad_anchor: Vec::new(),
+        }
+    }
+
+    /// Advances `st`/`record` through the mission loop.
+    ///
+    /// Runs from `st.next_step` until the mission ends (duration, collision
+    /// stop or all-arrived stop — `st.done` is set) or, when `stop_before`
+    /// is given, until the loop *would* execute that step (the step itself is
+    /// not executed and `st.done` stays `false`). `on_step`, when present, is
+    /// invoked at the top of every executed iteration — before the step's
+    /// GPS sampling — which is exactly the state a [`SimSnapshot`] captures.
+    fn drive(
+        &self,
+        st: &mut SimState<D>,
+        record: &mut MissionRecord,
+        attack: Option<&SpoofingAttack>,
+        stop_before: Option<usize>,
+        mut on_step: Option<StepHook<'_, D>>,
+    ) {
+        if st.done {
+            return;
+        }
+        let spec = &self.spec;
         let n = spec.swarm_size;
         let axis: Vec2 = spec.mission_axis();
         let dt = spec.physics_dt;
@@ -273,25 +477,10 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         let steps_per_control = spec.steps_per_control();
         let steps_per_gps = spec.steps_per_gps();
 
-        let mut states: Vec<DroneState> =
-            spec.initial_positions().into_iter().map(DroneState::at).collect();
-        let mut dynamics: Vec<D> = (0..n).map(|_| (self.make_dynamics)(spec)).collect();
-        let mut gps: Vec<GpsReceiver> = (0..n).map(|_| GpsReceiver::new(spec.gps)).collect();
-        let mut bus = CommsBus::new(n, spec.comms);
-        let mut rng_gps = rng_for(spec.seed, streams::GPS_NOISE);
-        let mut rng_comms = rng_for(spec.seed, streams::COMMS);
-        let mut rng_wind = rng_for(spec.seed, streams::WIND);
-        let mut wind = Wind::new(spec.wind);
-
-        let mut alive = vec![true; n];
-        let mut commanded = vec![Vec3::ZERO; n];
-        let mut record = MissionRecord::new(n, spec.control_period);
-
         let mut true_positions = vec![Vec3::ZERO; n];
         let mut true_velocities = vec![Vec3::ZERO; n];
         let mut obstacle_distances = vec![f64::INFINITY; n];
         let mut neighbor_buf: Vec<NeighborState> = Vec::with_capacity(n);
-        let mut stats = RunStats::default();
 
         // Spatial-grid neighbor pipeline. Two indexes with different cell
         // sizes and rebuild cadences: the comms grid (cell = radio range,
@@ -300,7 +489,10 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         // lazily — see the broad phase below) is the collision broad
         // phase. Both paths are bit-identical to the brute-force scans
         // (see tests/grid_equivalence.rs), so the policy is purely about
-        // speed.
+        // speed. Both indexes are rebuilt from current positions before any
+        // use, so starting them empty is correct for fresh and forked runs
+        // alike; the lazy broad phase's *candidate list* does carry across
+        // steps and therefore lives in `st`.
         let grid_on = self.config.spatial.grid_enabled(n);
         let comms_range = spec.comms.range.filter(|&r| r > 0.0);
         let mut comms_grid =
@@ -317,43 +509,60 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         let broad_radius = collision_diameter + broad_slack;
         let mut proximity_grid =
             (grid_on && collision_diameter > 0.0).then(|| SpatialGrid::build(&[], broad_radius));
-        let mut pair_buf: Vec<(DroneId, DroneId)> = Vec::new();
         let mut position_buf: Vec<Vec3> = Vec::new();
-        let mut broad_anchor: Vec<Vec3> = Vec::new();
 
-        'mission: for step in 0..=steps {
+        'mission: loop {
+            let step = st.next_step;
+            if step > steps {
+                st.done = true;
+                break;
+            }
+            if let Some(stop) = stop_before {
+                if step >= stop {
+                    return;
+                }
+            }
+            if let Some(hook) = on_step.as_deref_mut() {
+                hook(st, record);
+            }
             let t = step as f64 * dt;
-            stats.sim_time = t;
+            st.stats.sim_time = t;
 
             // (1) Sensor reads at the GPS rate.
-            if step % steps_per_gps == 0 {
-                stats.gps_rounds += 1;
+            if step.is_multiple_of(steps_per_gps) {
+                st.stats.gps_rounds += 1;
                 for d in 0..n {
-                    if !alive[d] {
+                    if !st.alive[d] {
                         continue;
                     }
                     let offset =
                         attack.map(|a| a.offset_for(DroneId(d), t, axis)).unwrap_or(Vec3::ZERO);
-                    gps[d].sample(states[d].position, states[d].velocity, offset, t, &mut rng_gps);
+                    st.gps[d].sample(
+                        st.states[d].position,
+                        st.states[d].velocity,
+                        offset,
+                        t,
+                        &mut st.rng_gps,
+                    );
                 }
             }
 
             // (2)–(4) Communication and control at the control rate.
-            if step % steps_per_control == 0 {
-                stats.control_ticks += 1;
+            if step.is_multiple_of(steps_per_control) {
+                st.stats.control_ticks += 1;
                 for d in 0..n {
-                    true_positions[d] = states[d].position;
-                    true_velocities[d] = states[d].velocity;
+                    true_positions[d] = st.states[d].position;
+                    true_velocities[d] = st.states[d].velocity;
                     obstacle_distances[d] = spec
                         .world
-                        .nearest_obstacle(states[d].position)
+                        .nearest_obstacle(st.states[d].position)
                         .map_or(f64::INFINITY, |(_, dist)| dist);
                 }
 
                 let broadcasts: Vec<StateMessage> = (0..n)
-                    .filter(|&d| alive[d])
+                    .filter(|&d| st.alive[d])
                     .filter_map(|d| {
-                        gps[d].fix().map(|fix| StateMessage {
+                        st.gps[d].fix().map(|fix| StateMessage {
                             sender: DroneId(d),
                             position: fix.position,
                             velocity: fix.velocity,
@@ -364,27 +573,27 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                 match (&mut comms_grid, comms_range) {
                     (Some(grid), Some(range)) => {
                         grid.rebuild(&true_positions, range);
-                        stats.grid_rebuilds += 1;
-                        stats.grid_cells_scanned += bus.step_indexed(
+                        st.stats.grid_rebuilds += 1;
+                        st.stats.grid_cells_scanned += st.bus.step_indexed(
                             broadcasts,
                             &true_positions,
                             Some(grid),
-                            &mut rng_comms,
+                            &mut st.rng_comms,
                         );
                     }
                     _ => {
-                        bus.step(broadcasts, &true_positions, &mut rng_comms);
+                        st.bus.step(broadcasts, &true_positions, &mut st.rng_comms);
                     }
                 }
 
                 for d in 0..n {
-                    if !alive[d] {
-                        commanded[d] = Vec3::ZERO;
+                    if !st.alive[d] {
+                        st.commanded[d] = Vec3::ZERO;
                         continue;
                     }
-                    let Some(fix) = gps[d].fix() else { continue };
+                    let Some(fix) = st.gps[d].fix() else { continue };
                     neighbor_buf.clear();
-                    for msg in bus.neighbors_of(DroneId(d)) {
+                    for msg in st.bus.neighbors_of(DroneId(d)) {
                         let age = t - msg.time;
                         if age <= spec.max_neighbor_age {
                             neighbor_buf.push(NeighborState {
@@ -406,32 +615,33 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                         destination: spec.destination,
                         time: t,
                     };
-                    commanded[d] = self.controller.desired_velocity(&ctx);
+                    st.commanded[d] = self.controller.desired_velocity(&ctx);
                 }
 
                 record.push_sample(t, &true_positions, &true_velocities, &obstacle_distances);
 
                 for d in 0..n {
-                    if alive[d]
-                        && states[d].position.distance(spec.destination) <= spec.arrival_radius
+                    if st.alive[d]
+                        && st.states[d].position.distance(spec.destination) <= spec.arrival_radius
                     {
                         record.mark_arrival(DroneId(d), t);
                     }
                 }
                 if self.config.stop_when_all_arrived && record.all_arrived() {
+                    st.done = true;
                     break 'mission;
                 }
             }
 
             // Physics integration (plus kinematic wind drift, if any).
             let wind_velocity =
-                if spec.wind.is_calm() { Vec3::ZERO } else { wind.sample(dt, &mut rng_wind) };
-            stats.physics_steps += 1;
+                if spec.wind.is_calm() { Vec3::ZERO } else { st.wind.sample(dt, &mut st.rng_wind) };
+            st.stats.physics_steps += 1;
             for d in 0..n {
-                if alive[d] {
-                    states[d] = dynamics[d].step(&states[d], commanded[d], dt);
+                if st.alive[d] {
+                    st.states[d] = st.dynamics[d].step(&st.states[d], st.commanded[d], dt);
                     if wind_velocity != Vec3::ZERO {
-                        states[d].position += wind_velocity * dt;
+                        st.states[d].position += wind_velocity * dt;
                     }
                 }
             }
@@ -440,16 +650,16 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
             let t_next = t + dt;
             let mut collided = false;
             for d in 0..n {
-                if !alive[d] {
+                if !st.alive[d] {
                     continue;
                 }
-                if let Some((obstacle, dist)) = spec.world.nearest_obstacle(states[d].position) {
+                if let Some((obstacle, dist)) = spec.world.nearest_obstacle(st.states[d].position) {
                     if dist <= spec.drone.radius {
                         record.push_collision(CollisionEvent {
                             time: t_next,
                             kind: CollisionKind::DroneObstacle { drone: DroneId(d), obstacle },
                         });
-                        alive[d] = false;
+                        st.alive[d] = false;
                         collided = true;
                     }
                 }
@@ -459,6 +669,7 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
             // narrow-phase test below visits passing pairs in the same
             // (i, j) order as the brute-force scan — including the mid-scan
             // `alive` mutations.
+            let states = &st.states;
             let check_pair = |i: usize,
                               j: usize,
                               alive: &mut [bool],
@@ -486,37 +697,320 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                 // displacement). The narrow-phase check always uses current
                 // positions, so results match a per-step rebuild exactly.
                 let guard = broad_slack * broad_slack / 4.0;
-                let stale = broad_anchor.len() != n
+                let stale = st.broad_anchor.len() != n
                     || states
                         .iter()
-                        .zip(&broad_anchor)
+                        .zip(&st.broad_anchor)
                         .any(|(s, a)| s.position.distance_squared(*a) > guard);
                 if stale {
                     position_buf.clear();
                     position_buf.extend(states.iter().map(|s| s.position));
                     grid.rebuild(&position_buf, broad_radius);
-                    stats.grid_rebuilds += 1;
-                    stats.grid_cells_scanned += grid.close_pairs(broad_radius, &mut pair_buf);
-                    broad_anchor.clear();
-                    broad_anchor.extend_from_slice(&position_buf);
+                    st.stats.grid_rebuilds += 1;
+                    st.stats.grid_cells_scanned += grid.close_pairs(broad_radius, &mut st.pair_buf);
+                    st.broad_anchor.clear();
+                    st.broad_anchor.extend_from_slice(&position_buf);
                 }
-                for &(a, b) in &pair_buf {
-                    check_pair(a.index(), b.index(), &mut alive, &mut record, &mut collided);
+                for &(a, b) in &st.pair_buf {
+                    check_pair(a.index(), b.index(), &mut st.alive, record, &mut collided);
                 }
             } else {
                 for i in 0..n {
                     for j in (i + 1)..n {
-                        check_pair(i, j, &mut alive, &mut record, &mut collided);
+                        check_pair(i, j, &mut st.alive, record, &mut collided);
                     }
                 }
             }
             if collided && self.config.stop_on_collision {
+                st.done = true;
                 break 'mission;
             }
+            st.next_step = step + 1;
         }
+    }
+}
 
+impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
+    /// Captures the working state as a [`SimSnapshot`].
+    fn snapshot_of(&self, st: &SimState<D>, record: &MissionRecord) -> SimSnapshot<D> {
+        let n = self.spec.swarm_size;
+        SimSnapshot {
+            next_step: st.next_step,
+            done: st.done,
+            spec_fingerprint: self.spec.fingerprint(),
+            config: self.config,
+            physics_dt: self.spec.physics_dt,
+            states: st.states.clone(),
+            dynamics: st.dynamics.clone(),
+            gps: st.gps.clone(),
+            bus: st.bus.clone(),
+            rng_gps: st.rng_gps.clone(),
+            rng_comms: st.rng_comms.clone(),
+            rng_wind: st.rng_wind.clone(),
+            wind: st.wind.clone(),
+            alive: st.alive.clone(),
+            commanded: st.commanded.clone(),
+            stats: st.stats,
+            pair_buf: st.pair_buf.clone(),
+            broad_anchor: st.broad_anchor.clone(),
+            record_ticks: record.len(),
+            prefix_collisions: record.collisions().to_vec(),
+            prefix_arrivals: (0..n).map(|d| record.arrival_time(DroneId(d))).collect(),
+        }
+    }
+
+    /// Rehydrates a snapshot into working state.
+    fn state_of(&self, snap: &SimSnapshot<D>) -> SimState<D> {
+        SimState {
+            next_step: snap.next_step,
+            done: snap.done,
+            states: snap.states.clone(),
+            dynamics: snap.dynamics.clone(),
+            gps: snap.gps.clone(),
+            bus: snap.bus.clone(),
+            rng_gps: snap.rng_gps.clone(),
+            rng_comms: snap.rng_comms.clone(),
+            rng_wind: snap.rng_wind.clone(),
+            wind: snap.wind.clone(),
+            alive: snap.alive.clone(),
+            commanded: snap.commanded.clone(),
+            stats: snap.stats,
+            pair_buf: snap.pair_buf.clone(),
+            broad_anchor: snap.broad_anchor.clone(),
+        }
+    }
+
+    /// Rejects snapshots captured by a different mission or configuration.
+    fn check_snapshot(&self, snap: &SimSnapshot<D>) -> Result<(), SimError> {
+        let fp = self.spec.fingerprint();
+        if snap.spec_fingerprint != fp {
+            return Err(SimError::SnapshotMismatch(format!(
+                "snapshot is from mission {:016x}, this simulation is {fp:016x}",
+                snap.spec_fingerprint
+            )));
+        }
+        if snap.config != self.config {
+            return Err(SimError::SnapshotMismatch(
+                "snapshot was captured under different runtime options".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Simulates the no-attack prefix up to time `t` and captures a
+    /// [`SimSnapshot`] at the first step boundary at or after `t` (or at the
+    /// point the mission terminated, whichever comes first). Also returns the
+    /// prefix's mission record, which later serves as the `source` for
+    /// [`Simulation::prefix_record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidMission`] for a non-finite or negative `t`.
+    pub fn run_to(&self, t: f64) -> Result<(SimSnapshot<D>, MissionRecord), SimError> {
+        let stop = self.stop_step(t)?;
+        let mut st = self.init_state();
+        let mut record = MissionRecord::new(self.spec.swarm_size, self.spec.control_period);
+        self.drive(&mut st, &mut record, None, Some(stop), None);
+        Ok((self.snapshot_of(&st, &record), record))
+    }
+
+    /// Continues a no-attack prefix from `snapshot` up to time `t` and
+    /// captures a new snapshot there — `run_to(t1)` followed by
+    /// `resume_to(·, ·, t2)` yields bit-identical state to `run_to(t2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotMismatch`] when the snapshot or `source`
+    /// do not belong to this simulation, [`SimError::InvalidMission`] for a
+    /// non-finite or negative `t`.
+    pub fn resume_to(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        source: &MissionRecord,
+        t: f64,
+    ) -> Result<(SimSnapshot<D>, MissionRecord), SimError> {
+        let stop = self.stop_step(t)?;
+        let mut record = self.prefix_record(snapshot, source)?;
+        let mut st = self.state_of(snapshot);
+        self.drive(&mut st, &mut record, None, Some(stop), None);
+        Ok((self.snapshot_of(&st, &record), record))
+    }
+
+    /// Maps a stop time to the first physics step at or after it.
+    fn stop_step(&self, t: f64) -> Result<usize, SimError> {
+        if !t.is_finite() || t < 0.0 {
+            return Err(SimError::InvalidMission(format!(
+                "snapshot time must be finite and non-negative, got {t}"
+            )));
+        }
+        Ok((t / self.spec.physics_dt).ceil() as usize)
+    }
+
+    /// Reconstructs the prefix [`MissionRecord`] a fresh run would have
+    /// accumulated by the snapshot's capture point, replaying the first
+    /// [`SimSnapshot::record_ticks`] samples of `source` (any record of the
+    /// same mission whose prefix covers the snapshot, e.g. the baseline the
+    /// snapshot was captured from). Derived quantities (per-drone obstacle
+    /// minima, average inter-drone distances) are recomputed through the same
+    /// code path as the live loop, so the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotMismatch`] when the snapshot belongs to a
+    /// different mission/configuration or `source` is too short.
+    pub fn prefix_record(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        source: &MissionRecord,
+    ) -> Result<MissionRecord, SimError> {
+        self.check_snapshot(snapshot)?;
+        let n = self.spec.swarm_size;
+        if source.swarm_size() != n || source.len() < snapshot.record_ticks {
+            return Err(SimError::SnapshotMismatch(format!(
+                "source record holds {} ticks of {} drones; snapshot needs {} ticks of {n}",
+                source.len(),
+                source.swarm_size(),
+                snapshot.record_ticks
+            )));
+        }
+        let mut record = MissionRecord::new(n, self.spec.control_period);
+        let mut obstacle_distances = vec![f64::INFINITY; n];
+        for tick in 0..snapshot.record_ticks {
+            let positions = source.positions_at(tick);
+            for (d, p) in positions.iter().enumerate() {
+                obstacle_distances[d] =
+                    self.spec.world.nearest_obstacle(*p).map_or(f64::INFINITY, |(_, dist)| dist);
+            }
+            record.push_sample(
+                source.times()[tick],
+                positions,
+                source.velocities_at(tick),
+                &obstacle_distances,
+            );
+        }
+        for event in &snapshot.prefix_collisions {
+            record.push_collision(*event);
+        }
+        for (d, arrival) in snapshot.prefix_arrivals.iter().enumerate() {
+            if let Some(time) = arrival {
+                record.mark_arrival(DroneId(d), *time);
+            }
+        }
+        Ok(record)
+    }
+
+    /// Forks the mission from `snapshot`, skipping re-simulation of the
+    /// prefix, with `prefix` the record returned by
+    /// [`Simulation::prefix_record`] for this snapshot. The outcome — record
+    /// and observer stats — is bit-identical to
+    /// [`Simulation::run_observed`] with the same attack.
+    ///
+    /// Splitting prefix reconstruction from the forked suffix lets callers
+    /// time the two separately (telemetry's `prefix_sim` vs `forked_sim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownTarget`] for an out-of-swarm attack target
+    /// and [`SimError::SnapshotMismatch`] when the snapshot belongs to a
+    /// different mission/configuration, `prefix` does not match the
+    /// snapshot's recorder cursor, or the attack window opens inside the
+    /// already-simulated prefix (see [`SimSnapshot::admits_attack_start`]).
+    pub fn resume_record_observed(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        prefix: MissionRecord,
+        attack: Option<&SpoofingAttack>,
+        observer: Option<&dyn SimObserver>,
+    ) -> Result<MissionOutcome, SimError> {
+        self.check_attack(attack)?;
+        self.check_snapshot(snapshot)?;
+        if prefix.swarm_size() != self.spec.swarm_size || prefix.len() != snapshot.record_ticks {
+            return Err(SimError::SnapshotMismatch(format!(
+                "prefix record holds {} ticks, snapshot cursor is {}",
+                prefix.len(),
+                snapshot.record_ticks
+            )));
+        }
+        if let Some(a) = attack {
+            if !snapshot.done && !snapshot.admits_attack_start(a.start) {
+                return Err(SimError::SnapshotMismatch(format!(
+                    "attack starting at t={} opens inside the simulated prefix (snapshot at \
+                     t={:.4})",
+                    a.start,
+                    snapshot.time()
+                )));
+            }
+        }
+        let mut record = prefix;
+        let mut st = self.state_of(snapshot);
+        self.drive(&mut st, &mut record, attack, None, None);
         if let Some(obs) = observer {
-            obs.on_run_end(&stats);
+            obs.on_run_end(&st.stats);
+        }
+        Ok(MissionOutcome { record })
+    }
+
+    /// [`Simulation::resume_record_observed`] with the prefix reconstructed
+    /// from `source` on the fly.
+    ///
+    /// # Errors
+    ///
+    /// Union of [`Simulation::prefix_record`] and
+    /// [`Simulation::resume_record_observed`].
+    pub fn resume_observed(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        source: &MissionRecord,
+        attack: Option<&SpoofingAttack>,
+        observer: Option<&dyn SimObserver>,
+    ) -> Result<MissionOutcome, SimError> {
+        let prefix = self.prefix_record(snapshot, source)?;
+        self.resume_record_observed(snapshot, prefix, attack, observer)
+    }
+
+    /// Forks the mission from `snapshot` under `attack` — the snapshot-side
+    /// counterpart of [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::resume_observed`].
+    pub fn resume(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        source: &MissionRecord,
+        attack: Option<&SpoofingAttack>,
+    ) -> Result<MissionOutcome, SimError> {
+        self.resume_observed(snapshot, source, attack, None)
+    }
+
+    /// [`Simulation::run_observed`] that additionally offers a snapshot at
+    /// the top of every executed physics step: `should_capture` is asked with
+    /// the step index and, when it returns `true`, `sink` receives the
+    /// captured [`SimSnapshot`]. Cloning only happens for accepted steps, so
+    /// a sparse predicate keeps the overhead proportional to the snapshots
+    /// actually kept.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_observed_with_snapshots(
+        &self,
+        attack: Option<&SpoofingAttack>,
+        observer: Option<&dyn SimObserver>,
+        mut should_capture: impl FnMut(usize) -> bool,
+        mut sink: impl FnMut(SimSnapshot<D>),
+    ) -> Result<MissionOutcome, SimError> {
+        self.check_attack(attack)?;
+        let mut st = self.init_state();
+        let mut record = MissionRecord::new(self.spec.swarm_size, self.spec.control_period);
+        let mut hook = |state: &SimState<D>, rec: &MissionRecord| {
+            if should_capture(state.next_step) {
+                sink(self.snapshot_of(state, rec));
+            }
+        };
+        self.drive(&mut st, &mut record, attack, None, Some(&mut hook));
+        if let Some(obs) = observer {
+            obs.on_run_end(&st.stats);
         }
         Ok(MissionOutcome { record })
     }
@@ -705,5 +1199,100 @@ mod tests {
         let out = sim.run(None).unwrap();
         assert!(out.record.all_arrived());
         assert!(out.record.arrival_time(DroneId(0)).unwrap() < 60.0);
+    }
+
+    #[test]
+    fn fork_at_zero_is_bit_identical_to_fresh_run() {
+        // The hidden-state audit in one assertion: a snapshot at t = 0 must
+        // carry *exactly* the initial state, so resuming it reproduces a
+        // fresh run bit for bit.
+        let sim = Simulation::new(short_spec(3), BeeLine).unwrap();
+        let fresh = sim.run(None).unwrap();
+        let (snap, source) = sim.run_to(0.0).unwrap();
+        assert_eq!(snap.next_step(), 0);
+        assert_eq!(snap.record_ticks(), 0);
+        let forked = sim.resume(&snap, &source, None).unwrap();
+        assert_eq!(fresh.record, forked.record);
+    }
+
+    #[test]
+    fn forked_run_matches_fresh_run_under_attack() {
+        let spec = short_spec(3);
+        let sim = Simulation::new(spec, BeeLine).unwrap();
+        let attack = SpoofingAttack::new(DroneId(0), SpoofDirection::Left, 5.0, 4.0, 12.0).unwrap();
+        let fresh = sim.run(Some(&attack)).unwrap();
+        let (snap, source) = sim.run_to(5.0).unwrap();
+        assert!(snap.admits_attack_start(attack.start));
+        let forked = sim.resume(&snap, &source, Some(&attack)).unwrap();
+        assert_eq!(fresh.record, forked.record);
+    }
+
+    #[test]
+    fn forked_observer_stats_match_fresh_run() {
+        use std::sync::Mutex;
+
+        struct Capture(Mutex<Option<RunStats>>);
+        impl SimObserver for Capture {
+            fn on_run_end(&self, stats: &RunStats) {
+                *self.0.lock().unwrap() = Some(*stats);
+            }
+        }
+
+        let sim = Simulation::new(short_spec(2), BeeLine).unwrap();
+        let fresh = Capture(Mutex::new(None));
+        sim.run_observed(None, Some(&fresh)).unwrap();
+        let fresh_stats = fresh.0.lock().unwrap().unwrap();
+        let (snap, source) = sim.run_to(7.5).unwrap();
+        let forked = Capture(Mutex::new(None));
+        sim.resume_observed(&snap, &source, None, Some(&forked)).unwrap();
+        let forked_stats = forked.0.lock().unwrap().unwrap();
+        assert_eq!(fresh_stats, forked_stats, "forked stats must cover the whole mission");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_idempotent() {
+        // run_to(t1) then resume_to(t2) must equal run_to(t2) exactly —
+        // snapshot → resume → snapshot loses nothing.
+        let sim = Simulation::new(short_spec(3), BeeLine).unwrap();
+        let (s1, r1) = sim.run_to(4.0).unwrap();
+        let (via, via_rec) = sim.resume_to(&s1, &r1, 10.0).unwrap();
+        let (direct, direct_rec) = sim.run_to(10.0).unwrap();
+        assert_eq!(via, direct);
+        assert_eq!(via_rec, direct_rec);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshot_and_early_attack() {
+        let sim_a = Simulation::new(short_spec(2), BeeLine).unwrap();
+        let (snap, source) = sim_a.run_to(5.0).unwrap();
+
+        // Different mission spec → different fingerprint.
+        let sim_b = Simulation::new(MissionSpec::paper_delivery(2, 99), BeeLine).unwrap();
+        assert!(matches!(sim_b.resume(&snap, &source, None), Err(SimError::SnapshotMismatch(_))));
+
+        // Attack window opening inside the simulated prefix.
+        let early = SpoofingAttack::new(DroneId(0), SpoofDirection::Left, 2.0, 3.0, 8.0).unwrap();
+        assert!(!snap.admits_attack_start(early.start));
+        assert!(matches!(
+            sim_a.resume(&snap, &source, Some(&early)),
+            Err(SimError::SnapshotMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_capture_hook_fires_on_requested_steps_only() {
+        let sim = Simulation::new(short_spec(2), Hover).unwrap();
+        let mut captured: Vec<usize> = Vec::new();
+        let out = sim
+            .run_observed_with_snapshots(
+                None,
+                None,
+                |step| step % 500 == 0,
+                |snap| captured.push(snap.next_step()),
+            )
+            .unwrap();
+        assert!(out.collision_free());
+        // 30 s mission at dt = 0.01 → steps 0, 500, ..., 3000.
+        assert_eq!(captured, (0..=3000).step_by(500).collect::<Vec<_>>());
     }
 }

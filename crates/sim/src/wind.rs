@@ -45,7 +45,7 @@ impl WindConfig {
 /// Gusts follow a discretized Ornstein-Uhlenbeck process:
 /// `g' = g·(1 − dt/τ) + σ·√(2·dt/τ)·ξ`, which has stationary standard
 /// deviation `σ` and correlation time `τ`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Wind {
     config: WindConfig,
     gust: Vec3,

@@ -40,7 +40,7 @@ fn fuzzer(deviation: f64) -> Fuzzer<VasarhelyiController> {
 fn journal_options(path: &Path, resume: bool) -> CampaignRunOptions {
     CampaignRunOptions {
         journal: Some(JournalSpec { path: path.to_path_buf(), resume }),
-        max_retries: 1,
+        ..CampaignRunOptions::default()
     }
 }
 
@@ -176,7 +176,7 @@ fn failing_missions_are_quarantined_not_fatal() {
         &poisoned_campaign(2),
         fuzzer,
         &telemetry,
-        &CampaignRunOptions { journal: None, max_retries: 1 },
+        &CampaignRunOptions::default(),
     )
     .expect("mission failures must not abort the campaign");
 

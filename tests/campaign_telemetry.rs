@@ -86,13 +86,19 @@ fn telemetry_counters_match_the_report() {
     let skips = telemetry.counter(Counter::BaselineSkips);
     assert_eq!(baseline_spans, report.missions.len() as u64 + skips);
     // The paper pipeline: one seed-schedule span per mission, gradient
-    // search only (SwarmFuzz variant), one mission-sim span per evaluation.
+    // search only (SwarmFuzz variant). Every evaluation is either a fresh
+    // mission sim or a fork (prefix reconstruction + forked sim), and the
+    // fork hit/miss counters reconcile exactly with the phase split.
     assert_eq!(snapshot.phase("seed_schedule").unwrap().count, report.missions.len() as u64);
     assert_eq!(snapshot.phase("random_search").unwrap().count, 0);
-    assert_eq!(
-        snapshot.phase("mission_sim").unwrap().count,
-        telemetry.counter(Counter::Evaluations)
-    );
+    let fresh_sims = snapshot.phase("mission_sim").unwrap().count;
+    let forked_sims = snapshot.phase("forked_sim").unwrap().count;
+    assert_eq!(fresh_sims + forked_sims, telemetry.counter(Counter::Evaluations));
+    assert_eq!(forked_sims, telemetry.counter(Counter::ForkHits));
+    assert_eq!(fresh_sims, telemetry.counter(Counter::ForkMisses));
+    assert_eq!(snapshot.phase("prefix_sim").unwrap().count, forked_sims);
+    assert!(forked_sims > 0, "snapshot forking is on by default: some probes must fork");
+    assert!(telemetry.counter(Counter::PrefixStepsSaved) > 0);
     // Worker progress sums to the campaign totals.
     let worker_missions: u64 = snapshot.workers.iter().map(|w| w.missions).sum();
     assert_eq!(worker_missions, report.missions.len() as u64);

@@ -1,0 +1,262 @@
+//! Differential proof that snapshot-and-fork execution is invisible.
+//!
+//! The snapshot fast path (fork an attacked mission from a cached baseline
+//! snapshot instead of re-simulating the no-attack prefix) is only
+//! admissible because it is *bit-identical* to simulating from `t = 0`.
+//! This suite pins that claim at three levels:
+//!
+//! * sim level — forked vs fresh mission records over seeded-random
+//!   `(t_s, Δt, swarm size, mission seed)` windows, across all three
+//!   spatial-grid policies and with lossy/delayed comms (every RNG stream —
+//!   GPS noise, drop lottery, wind — must stay in phase across the fork);
+//! * snapshot algebra — `run_to(t1)` then `resume_to(t2)` equals
+//!   `run_to(t2)` (round-trip idempotence) over random split points;
+//! * fuzzer/campaign level — [`FuzzReport`]s and [`CampaignReport`]s with
+//!   snapshots on are bit-identical to snapshots off, across worker counts,
+//!   and the paper's eval budget is conserved: a forked probe counts
+//!   exactly one search iteration.
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::SpoofingAttack;
+use swarm_sim::{SimConfig, Simulation, SpatialPolicy};
+use swarm_testkit::gens::{f64_in, one_of, u64_in, usize_in, zip2, zip4};
+use swarm_testkit::{cases, check_budgeted, gens, tk_ensure, Gen};
+use swarmfuzz::campaign::{
+    run_campaign_with_options, CampaignConfig, CampaignRunOptions, SwarmConfig,
+};
+use swarmfuzz::{Fuzzer, FuzzerConfig, Telemetry};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+fn policies() -> Vec<SpatialPolicy> {
+    vec![SpatialPolicy::Auto, SpatialPolicy::ForceOn, SpatialPolicy::ForceOff]
+}
+
+/// One randomized differential case: a short delivery mission, an attack
+/// window, a fork point at the window's start, and a grid policy.
+#[derive(Debug, Clone)]
+struct ForkCase {
+    swarm_size: usize,
+    seed: u64,
+    start: f64,
+    duration: f64,
+    policy: SpatialPolicy,
+}
+
+fn fork_case() -> Gen<ForkCase> {
+    zip4(
+        &zip2(&usize_in(3..=6), &u64_in(0..=u64::MAX)),
+        &f64_in(0.0, 28.0),
+        &f64_in(0.0, 20.0),
+        &one_of(policies()),
+    )
+    .map(|((swarm_size, seed), start, duration, policy)| ForkCase {
+        swarm_size,
+        seed,
+        start,
+        duration,
+        policy,
+    })
+}
+
+/// Runs `case`'s attacked mission fresh and forked (from a snapshot at the
+/// attack start) on the given spec and asserts bit-identity.
+fn assert_fork_matches_fresh(spec: &MissionSpec, case: &ForkCase) -> Result<(), String> {
+    let sim = Simulation::new(spec.clone(), controller())
+        .map_err(|e| e.to_string())?
+        .with_config(SimConfig { spatial: case.policy, ..Default::default() });
+    let attack = SpoofingAttack::new(
+        0.into(),
+        swarm_sim::spoof::SpoofDirection::Right,
+        case.start,
+        case.duration,
+        10.0,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let fresh = sim.run(Some(&attack)).map_err(|e| e.to_string())?;
+    let (snapshot, source) = sim.run_to(case.start).map_err(|e| e.to_string())?;
+    let forked = sim.resume(&snapshot, &source, Some(&attack)).map_err(|e| e.to_string())?;
+
+    tk_ensure!(
+        forked.record == fresh.record,
+        "forked record diverged from fresh (policy {:?}, start {}, duration {})",
+        case.policy,
+        case.start,
+        case.duration
+    );
+    Ok(())
+}
+
+#[test]
+fn forked_mission_is_bit_identical_to_fresh_across_windows_and_policies() {
+    check_budgeted("snapshot_fork_equals_fresh", (cases() / 8).max(8), &fork_case(), |case| {
+        let mut spec = MissionSpec::paper_delivery(case.swarm_size, case.seed);
+        spec.duration = 30.0;
+        assert_fork_matches_fresh(&spec, case)
+    });
+}
+
+#[test]
+fn forked_mission_is_bit_identical_with_lossy_delayed_comms_and_noise() {
+    // Drop lottery, delayed in-flight messages, GPS noise and wind gusts all
+    // consume RNG draws; a fork that replayed or skipped a single draw would
+    // desynchronize the streams and show up here.
+    check_budgeted(
+        "snapshot_fork_equals_fresh_lossy",
+        (cases() / 16).max(8),
+        &fork_case(),
+        |case| {
+            let mut spec = MissionSpec::paper_delivery(case.swarm_size, case.seed);
+            spec.duration = 25.0;
+            spec.comms.range = Some(40.0);
+            spec.comms.drop_probability = 0.2;
+            spec.comms.delay_ticks = 2;
+            spec.gps.position_noise_std = 0.05;
+            spec.gps.velocity_noise_std = 0.02;
+            spec.wind.mean = swarm_math::Vec3::new(0.4, -0.2, 0.0);
+            spec.wind.gust_std = 0.3;
+            assert_fork_matches_fresh(&spec, case)
+        },
+    );
+}
+
+#[test]
+fn snapshot_roundtrip_is_idempotent_over_random_split_points() {
+    // run_to(t1) → resume_to(t2) must land in exactly the state (and record)
+    // of run_to(t2): snapshots compose.
+    let gen = zip4(&usize_in(3..=5), &u64_in(0..=u64::MAX), &f64_in(0.0, 15.0), &f64_in(0.0, 15.0));
+    check_budgeted("snapshot_roundtrip", (cases() / 16).max(8), &gen, |&(n, seed, a, b)| {
+        let (t1, t2) = if a <= b { (a, b) } else { (b, a) };
+        let mut spec = MissionSpec::paper_delivery(n, seed);
+        spec.duration = 20.0;
+        let sim = Simulation::new(spec, controller()).map_err(|e| e.to_string())?;
+        let (snap1, source1) = sim.run_to(t1).map_err(|e| e.to_string())?;
+        let stepwise = sim.resume_to(&snap1, &source1, t2).map_err(|e| e.to_string())?;
+        let direct = sim.run_to(t2).map_err(|e| e.to_string())?;
+        tk_ensure!(stepwise.0 == direct.0, "snapshot state diverged (t1={t1}, t2={t2})");
+        tk_ensure!(stepwise.1 == direct.1, "prefix record diverged (t1={t1}, t2={t2})");
+        Ok(())
+    });
+}
+
+fn fuzzer_with(deviation: f64, budget: usize, snapshots: bool) -> Fuzzer<VasarhelyiController> {
+    let config = FuzzerConfig { eval_budget: budget, ..FuzzerConfig::swarmfuzz(deviation) };
+    Fuzzer::new(controller(), config).with_snapshots(snapshots)
+}
+
+#[test]
+fn fuzz_reports_are_bit_identical_snapshots_on_vs_off() {
+    // Whole-pipeline differential: same mission, same config, snapshot
+    // execution toggled. Covers both fuzzer outcomes (SPV found / budget
+    // exhausted) across seeds and gradient/random search.
+    let gen = zip2(&u64_in(0..=50), &gens::one_of(vec![2usize, 5, 20]));
+    check_budgeted(
+        "fuzz_report_snapshot_toggle",
+        (cases() / 16).max(6),
+        &gen,
+        |&(seed, budget)| {
+            let spec = MissionSpec::paper_delivery(5, seed);
+            let on = fuzzer_with(10.0, budget, true).fuzz(&spec);
+            let off = fuzzer_with(10.0, budget, false).fuzz(&spec);
+            tk_ensure!(
+                format!("{on:?}") == format!("{off:?}"),
+                "snapshot toggle changed the fuzz result (seed {seed}, budget {budget})"
+            );
+            if let Ok(report) = on {
+                tk_ensure!(
+                    report.evaluations <= budget,
+                    "budget overspent: {} > {budget}",
+                    report.evaluations
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn eval_budget_is_conserved_under_forking() {
+    // A forked probe skips thousands of prefix steps but still counts as
+    // exactly one search iteration (the paper caps these at 20): evaluations
+    // never exceed the budget, match the snapshot-off run exactly, and the
+    // two-phase gradient restart cannot overspend its remainder.
+    for budget in [0usize, 1, 2, 3, 7, 20] {
+        let spec = MissionSpec::paper_delivery(5, 11);
+        let telemetry = Telemetry::enabled(1);
+        let on = fuzzer_with(10.0, budget, true)
+            .with_telemetry(telemetry.clone())
+            .fuzz(&spec)
+            .expect("fuzz must run");
+        let off = fuzzer_with(10.0, budget, false).fuzz(&spec).expect("fuzz must run");
+        assert!(on.evaluations <= budget, "budget {budget} overspent: {}", on.evaluations);
+        assert_eq!(on, off, "snapshot toggle changed the report at budget {budget}");
+        // Every evaluation was either a fork hit or a fork miss — no probe
+        // escapes the accounting.
+        let hits = telemetry.counter(swarmfuzz::telemetry::Counter::ForkHits);
+        let misses = telemetry.counter(swarmfuzz::telemetry::Counter::ForkMisses);
+        assert_eq!(
+            hits + misses,
+            telemetry.counter(swarmfuzz::telemetry::Counter::Evaluations),
+            "fork accounting must cover every evaluation at budget {budget}"
+        );
+    }
+}
+
+fn tiny_campaign(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        configs: vec![
+            SwarmConfig { swarm_size: 3, deviation: 5.0 },
+            SwarmConfig { swarm_size: 5, deviation: 10.0 },
+        ],
+        missions_per_config: 2,
+        base_seed: 21,
+        workers,
+    }
+}
+
+#[test]
+fn campaign_reports_are_bit_identical_snapshots_on_vs_off_across_workers() {
+    let make = |deviation: f64| {
+        let config = FuzzerConfig { eval_budget: 4, ..FuzzerConfig::swarmfuzz(deviation) };
+        Fuzzer::new(controller(), config)
+    };
+    let run = |workers: usize, snapshot: bool| {
+        let options = CampaignRunOptions { snapshot, ..Default::default() };
+        run_campaign_with_options(&tiny_campaign(workers), make, &Telemetry::off(), &options)
+            .expect("campaign must run")
+    };
+    let reference = run(1, false);
+    assert_eq!(reference.missions.len(), 4);
+    for workers in [1usize, 4] {
+        assert_eq!(reference, run(workers, false), "workers={workers}, snapshots off");
+        assert_eq!(reference, run(workers, true), "workers={workers}, snapshots on");
+    }
+}
+
+#[test]
+fn campaign_snapshot_cache_is_shared_and_forking_dominates() {
+    // With snapshots on, the campaign shares one cache across workers: each
+    // mission's baseline is simulated once and the window-search probes fork
+    // from it. The hit counters prove the fast path actually engaged.
+    let make = |deviation: f64| {
+        let config = FuzzerConfig { eval_budget: 4, ..FuzzerConfig::swarmfuzz(deviation) };
+        Fuzzer::new(controller(), config)
+    };
+    let telemetry = Telemetry::enabled(2);
+    let options = CampaignRunOptions::default();
+    let report = run_campaign_with_options(&tiny_campaign(2), make, &telemetry, &options)
+        .expect("campaign must run");
+    let evals: u64 = report.missions.iter().map(|m| m.evaluations as u64).sum();
+    let hits = telemetry.counter(swarmfuzz::telemetry::Counter::ForkHits);
+    let misses = telemetry.counter(swarmfuzz::telemetry::Counter::ForkMisses);
+    assert_eq!(hits + misses, evals);
+    assert!(hits > 0, "campaign probes must fork from cached snapshots");
+    assert!(
+        telemetry.counter(swarmfuzz::telemetry::Counter::PrefixStepsSaved) > 0,
+        "forking must skip prefix physics steps"
+    );
+}
