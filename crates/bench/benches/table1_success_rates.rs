@@ -1,6 +1,8 @@
 //! Regenerates **Table I** of the paper: SwarmFuzz's success rate in finding
 //! SPVs across the six swarm configurations ({5, 10, 15} drones × {5, 10} m
-//! spoofing).
+//! spoofing), then extends it beyond the paper with a per-attack-class
+//! success-rate table over the waveform zoo (constant / drift / circular /
+//! jump), one single-class campaign per waveform.
 //!
 //! Paper values for reference:
 //!
@@ -11,11 +13,29 @@
 //!
 //! Expected shape (not absolute values): success increases with swarm size
 //! and with spoofing distance.
+//!
+//! Pass `--smoke` for the CI mode: a single tiny configuration with a small
+//! eval budget, exercising all four attack classes end-to-end in seconds
+//! and skipping the full Table I campaign.
 
+use swarm_sim::spoof::{WaveformKind, WaveformSet};
+use swarmfuzz::campaign::{run_campaign_with_telemetry, CampaignConfig, SwarmConfig};
 use swarmfuzz::report::{success_rate_table, write_csv};
-use swarmfuzz_bench::{cached_paper_campaign, paper_configs, percent, print_table, results_dir};
+use swarmfuzz::{Fuzzer, FuzzerConfig, Telemetry};
+use swarmfuzz_bench::{
+    cached_paper_campaign, missions_per_config, paper_configs, paper_controller, percent,
+    print_table, results_dir, workers,
+};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if !smoke {
+        paper_table1();
+    }
+    attack_class_table(smoke);
+}
+
+fn paper_table1() {
     let report = cached_paper_campaign();
     let configs = paper_configs();
     let table = success_rate_table(&report, &configs);
@@ -56,5 +76,69 @@ fn main() {
     let path = results_dir().join("table1_success_rates.csv");
     write_csv(&path, &["swarm_size", "deviation_m", "success_rate", "missions"], &csv_rows)
         .expect("write table1 csv");
+    println!("csv: {}", path.display());
+}
+
+/// Per-attack-class success rates: one campaign per waveform class, same
+/// seeds and grid, so the rates are directly comparable across classes.
+fn attack_class_table(smoke: bool) {
+    let campaign = if smoke {
+        CampaignConfig {
+            configs: vec![SwarmConfig { swarm_size: 5, deviation: 10.0 }],
+            missions_per_config: 2,
+            base_seed: 0xC0FFEE,
+            workers: workers(),
+        }
+    } else {
+        let mut c = CampaignConfig::paper_grid(missions_per_config(), 0xC0FFEE);
+        c.workers = workers();
+        c
+    };
+    let eval_budget = if smoke { 4 } else { FuzzerConfig::swarmfuzz(10.0).eval_budget };
+    let missions = campaign.configs.len() * campaign.missions_per_config;
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for kind in WaveformKind::ALL {
+        let set = WaveformSet::parse(kind.name()).expect("class names parse");
+        let make = move |deviation: f64| {
+            let config = FuzzerConfig { eval_budget, ..FuzzerConfig::swarmfuzz(deviation) }
+                .with_waveforms(set);
+            Fuzzer::new(paper_controller(), config)
+        };
+        eprintln!("[bench] attack class {kind}: {missions} missions");
+        let report = run_campaign_with_telemetry(&campaign, make, &Telemetry::off())
+            .expect("campaign must run");
+        let successes = report.missions.iter().filter(|m| m.success).count();
+        let rate = successes as f64 / report.missions.len().max(1) as f64;
+        let evals: usize = report.missions.iter().map(|m| m.evaluations).sum();
+        rows.push(vec![
+            kind.to_string(),
+            percent(rate),
+            successes.to_string(),
+            report.missions.len().to_string(),
+            evals.to_string(),
+        ]);
+        csv_rows.push(vec![
+            kind.to_string(),
+            format!("{rate:.4}"),
+            successes.to_string(),
+            report.missions.len().to_string(),
+            evals.to_string(),
+        ]);
+    }
+    print_table(
+        "Attack-class success rates (single-class campaigns, shared seeds)",
+        &["class", "success", "spvs", "missions", "evaluations"],
+        &rows,
+    );
+    let name = if smoke {
+        "attack_class_success_rates_smoke.csv"
+    } else {
+        "attack_class_success_rates.csv"
+    };
+    let path = results_dir().join(name);
+    write_csv(&path, &["class", "success_rate", "spvs", "missions", "evaluations"], &csv_rows)
+        .expect("write attack-class csv");
     println!("csv: {}", path.display());
 }

@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
-use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::spoof::{SpoofDirection, Waveform, WaveformKind};
 use swarm_sim::DroneId;
 use swarmfuzz::campaign::{
     run_campaign_with_telemetry, CampaignConfig, CampaignReport, MissionResult, SwarmConfig,
@@ -171,12 +171,16 @@ fn load_campaign_csv(path: &Path) -> Option<CampaignReport> {
                     },
                     influence: 0.0,
                     victim_vdo: vdo,
+                    // The cache CSV predates the attack zoo; every cached
+                    // finding is the paper's constant-offset attack.
+                    waveform: WaveformKind::Constant,
                 },
                 start: c[10].parse().ok()?,
                 duration: c[11].parse().ok()?,
                 deviation: config.deviation,
                 actual_victim: DroneId(c[12].parse().ok()?),
                 collision_time: c[13].parse().ok()?,
+                waveform: Waveform::Constant,
             })
         } else {
             None

@@ -41,6 +41,7 @@ COMMANDS:
                 --missions K (20)  --workers W (cores)
                 --journal PATH (off)  --resume yes|no (no)  --retries N (1)
                 --snapshot on|off (on)  --telemetry off|summary|json (off)
+                --attacks constant,drift,circular,jump (constant)
     baseline  fly one mission without any attack and print statistics
                 --drones N (10)  --seed S (0)
     replay    replay a specific spoofing attack and report the outcome
@@ -223,10 +224,12 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
         journal: opts.journal.clone(),
         max_retries: opts.max_retries,
         snapshot: opts.snapshot,
+        constant_via_trait: false,
     };
+    let attacks = opts.attacks;
     let report = run_campaign_with_options(
         &campaign,
-        |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d)),
+        |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d).with_waveforms(attacks)),
         &telemetry,
         &options,
     )
@@ -242,6 +245,18 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
                 report.for_config(config).len()
             ),
         );
+    }
+    if attacks != swarm_sim::spoof::WaveformSet::CONSTANT_ONLY {
+        human_line(mode, format_args!("\nattack class\tfindings"));
+        for kind in attacks.iter() {
+            let count = report
+                .missions
+                .iter()
+                .filter_map(|m| m.finding.as_ref())
+                .filter(|f| f.waveform.kind() == kind)
+                .count();
+            human_line(mode, format_args!("{kind}\t{count}"));
+        }
     }
     if let Some(summary) = report.error_summary() {
         eprint!("{summary}");
@@ -350,12 +365,14 @@ fn cmd_replay(opts: &ReplayOpts) -> Result<(), CliError> {
                         direction: opts.direction,
                         influence: 0.0,
                         victim_vdo: 0.0,
+                        waveform: swarm_sim::spoof::WaveformKind::Constant,
                     },
                     start: opts.start,
                     duration: opts.duration,
                     deviation: opts.deviation,
                     actual_victim: victim,
                     collision_time: t,
+                    waveform: swarm_sim::spoof::Waveform::Constant,
                 };
                 let min = minimize_attack(&sim, &finding, &MinimizeConfig::default())
                     .map_err(CliError::Fuzz)?;

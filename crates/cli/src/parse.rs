@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::spoof::{SpoofDirection, WaveformSet};
 use swarm_sim::SpatialPolicy;
 use swarmfuzz::campaign::JournalSpec;
 
@@ -74,6 +74,7 @@ pub struct CampaignOpts {
     pub journal: Option<JournalSpec>,
     pub max_retries: usize,
     pub snapshot: bool,
+    pub attacks: WaveformSet,
     pub telemetry: TelemetryMode,
 }
 
@@ -185,7 +186,16 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
     reject_unknown_flags(
         args,
         "campaign",
-        &["missions", "workers", "journal", "resume", "retries", "snapshot", "telemetry"],
+        &[
+            "missions",
+            "workers",
+            "journal",
+            "resume",
+            "retries",
+            "snapshot",
+            "attacks",
+            "telemetry",
+        ],
     )?;
     let resume = yes_no(args, "resume")?;
     let journal = args.raw("journal").map(|p| JournalSpec { path: p.into(), resume });
@@ -201,6 +211,12 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
             )))
         }
     };
+    let attacks = match args.raw("attacks") {
+        None => WaveformSet::CONSTANT_ONLY,
+        Some(list) => {
+            WaveformSet::parse(list).map_err(|e| ParseError::Invalid(format!("--attacks: {e}")))?
+        }
+    };
     Ok(CampaignOpts {
         missions: args.get_or("missions", 20)?,
         workers: args.get_or(
@@ -210,6 +226,7 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
         journal,
         max_retries: args.get_or("retries", 1)?,
         snapshot,
+        attacks,
         telemetry: telemetry_mode(args)?,
     })
 }
@@ -375,6 +392,29 @@ mod tests {
         assert!(!opts.snapshot);
         let err = parse("campaign --snapshot maybe").unwrap_err();
         assert_eq!(err.to_string(), "--snapshot must be 'on' or 'off', got \"maybe\"");
+    }
+
+    #[test]
+    fn campaign_attacks_flag_parses_class_lists() {
+        use swarm_sim::spoof::WaveformKind;
+        let Ok(Command::Campaign(opts)) = parse("campaign") else { panic!("campaign must parse") };
+        assert_eq!(opts.attacks, WaveformSet::CONSTANT_ONLY, "default is the paper's attack");
+
+        let Ok(Command::Campaign(opts)) = parse("campaign --attacks constant,drift,circular,jump")
+        else {
+            panic!("full class list must parse")
+        };
+        assert_eq!(opts.attacks, WaveformSet::all());
+
+        let Ok(Command::Campaign(opts)) = parse("campaign --attacks jump,drift") else {
+            panic!("subset must parse")
+        };
+        assert!(opts.attacks.contains(WaveformKind::Drift));
+        assert!(opts.attacks.contains(WaveformKind::Jump));
+        assert!(!opts.attacks.contains(WaveformKind::Circular));
+
+        let err = parse("campaign --attacks constant,teleport").unwrap_err();
+        assert_eq!(err.to_string(), "--attacks: unknown attack class \"teleport\"");
     }
 
     #[test]

@@ -249,11 +249,21 @@ pub struct CampaignRunOptions {
     /// spoofing start instead of re-simulating the prefix. Bit-identical to
     /// running with it off — only faster (`tests/snapshot_equivalence.rs`).
     pub snapshot: bool,
+    /// Route constant-offset seeds through the `AttackModel` trait object
+    /// instead of the legacy concrete spoof path. Bit-identical either way
+    /// (`tests/attack_zoo_equivalence.rs`); like `snapshot`, an execution
+    /// detail that never perturbs the journal fingerprint.
+    pub constant_via_trait: bool,
 }
 
 impl Default for CampaignRunOptions {
     fn default() -> Self {
-        CampaignRunOptions { journal: None, max_retries: 1, snapshot: true }
+        CampaignRunOptions {
+            journal: None,
+            max_retries: 1,
+            snapshot: true,
+            constant_via_trait: false,
+        }
     }
 }
 
@@ -349,6 +359,7 @@ where
             let campaign = &campaign;
             let telemetry = telemetry.clone();
             let max_retries = options.max_retries;
+            let constant_via_trait = options.constant_via_trait;
             let snapshot_cache = snapshot_cache.clone();
             scope.spawn(move || {
                 while let Ok((config, index)) = job_rx.recv() {
@@ -360,6 +371,7 @@ where
                         &telemetry,
                         max_retries,
                         snapshot_cache.as_ref(),
+                        constant_via_trait,
                     );
                     if let JournalRow::Done { result, .. } = &row {
                         telemetry.worker_mission_done(
@@ -427,6 +439,7 @@ where
 
 /// Runs one mission with bounded retries; an error after the last retry is
 /// quarantined as a [`JournalRow::Failed`] instead of propagating.
+#[allow(clippy::too_many_arguments)]
 fn fuzz_one_isolated<C, F>(
     campaign: &CampaignConfig,
     config: SwarmConfig,
@@ -435,6 +448,7 @@ fn fuzz_one_isolated<C, F>(
     telemetry: &Telemetry,
     max_retries: usize,
     snapshot_cache: Option<&SnapshotCache>,
+    constant_via_trait: bool,
 ) -> JournalRow
 where
     C: SwarmController + Clone,
@@ -442,7 +456,15 @@ where
 {
     let mut retries = 0usize;
     loop {
-        match fuzz_one(campaign, config, index, make_fuzzer, telemetry, snapshot_cache) {
+        match fuzz_one(
+            campaign,
+            config,
+            index,
+            make_fuzzer,
+            telemetry,
+            snapshot_cache,
+            constant_via_trait,
+        ) {
             Ok(result) => return JournalRow::Done { index, result },
             Err(_) if retries < max_retries => {
                 retries += 1;
@@ -468,6 +490,7 @@ fn fuzz_one<C, F>(
     make_fuzzer: &F,
     telemetry: &Telemetry,
     snapshot_cache: Option<&SnapshotCache>,
+    constant_via_trait: bool,
 ) -> Result<MissionResult, FuzzError>
 where
     C: SwarmController + Clone,
@@ -475,7 +498,8 @@ where
 {
     let mut fuzzer = make_fuzzer(config.deviation)
         .with_telemetry(telemetry.clone())
-        .with_snapshots(snapshot_cache.is_some());
+        .with_snapshots(snapshot_cache.is_some())
+        .with_constant_via_trait(constant_via_trait);
     if let Some(cache) = snapshot_cache {
         fuzzer = fuzzer.with_snapshot_cache(cache.clone());
     }

@@ -25,11 +25,15 @@ use serde::{Deserialize, Serialize};
 use swarm_math::rng::{rng_for, streams};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::recorder::MissionRecord;
+use swarm_sim::spoof::{Waveform, WaveformKind, WaveformSet};
 use swarm_sim::{DroneId, MissionOutcome, SimObserver, Simulation, SwarmController};
 
 use crate::objective::Objective;
-use crate::schedule::{random_schedule, svg_schedule_instrumented};
-use crate::search::{gradient_search, random_search, GradientConfig, SearchResult};
+use crate::schedule::{expand_waveforms, random_schedule, svg_schedule_instrumented};
+use crate::search::{
+    gradient_search, random_search, shaped_gradient_search, shaped_random_search, GradientConfig,
+    SearchResult, ShapeBounds,
+};
 use crate::seed::Seed;
 use crate::snapshot::{cache_key, MissionCache, SnapshotCache, SnapshotRing};
 use crate::svg::CentralityKind;
@@ -78,6 +82,10 @@ pub struct FuzzerConfig {
     pub max_duration: f64,
     /// Root seed for the fuzzer's own randomness (random variants).
     pub rng_seed: u64,
+    /// Attack classes the fuzzer schedules. The default constant-only set
+    /// reproduces the paper's fuzzer exactly; campaign fingerprints only
+    /// change when this departs from the default.
+    pub waveforms: WaveformSet,
 }
 
 impl FuzzerConfig {
@@ -93,7 +101,15 @@ impl FuzzerConfig {
             initial_duration: 12.0,
             max_duration: 30.0,
             rng_seed: 0,
+            waveforms: WaveformSet::CONSTANT_ONLY,
         }
+    }
+
+    /// Replaces the scheduled attack classes.
+    #[must_use]
+    pub fn with_waveforms(mut self, waveforms: WaveformSet) -> Self {
+        self.waveforms = waveforms;
+        self
     }
 
     /// `R_Fuzz`: random seeds, random search.
@@ -149,6 +165,9 @@ pub struct SpvFinding {
     pub actual_victim: DroneId,
     /// Collision time within the mission.
     pub collision_time: f64,
+    /// The attack waveform (with its fitted shape parameter) that crashed
+    /// the swarm. `Waveform::Constant` for the paper's attack.
+    pub waveform: Waveform,
 }
 
 /// The result of fuzzing one mission.
@@ -184,6 +203,7 @@ pub struct Fuzzer<C> {
     telemetry: Telemetry,
     snapshots: bool,
     snapshot_cache: Option<SnapshotCache>,
+    constant_via_trait: bool,
 }
 
 impl<C: SwarmController + Clone> Fuzzer<C> {
@@ -197,6 +217,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             telemetry: Telemetry::off(),
             snapshots: true,
             snapshot_cache: None,
+            constant_via_trait: false,
         }
     }
 
@@ -225,6 +246,18 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
     /// snapshots are enabled.
     pub fn with_snapshot_cache(mut self, cache: SnapshotCache) -> Self {
         self.snapshot_cache = Some(cache);
+        self
+    }
+
+    /// Routes constant-offset seeds through the [`AttackModel`] trait
+    /// object instead of the legacy concrete spoof path. Both paths are
+    /// bit-identical (`tests/attack_zoo_equivalence.rs`); like
+    /// [`Fuzzer::with_snapshots`] this is an execution detail and
+    /// deliberately not part of [`FuzzerConfig`].
+    ///
+    /// [`AttackModel`]: swarm_sim::spoof::AttackModel
+    pub fn with_constant_via_trait(mut self, via_trait: bool) -> Self {
+        self.constant_via_trait = via_trait;
         self
     }
 
@@ -324,6 +357,9 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 SeedStrategy::Random => random_schedule(record, &mut rng)?,
             }
         };
+        // Replay each ranked pair once per enabled attack class. Identity
+        // for the default constant-only set.
+        let pool = expand_waveforms(pool, self.config.waveforms);
 
         // Step 3: per-seed window search under a mission-level budget.
         let t_mission = record.duration();
@@ -347,9 +383,9 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 t_mission,
                 &mut rng,
             )?;
-            evaluations += result.evaluations;
-            self.telemetry.add(Counter::Evaluations, result.evaluations as u64);
-            if let Some(s) = result.success {
+            evaluations += result.outcome.evaluations;
+            self.telemetry.add(Counter::Evaluations, result.outcome.evaluations as u64);
+            if let Some(s) = result.outcome.success {
                 self.telemetry.incr(Counter::SpvFound);
                 finding = Some(SpvFinding {
                     seed: *seed,
@@ -358,6 +394,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                     deviation: self.config.deviation,
                     actual_victim: s.victim,
                     collision_time: s.collision_time,
+                    waveform: fitted_waveform(seed.waveform, s.duration, result.shape),
                 });
                 break;
             }
@@ -377,6 +414,10 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
     /// from a cached snapshot counts exactly like a from-scratch probe —
     /// one search iteration — so the paper's eval budget is unaffected by
     /// how the mission is executed.
+    ///
+    /// Constant and drift seeds search the paper's two-dimensional
+    /// `(t_s, Δt)` space (drift ramps in over the full window); circular and
+    /// jump seeds add their shape parameter (ω, period) as a third axis.
     #[allow(clippy::too_many_arguments)]
     fn search_seed(
         &self,
@@ -387,13 +428,14 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         budget: usize,
         t_mission: f64,
         rng: &mut StdRng,
-    ) -> Result<SearchResult, FuzzError> {
-        let mut objective = Objective::new(sim, seed, self.config.deviation);
+    ) -> Result<SeedSearch, FuzzError> {
+        let mut objective = Objective::new(sim, seed, self.config.deviation)
+            .with_constant_via_trait(self.constant_via_trait);
         if self.telemetry.is_enabled() {
             objective = objective.with_observer(&self.telemetry);
         }
         let telemetry = &self.telemetry;
-        let mut eval = |ts: f64, dt: f64| {
+        let eval3 = |ts: f64, dt: f64, shape: Option<f64>| {
             if let Some(cache) = fork {
                 // Clamp like the objective will, so fork admission sees the
                 // start time the attack window actually uses.
@@ -405,21 +447,49 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                         sim.prefix_record(snap, cache.baseline())?
                     };
                     let _span = telemetry.span(Phase::ForkedSim);
-                    return objective.evaluate_forked(snap, prefix, ts, dt);
+                    return objective.evaluate_shaped_forked(snap, prefix, ts, dt, shape);
                 }
                 telemetry.incr(Counter::ForkMisses);
             }
             let _span = telemetry.span(Phase::MissionSim);
-            objective.evaluate(ts, dt)
+            objective.evaluate_shaped(ts, dt, shape)
         };
-        match self.config.search_strategy {
+        // Initial guess: start the spoofing window `lead_time` seconds
+        // before the victim's recorded closest approach.
+        let t_close = record.vdo_time(seed.victim).unwrap_or(t_mission / 2.0);
+        let ts0 = (t_close - self.config.lead_time).max(0.0);
+        let dt0 = self.config.initial_duration;
+        if let Some(bounds) = shape_bounds(seed.waveform) {
+            let shaped = match self.config.search_strategy {
+                SearchStrategy::Gradient => {
+                    let _span = self.telemetry.span(Phase::GradientSearch);
+                    shaped_gradient_search(
+                        |ts, dt, shape| eval3(ts, dt, Some(shape)),
+                        (ts0, dt0),
+                        budget,
+                        t_mission,
+                        &bounds,
+                        &GradientConfig::default(),
+                    )?
+                }
+                SearchStrategy::Random => {
+                    let _span = self.telemetry.span(Phase::RandomSearch);
+                    shaped_random_search(
+                        |ts, dt, shape| eval3(ts, dt, Some(shape)),
+                        budget,
+                        t_mission,
+                        self.config.max_duration,
+                        &bounds,
+                        rng,
+                    )?
+                }
+            };
+            return Ok(SeedSearch { outcome: shaped.result, shape: Some(shaped.shape) });
+        }
+        let mut eval = |ts: f64, dt: f64| eval3(ts, dt, None);
+        let outcome = match self.config.search_strategy {
             SearchStrategy::Gradient => {
                 let _span = self.telemetry.span(Phase::GradientSearch);
-                // Initial guess: start the spoofing window `lead_time`
-                // seconds before the victim's recorded closest approach.
-                let t_close = record.vdo_time(seed.victim).unwrap_or(t_mission / 2.0);
-                let ts0 = (t_close - self.config.lead_time).max(0.0);
-                let dt0 = self.config.initial_duration;
                 let first = gradient_search(
                     &mut eval,
                     (ts0, dt0),
@@ -428,7 +498,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                     &GradientConfig::default(),
                 )?;
                 if first.success.is_some() || first.evaluations >= budget {
-                    return Ok(first);
+                    return Ok(SeedSearch { outcome: first, shape: None });
                 }
                 // Multi-start: the objective is convex in the window for a
                 // fixed interaction geometry, but different windows engage
@@ -443,17 +513,55 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                     t_mission,
                     &GradientConfig::default(),
                 )?;
-                Ok(SearchResult {
+                SearchResult {
                     success: second.success,
                     evaluations: first.evaluations + second.evaluations,
                     converged: second.converged,
                     best_value: first.best_value.min(second.best_value),
-                })
+                }
             }
             SearchStrategy::Random => {
                 let _span = self.telemetry.span(Phase::RandomSearch);
-                random_search(eval, budget, t_mission, self.config.max_duration, rng)
+                random_search(eval, budget, t_mission, self.config.max_duration, rng)?
             }
+        };
+        Ok(SeedSearch { outcome, shape: None })
+    }
+}
+
+/// One seed's search outcome plus the fitted shape parameter, when the
+/// seed's waveform has one.
+struct SeedSearch {
+    outcome: SearchResult,
+    shape: Option<f64>,
+}
+
+/// Search bounds for a waveform's shape parameter, or `None` for the
+/// two-parameter classes searched exactly like the paper's fuzzer.
+fn shape_bounds(kind: WaveformKind) -> Option<ShapeBounds> {
+    match kind {
+        // Constant has no shape; drift ramps in over the full window, which
+        // keeps its search space identical to the paper's `(t_s, Δt)`.
+        WaveformKind::Constant | WaveformKind::Drift => None,
+        // ω in [0, 2π] rad/s: one full orbit per second at most.
+        WaveformKind::Circular => {
+            Some(ShapeBounds { lo: 0.0, hi: std::f64::consts::TAU, init: 1.0 })
+        }
+        // Half-cycle period in [0.1, 10] s.
+        WaveformKind::Jump => Some(ShapeBounds { lo: 0.1, hi: 10.0, init: 1.0 }),
+    }
+}
+
+/// The waveform a successful probe actually simulated, reconstructed from
+/// the seed's class, the fitted window, and the fitted shape parameter.
+/// Mirrors the defaults applied by `Objective::evaluate_shaped`.
+fn fitted_waveform(kind: WaveformKind, duration: f64, shape: Option<f64>) -> Waveform {
+    match kind {
+        WaveformKind::Constant => Waveform::Constant,
+        WaveformKind::Drift => Waveform::Drift { ramp: shape.unwrap_or(duration).min(duration) },
+        WaveformKind::Circular => Waveform::Circular { omega: shape.unwrap_or(1.0) },
+        WaveformKind::Jump => {
+            Waveform::Jump { period: shape.unwrap_or(1.0).max(f64::MIN_POSITIVE) }
         }
     }
 }

@@ -149,7 +149,7 @@ mod tests {
     use super::*;
     use swarm_math::{Vec2, Vec3};
     use swarm_sim::mission::MissionSpec;
-    use swarm_sim::spoof::SpoofDirection;
+    use swarm_sim::spoof::{SpoofDirection, Waveform, WaveformKind};
     use swarm_sim::{ControlContext, DroneId, PerceivedSelf};
 
     use crate::seed::Seed;
@@ -188,12 +188,14 @@ mod tests {
                 direction: SpoofDirection::Right,
                 influence: 1.0,
                 victim_vdo: 4.0,
+                waveform: WaveformKind::Constant,
             },
             start: 5.0,
             duration: 60.0,
             deviation: 10.0,
             actual_victim: DroneId(1),
             collision_time: 40.0,
+            waveform: Waveform::Constant,
         };
         (sim, finding)
     }

@@ -8,7 +8,7 @@
 
 use swarm_sim::dynamics::Dynamics;
 use swarm_sim::recorder::MissionRecord;
-use swarm_sim::spoof::SpoofingAttack;
+use swarm_sim::spoof::{AttackSpec, SpoofingAttack, Waveform, WaveformKind};
 use swarm_sim::{DroneId, MissionOutcome, SimObserver, SimSnapshot, Simulation, SwarmController};
 
 use crate::seed::Seed;
@@ -63,6 +63,7 @@ pub struct Objective<'a, C, D> {
     seed: Seed,
     deviation: f64,
     observer: Option<&'a dyn SimObserver>,
+    constant_via_trait: bool,
 }
 
 impl<C, D> std::fmt::Debug for Objective<'_, C, D> {
@@ -78,7 +79,16 @@ impl<C, D> std::fmt::Debug for Objective<'_, C, D> {
 impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
     /// Creates an evaluator bound to one simulation and seed.
     pub fn new(sim: &'a Simulation<C, D>, seed: Seed, deviation: f64) -> Self {
-        Objective { sim, seed, deviation, observer: None }
+        Objective { sim, seed, deviation, observer: None, constant_via_trait: false }
+    }
+
+    /// Routes constant-offset attacks through [`AttackSpec`] instead of the
+    /// legacy [`SpoofingAttack`] value. Both paths are bit-identical — this
+    /// toggle exists so the differential gate can prove it at every level;
+    /// it is an execution detail, never part of a campaign's identity.
+    pub fn with_constant_via_trait(mut self, via_trait: bool) -> Self {
+        self.constant_via_trait = via_trait;
+        self
     }
 
     /// Attaches a [`SimObserver`] receiving each evaluated mission's run
@@ -103,16 +113,72 @@ impl<'a, C: SwarmController, D: Dynamics> Objective<'a, C, D> {
     /// Propagates [`FuzzError::Sim`] from the simulation and
     /// [`FuzzError::Sim`]-wrapped attack-validation failures.
     pub fn evaluate(&self, start: f64, duration: f64) -> Result<Evaluation, FuzzError> {
+        self.evaluate_shaped(start, duration, None)
+    }
+
+    /// [`Objective::evaluate`] with an explicit waveform shape parameter
+    /// (ramp time, ω or jump period, depending on the seed's class). `None`
+    /// falls back to the class default — full-window ramp-in for drift.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Objective::evaluate`].
+    pub fn evaluate_shaped(
+        &self,
+        start: f64,
+        duration: f64,
+        shape: Option<f64>,
+    ) -> Result<Evaluation, FuzzError> {
         let start = start.max(0.0);
         let duration = duration.max(0.0);
-        let attack = self.attack(start, duration)?;
-        let outcome = self.sim.run_observed(Some(&attack), self.observer)?;
+        let outcome = if self.uses_legacy_path() {
+            let attack = self.attack(start, duration)?;
+            self.sim.run_observed(Some(&attack), self.observer)?
+        } else {
+            let attack = self.attack_spec(start, duration, shape)?;
+            self.sim.run_observed(Some(&attack), self.observer)?
+        };
         Ok(self.classify(&outcome, start, duration))
+    }
+
+    /// The paper's constant-offset seeds keep flowing through the original
+    /// [`SpoofingAttack`] value unless the caller opted into the trait path.
+    fn uses_legacy_path(&self) -> bool {
+        self.seed.waveform == WaveformKind::Constant && !self.constant_via_trait
     }
 
     /// Builds the seed's attack for a (pre-clamped) window.
     fn attack(&self, start: f64, duration: f64) -> Result<SpoofingAttack, FuzzError> {
         Ok(SpoofingAttack::new(
+            self.seed.target,
+            self.seed.direction,
+            start,
+            duration,
+            self.deviation,
+        )?)
+    }
+
+    /// Builds the seed's zoo attack for a (pre-clamped) window and shape.
+    fn attack_spec(
+        &self,
+        start: f64,
+        duration: f64,
+        shape: Option<f64>,
+    ) -> Result<AttackSpec, FuzzError> {
+        let waveform = match self.seed.waveform {
+            WaveformKind::Constant => Waveform::Constant,
+            // Default: ramp in over the whole window; an explicit shape is
+            // still capped by the window so the spec stays constructible.
+            WaveformKind::Drift => {
+                Waveform::Drift { ramp: shape.unwrap_or(duration).min(duration) }
+            }
+            WaveformKind::Circular => Waveform::Circular { omega: shape.unwrap_or(1.0) },
+            WaveformKind::Jump => {
+                Waveform::Jump { period: shape.unwrap_or(1.0).max(f64::MIN_POSITIVE) }
+            }
+        };
+        Ok(AttackSpec::from_waveform(
+            waveform,
             self.seed.target,
             self.seed.direction,
             start,
@@ -166,11 +232,32 @@ impl<C: SwarmController, D: Dynamics + Clone> Objective<'_, C, D> {
         start: f64,
         duration: f64,
     ) -> Result<Evaluation, FuzzError> {
+        self.evaluate_shaped_forked(snapshot, prefix, start, duration, None)
+    }
+
+    /// [`Objective::evaluate_shaped`] forking from `snapshot` — the shaped
+    /// counterpart of [`Objective::evaluate_forked`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Objective::evaluate_forked`].
+    pub fn evaluate_shaped_forked(
+        &self,
+        snapshot: &SimSnapshot<D>,
+        prefix: MissionRecord,
+        start: f64,
+        duration: f64,
+        shape: Option<f64>,
+    ) -> Result<Evaluation, FuzzError> {
         let start = start.max(0.0);
         let duration = duration.max(0.0);
-        let attack = self.attack(start, duration)?;
-        let outcome =
-            self.sim.resume_record_observed(snapshot, prefix, Some(&attack), self.observer)?;
+        let outcome = if self.uses_legacy_path() {
+            let attack = self.attack(start, duration)?;
+            self.sim.resume_record_observed(snapshot, prefix, Some(&attack), self.observer)?
+        } else {
+            let attack = self.attack_spec(start, duration, shape)?;
+            self.sim.resume_record_observed(snapshot, prefix, Some(&attack), self.observer)?
+        };
         Ok(self.classify(&outcome, start, duration))
     }
 }
@@ -223,6 +310,7 @@ mod tests {
             direction: SpoofDirection::Right,
             influence: 1.0,
             victim_vdo: 4.0,
+            waveform: WaveformKind::Constant,
         }
     }
 
@@ -270,6 +358,47 @@ mod tests {
         let forked = obj.evaluate_forked(&snap, prefix, 10.0, 70.0).unwrap();
         assert_eq!(fresh, forked);
         assert!(forked.is_success(), "the known SPV must survive forking");
+    }
+
+    #[test]
+    fn constant_via_trait_is_bit_identical_to_legacy() {
+        let sim = Simulation::new(spec(), FollowY).unwrap();
+        let legacy = Objective::new(&sim, seed(), 10.0);
+        let zoo = Objective::new(&sim, seed(), 10.0).with_constant_via_trait(true);
+        for (ts, dt) in [(0.0, 0.0), (10.0, 70.0), (20.0, 2.0), (33.3, 12.0)] {
+            let a = legacy.evaluate(ts, dt).unwrap();
+            let b = zoo.evaluate(ts, dt).unwrap();
+            assert_eq!(a, b, "window ({ts}, {dt})");
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "window ({ts}, {dt})");
+        }
+    }
+
+    #[test]
+    fn shaped_evaluation_runs_every_class() {
+        let sim = Simulation::new(spec(), FollowY).unwrap();
+        for kind in WaveformKind::ALL {
+            let obj = Objective::new(&sim, seed().with_waveform(kind), 10.0);
+            let e = obj.evaluate_shaped(10.0, 20.0, Some(1.0)).unwrap();
+            assert!(e.value.is_finite(), "class {kind} must evaluate");
+        }
+    }
+
+    #[test]
+    fn drift_full_window_ramp_is_weaker_than_constant() {
+        // With the same window, a ramp-in attack displaces the target less
+        // than the constant-offset attack, so the victim stays farther from
+        // the obstacle.
+        let sim = Simulation::new(spec(), FollowY).unwrap();
+        let constant = Objective::new(&sim, seed(), 10.0);
+        let drift = Objective::new(&sim, seed().with_waveform(WaveformKind::Drift), 10.0);
+        let c = constant.evaluate(20.0, 12.0).unwrap();
+        let d = drift.evaluate(20.0, 12.0).unwrap();
+        assert!(
+            d.value >= c.value,
+            "ramp-in ({}) must not out-displace constant ({})",
+            d.value,
+            c.value
+        );
     }
 
     #[test]

@@ -157,7 +157,7 @@ mod tests {
     use crate::campaign::MissionResult;
     use crate::fuzzer::SpvFinding;
     use crate::seed::Seed;
-    use swarm_sim::spoof::SpoofDirection;
+    use swarm_sim::spoof::{SpoofDirection, Waveform, WaveformKind};
     use swarm_sim::DroneId;
 
     fn cfg(n: usize) -> SwarmConfig {
@@ -172,12 +172,14 @@ mod tests {
                 direction: SpoofDirection::Right,
                 influence: 0.1,
                 victim_vdo: 2.0,
+                waveform: WaveformKind::Constant,
             },
             start,
             duration,
             deviation: 10.0,
             actual_victim: DroneId(1),
             collision_time: 40.0,
+            waveform: Waveform::Constant,
         }
     }
 

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::recorder::MissionRecord;
-use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::spoof::{SpoofDirection, WaveformKind, WaveformSet};
 use swarm_sim::{DroneId, SwarmController};
 
 use crate::seed::{Seed, Seedpool};
@@ -98,6 +98,7 @@ pub fn svg_schedule_instrumented<C: SwarmController>(
                     direction: analysis.direction,
                     influence,
                     victim_vdo: vdo,
+                    waveform: WaveformKind::Constant,
                 });
             }
         }
@@ -139,12 +140,27 @@ pub fn random_schedule(record: &MissionRecord, rng: &mut StdRng) -> Result<Seedp
                     direction,
                     influence: 0.0,
                     victim_vdo: record.vdo(DroneId(victim)).unwrap_or(f64::INFINITY),
+                    waveform: WaveformKind::Constant,
                 });
             }
         }
     }
     seeds.shuffle(rng);
     Ok(Seedpool::new(seeds))
+}
+
+/// Expands a ranked pool of `<T-V, θ>` seeds into `(T, V, θ, waveform)`
+/// tuples: each seed is replayed once per enabled attack class, in canonical
+/// class order, preserving the pool's ranking between pairs. With the
+/// default constant-only set this is the identity — the pre-zoo pool comes
+/// back unchanged, which keeps the legacy fuzzing schedule bit-identical.
+pub fn expand_waveforms(pool: Seedpool, waveforms: WaveformSet) -> Seedpool {
+    if waveforms == WaveformSet::CONSTANT_ONLY {
+        return pool;
+    }
+    pool.into_iter()
+        .flat_map(|seed| waveforms.iter().map(move |kind| seed.with_waveform(kind)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -244,6 +260,36 @@ mod tests {
         combos.dedup();
         assert_eq!(combos.len(), 12, "no duplicates");
         assert!(pool.iter().all(|s| s.target != s.victim));
+    }
+
+    #[test]
+    fn expand_waveforms_is_identity_for_constant_only() {
+        let spec = spec(3);
+        let pool = svg_schedule(&Centroid, &spec, &record(), 10.0).unwrap();
+        let expanded = expand_waveforms(pool.clone(), WaveformSet::CONSTANT_ONLY);
+        assert_eq!(pool, expanded);
+    }
+
+    #[test]
+    fn expand_waveforms_interleaves_classes_in_rank_order() {
+        let spec = spec(3);
+        let pool = svg_schedule(&Centroid, &spec, &record(), 10.0).unwrap();
+        let base = pool.len();
+        let expanded = expand_waveforms(pool, WaveformSet::all());
+        assert_eq!(expanded.len(), base * 4);
+        for (i, s) in expanded.iter().enumerate() {
+            assert_eq!(s.waveform, WaveformKind::ALL[i % 4], "classes cycle within each pair");
+        }
+        // Pair ranking is preserved: dropping the waveform column and
+        // deduplicating consecutive runs gives back the original order.
+        let mut collapsed: Vec<(usize, usize, i8)> = Vec::new();
+        for s in expanded.iter() {
+            let key = (s.target.index(), s.victim.index(), s.direction.theta());
+            if collapsed.last() != Some(&key) {
+                collapsed.push(key);
+            }
+        }
+        assert_eq!(collapsed.len(), base);
     }
 
     #[test]

@@ -182,6 +182,211 @@ where
     Ok(SearchResult { success: None, evaluations: evals, converged: false, best_value: best })
 }
 
+/// Bounds and initial guess for a waveform shape parameter (ramp time, ω,
+/// jump period) searched alongside the spoofing window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeBounds {
+    /// Smallest feasible shape value.
+    pub lo: f64,
+    /// Largest feasible shape value.
+    pub hi: f64,
+    /// Initial guess.
+    pub init: f64,
+}
+
+impl ShapeBounds {
+    fn span(&self) -> f64 {
+        (self.hi - self.lo).max(f64::EPSILON)
+    }
+
+    fn clamp(&self, s: f64) -> f64 {
+        s.clamp(self.lo, self.hi)
+    }
+}
+
+/// Result of a shaped search: the window search result plus the shape value
+/// of the successful probe (or of the best probe seen when none succeeded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapedSearchResult {
+    /// The window-level outcome, identical in meaning to [`SearchResult`].
+    pub result: SearchResult,
+    /// Shape parameter that produced `result.success` (or the best value).
+    pub shape: f64,
+}
+
+/// Gradient-guided search over `(t_s, Δt, shape)` — the three-parameter
+/// generalization used by waveforms with a shape parameter. The window
+/// handling matches [`gradient_search`]; the shape axis descends with a
+/// trust region proportional to its bounds and stays clamped inside them.
+///
+/// # Errors
+///
+/// Propagates the first [`FuzzError`] returned by `objective`.
+pub fn shaped_gradient_search<F>(
+    mut objective: F,
+    initial: (f64, f64),
+    budget: usize,
+    t_mission: f64,
+    bounds: &ShapeBounds,
+    config: &GradientConfig,
+) -> Result<ShapedSearchResult, FuzzError>
+where
+    F: FnMut(f64, f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    let (mut ts, mut dt) = initial;
+    let mut shape = bounds.clamp(bounds.init);
+    clamp_window(&mut ts, &mut dt, t_mission);
+    let mut evals = 0usize;
+    let mut best = f64::INFINITY;
+    let mut best_shape = shape;
+
+    macro_rules! probe {
+        ($ts:expr, $dt:expr, $shape:expr) => {{
+            let e = objective($ts, $dt, $shape)?;
+            evals += 1;
+            if e.value < best {
+                best = e.value;
+                best_shape = $shape;
+            }
+            if let Some(s) = success_of(&e) {
+                return Ok(ShapedSearchResult {
+                    result: SearchResult {
+                        success: Some(s),
+                        evaluations: evals,
+                        converged: false,
+                        best_value: best,
+                    },
+                    shape: $shape,
+                });
+            }
+            e
+        }};
+    }
+
+    let mut current = probe!(ts, dt, shape);
+    let h_shape = 0.05 * bounds.span();
+
+    while evals + 3 <= budget {
+        let h = config.fd_step;
+        let e_ts = probe!(ts + h, dt, shape);
+        let e_dt = probe!(ts, dt + h, shape);
+        let e_sh = probe!(ts, dt, bounds.clamp(shape + h_shape));
+        let g_ts = (e_ts.value - current.value) / h;
+        let g_dt = (e_dt.value - current.value) / h;
+        let g_sh = (e_sh.value - current.value) / h_shape;
+
+        if !g_ts.is_finite() || !g_dt.is_finite() || !g_sh.is_finite() {
+            return Ok(ShapedSearchResult {
+                result: SearchResult {
+                    success: None,
+                    evaluations: evals,
+                    converged: true,
+                    best_value: best,
+                },
+                shape: best_shape,
+            });
+        }
+
+        let step_ts =
+            swarm_math::clamp(config.learning_rate * g_ts, -config.max_step, config.max_step);
+        let step_dt =
+            swarm_math::clamp(config.learning_rate * g_dt, -config.max_step, config.max_step);
+        // The shape axis lives on its own scale: trust-region it at a
+        // quarter of the feasible span per step.
+        let max_step_shape = 0.25 * bounds.span();
+        let step_sh =
+            swarm_math::clamp(config.learning_rate * g_sh, -max_step_shape, max_step_shape);
+        ts = (ts - step_ts).max(0.0);
+        dt = (dt - step_dt).max(0.0);
+        shape = bounds.clamp(shape - step_sh);
+        clamp_window(&mut ts, &mut dt, t_mission);
+
+        if evals >= budget {
+            break;
+        }
+        let next = probe!(ts, dt, shape);
+
+        let improvement = current.value - next.value;
+        current = next;
+        if improvement.abs() < config.tolerance {
+            return Ok(ShapedSearchResult {
+                result: SearchResult {
+                    success: None,
+                    evaluations: evals,
+                    converged: true,
+                    best_value: best,
+                },
+                shape: best_shape,
+            });
+        }
+    }
+
+    Ok(ShapedSearchResult {
+        result: SearchResult {
+            success: None,
+            evaluations: evals,
+            converged: false,
+            best_value: best,
+        },
+        shape: best_shape,
+    })
+}
+
+/// Random-sampling search over `(t_s, Δt, shape)`: window sampling matches
+/// [`random_search`], the shape is drawn uniformly from its bounds.
+///
+/// # Errors
+///
+/// Propagates the first [`FuzzError`] returned by `objective`.
+pub fn shaped_random_search<F>(
+    mut objective: F,
+    budget: usize,
+    t_mission: f64,
+    max_duration: f64,
+    bounds: &ShapeBounds,
+    rng: &mut StdRng,
+) -> Result<ShapedSearchResult, FuzzError>
+where
+    F: FnMut(f64, f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    let mut best = f64::INFINITY;
+    let mut best_shape = bounds.clamp(bounds.init);
+    for evals in 1..=budget {
+        let ts = if t_mission > WINDOW_MARGIN { rng.gen_range(0.0..t_mission) } else { 0.0 };
+        let lo = max_duration.clamp(0.0, 1.0);
+        let hi = max_duration.min(t_mission - ts - WINDOW_MARGIN).max(lo);
+        let dt = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        let dt = dt.min((t_mission - ts - WINDOW_MARGIN).max(0.0));
+        let shape =
+            if bounds.hi > bounds.lo { rng.gen_range(bounds.lo..bounds.hi) } else { bounds.lo };
+        let e = objective(ts, dt, shape)?;
+        if e.value < best {
+            best = e.value;
+            best_shape = shape;
+        }
+        if let Some(s) = success_of(&e) {
+            return Ok(ShapedSearchResult {
+                result: SearchResult {
+                    success: Some(s),
+                    evaluations: evals,
+                    converged: false,
+                    best_value: best,
+                },
+                shape,
+            });
+        }
+    }
+    Ok(ShapedSearchResult {
+        result: SearchResult {
+            success: None,
+            evaluations: budget,
+            converged: false,
+            best_value: best,
+        },
+        shape: best_shape,
+    })
+}
+
 /// Margin (seconds) kept between a sampled window end and the mission end so
 /// the timing constraint `t_s + Δt < t_mission` holds strictly.
 const WINDOW_MARGIN: f64 = 1e-6;
@@ -393,6 +598,99 @@ mod tests {
                 assert!(ts >= 0.0 && dt >= 0.0);
             }
         }
+    }
+
+    /// A synthetic shaped objective: the bowl of [`bowl`] plus a quadratic
+    /// shape term with minimum at `shape = 2.0`.
+    fn shaped_bowl(floor: f64) -> impl FnMut(f64, f64, f64) -> Result<Evaluation, FuzzError> {
+        move |ts: f64, dt: f64, shape: f64| {
+            let value =
+                floor + 0.02 * ((ts - 20.0).powi(2) + (dt - 10.0).powi(2)) + (shape - 2.0).powi(2);
+            let outcome = if value <= 0.0 {
+                EvalOutcome::SpvCollision { victim: DroneId(1), time: ts + dt }
+            } else {
+                EvalOutcome::NoCollision
+            };
+            Ok(Evaluation { value, outcome, start: ts, duration: dt })
+        }
+    }
+
+    #[test]
+    fn shaped_gradient_descends_all_three_axes() {
+        let bounds = ShapeBounds { lo: 0.0, hi: 6.0, init: 5.0 };
+        let r = shaped_gradient_search(
+            shaped_bowl(-2.0),
+            (15.0, 6.0),
+            80,
+            120.0,
+            &bounds,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        let s = r.result.success.expect("must reach the collision basin");
+        assert!((s.start - 20.0).abs() < 12.0);
+        assert!((r.shape - 2.0).abs() < 2.5, "shape={} should approach 2.0", r.shape);
+    }
+
+    #[test]
+    fn shaped_gradient_keeps_shape_inside_bounds() {
+        let bounds = ShapeBounds { lo: 1.0, hi: 3.0, init: 9.0 };
+        let mut shapes = Vec::new();
+        let r = shaped_gradient_search(
+            |ts, dt, s| {
+                shapes.push(s);
+                shaped_bowl(1.0)(ts, dt, s)
+            },
+            (20.0, 10.0),
+            30,
+            120.0,
+            &bounds,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        assert!(r.result.success.is_none());
+        assert!(shapes.iter().all(|&s| (1.0..=3.0).contains(&s)), "shapes={shapes:?}");
+        assert_eq!(shapes[0], 3.0, "out-of-bounds initial guess is clamped");
+    }
+
+    #[test]
+    fn shaped_random_samples_shape_from_bounds() {
+        let bounds = ShapeBounds { lo: 0.5, hi: 4.5, init: 1.0 };
+        let mut shapes = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = shaped_random_search(
+            |ts, dt, s| {
+                shapes.push(s);
+                shaped_bowl(5.0)(ts, dt, s)
+            },
+            100,
+            120.0,
+            30.0,
+            &bounds,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(r.result.evaluations, 100);
+        assert!(shapes.iter().all(|&s| (0.5..4.5).contains(&s)));
+        assert!(shapes.iter().any(|&s| s < 1.5) && shapes.iter().any(|&s| s > 3.5));
+    }
+
+    #[test]
+    fn shaped_searches_report_success_shape() {
+        // Collision only when the shape is near its optimum.
+        let objective = |ts: f64, dt: f64, s: f64| shaped_bowl(-0.5)(ts, dt, s);
+        let bounds = ShapeBounds { lo: 0.0, hi: 6.0, init: 2.0 };
+        let r = shaped_gradient_search(
+            objective,
+            (20.0, 10.0),
+            40,
+            120.0,
+            &bounds,
+            &GradientConfig::default(),
+        )
+        .unwrap();
+        assert!(r.result.success.is_some());
+        assert!((r.shape - 2.0).abs() < 1.0, "success shape {} near the optimum", r.shape);
     }
 
     #[test]

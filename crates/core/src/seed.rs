@@ -5,7 +5,7 @@
 //! `(t_s, Δt)` is found per seed by the search stage.
 
 use serde::{Deserialize, Serialize};
-use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::spoof::{SpoofDirection, WaveformKind};
 use swarm_sim::DroneId;
 
 /// One fuzzing seed `<T-V, θ>`.
@@ -23,6 +23,16 @@ pub struct Seed {
     /// The victim's closest distance to the obstacle in the no-attack run
     /// (the paper's VDO).
     pub victim_vdo: f64,
+    /// The attack class this seed will be searched with. Schedulers expand
+    /// each ranked `<T-V, θ>` pair into one seed per enabled class.
+    pub waveform: WaveformKind,
+}
+
+impl Seed {
+    /// A copy of this seed aimed at a different attack class.
+    pub fn with_waveform(self, waveform: WaveformKind) -> Seed {
+        Seed { waveform, ..self }
+    }
 }
 
 impl std::fmt::Display for Seed {
@@ -31,7 +41,11 @@ impl std::fmt::Display for Seed {
             f,
             "<{}-{}, {}> (influence {:.4}, VDO {:.2} m)",
             self.target, self.victim, self.direction, self.influence, self.victim_vdo
-        )
+        )?;
+        if self.waveform != WaveformKind::Constant {
+            write!(f, " [{}]", self.waveform)?;
+        }
+        Ok(())
     }
 }
 
@@ -103,6 +117,7 @@ mod tests {
             direction: SpoofDirection::Right,
             influence: 0.5,
             victim_vdo: 3.0,
+            waveform: WaveformKind::Constant,
         }
     }
 
@@ -127,5 +142,12 @@ mod tests {
         assert!(s.contains("drone1"));
         assert!(s.contains("drone4"));
         assert!(s.contains("right"));
+        assert!(!s.contains('['), "constant seeds display exactly as before the zoo");
+    }
+
+    #[test]
+    fn display_names_non_constant_waveforms() {
+        let s = seed(1, 4).with_waveform(WaveformKind::Circular).to_string();
+        assert!(s.contains("[circular]"), "{s}");
     }
 }

@@ -29,7 +29,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use swarm_math::rng::derive_seed;
-use swarm_sim::spoof::SpoofDirection;
+use swarm_sim::spoof::{SpoofDirection, Waveform, WaveformSet};
 use swarm_sim::DroneId;
 
 use crate::campaign::{CampaignConfig, MissionFailure, MissionResult, SwarmConfig};
@@ -160,6 +160,15 @@ pub fn campaign_fingerprint(campaign: &CampaignConfig, fuzzers: &[FuzzerConfig])
         h = derive_seed(h, f.initial_duration.to_bits());
         h = derive_seed(h, f.max_duration.to_bits());
         h = derive_seed(h, f.rng_seed);
+        // Mixed only when non-default so every pre-zoo journal keeps its
+        // fingerprint: a constant-only campaign is the same campaign it was
+        // before attack classes existed.
+        if f.waveforms != WaveformSet::default() {
+            h = mix_str(h, "waveforms");
+            for kind in f.waveforms.iter() {
+                h = mix_str(h, kind.name());
+            }
+        }
     }
     format!("{h:016x}")
 }
@@ -503,6 +512,24 @@ pub fn encode_row(row: &JournalRow) -> String {
                     push_field_f64(&mut out, "start", f.start);
                     push_field_f64(&mut out, "duration", f.duration);
                     push_field_f64(&mut out, "spoof_deviation", f.deviation);
+                    // Only non-constant waveforms emit their class: journals
+                    // written by constant-only campaigns stay byte-identical
+                    // to the pre-zoo format.
+                    match f.waveform {
+                        Waveform::Constant => {}
+                        Waveform::Drift { ramp } => {
+                            out.push_str(",\"waveform\":\"drift\"");
+                            push_field_f64(&mut out, "ramp", ramp);
+                        }
+                        Waveform::Circular { omega } => {
+                            out.push_str(",\"waveform\":\"circular\"");
+                            push_field_f64(&mut out, "omega", omega);
+                        }
+                        Waveform::Jump { period } => {
+                            out.push_str(",\"waveform\":\"jump\"");
+                            push_field_f64(&mut out, "period", period);
+                        }
+                    }
                     out.push_str(&format!(",\"actual_victim\":{}", f.actual_victim.0));
                     push_field_f64(&mut out, "collision_time", f.collision_time);
                     out.push('}');
@@ -538,6 +565,16 @@ fn decode_finding(j: &Json) -> Result<SpvFinding, String> {
         "right" => SpoofDirection::Right,
         other => return Err(format!("unknown direction {other:?}")),
     };
+    // Legacy rows carry no waveform field: they are constant-offset.
+    let waveform = match j.get("waveform").map(|w| w.str().ok_or("waveform must be a string")) {
+        None => Waveform::Constant,
+        Some(Err(e)) => return Err(e.to_string()),
+        Some(Ok("constant")) => Waveform::Constant,
+        Some(Ok("drift")) => Waveform::Drift { ramp: field(j, "ramp", Json::f64)? },
+        Some(Ok("circular")) => Waveform::Circular { omega: field(j, "omega", Json::f64)? },
+        Some(Ok("jump")) => Waveform::Jump { period: field(j, "period", Json::f64)? },
+        Some(Ok(other)) => return Err(format!("unknown waveform {other:?}")),
+    };
     Ok(SpvFinding {
         seed: Seed {
             target: DroneId(field(j, "target", Json::usize)?),
@@ -545,12 +582,14 @@ fn decode_finding(j: &Json) -> Result<SpvFinding, String> {
             direction,
             influence: field(j, "influence", Json::f64)?,
             victim_vdo: field(j, "victim_vdo", Json::f64)?,
+            waveform: waveform.kind(),
         },
         start: field(j, "start", Json::f64)?,
         duration: field(j, "duration", Json::f64)?,
         deviation: field(j, "spoof_deviation", Json::f64)?,
         actual_victim: DroneId(field(j, "actual_victim", Json::usize)?),
         collision_time: field(j, "collision_time", Json::f64)?,
+        waveform,
     })
 }
 
@@ -720,6 +759,7 @@ impl CampaignJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swarm_sim::spoof::WaveformKind;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -741,12 +781,14 @@ mod tests {
                     direction: SpoofDirection::Left,
                     influence: 0.1 + 0.2, // deliberately non-representable exactly
                     victim_vdo: 1e-300,
+                    waveform: WaveformKind::Constant,
                 },
                 start: 12.625,
                 duration: 7.3,
                 deviation: 10.0,
                 actual_victim: DroneId(2),
                 collision_time: 39.900000000000006,
+                waveform: Waveform::Constant,
             }),
             evaluations: 17,
             seeds_tried: 3,
@@ -777,6 +819,74 @@ mod tests {
                 assert_eq!(a.vdo.to_bits(), b.vdo.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn waveform_rows_round_trip_bit_identical() {
+        for waveform in [
+            Waveform::Drift { ramp: 3.5 },
+            Waveform::Circular { omega: 0.25 },
+            Waveform::Jump { period: 1.75 },
+            Waveform::Circular { omega: -0.0 },
+            Waveform::Jump { period: 5e-324 },
+        ] {
+            let mut result = sample_result(9, 1.5, true);
+            let finding = result.finding.as_mut().unwrap();
+            finding.waveform = waveform;
+            finding.seed.waveform = waveform.kind();
+            let row = JournalRow::Done { index: 1, result };
+            let line = encode_row(&row);
+            let back = decode_row(line.trim_end()).expect("waveform row must decode");
+            assert_eq!(row, back);
+            if let (JournalRow::Done { result: a, .. }, JournalRow::Done { result: b, .. }) =
+                (&row, &back)
+            {
+                let (fa, fb) = (a.finding.unwrap(), b.finding.unwrap());
+                assert_eq!(
+                    fa.waveform.shape().map(f64::to_bits),
+                    fb.waveform.shape().map(f64::to_bits)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rows_encode_without_waveform_fields() {
+        // Byte-compatibility with pre-zoo journals: the paper's attack must
+        // serialize exactly as it always did, so old journals resume and new
+        // constant-only journals stay readable by old builds.
+        let row = JournalRow::Done { index: 4, result: sample_result(11, 2.0, true) };
+        let line = encode_row(&row);
+        assert!(!line.contains("waveform"), "constant findings must not name their class: {line}");
+    }
+
+    #[test]
+    fn unknown_waveform_is_a_decode_error() {
+        let row = JournalRow::Done { index: 0, result: sample_result(1, 1.0, true) };
+        let line = encode_row(&row);
+        let corrupted = line
+            .trim_end()
+            .replace(",\"actual_victim\"", ",\"waveform\":\"teleport\",\"actual_victim\"");
+        let err = decode_row(&corrupted).unwrap_err();
+        assert!(err.contains("unknown waveform \"teleport\""), "got: {err}");
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_default_waveform_set() {
+        // Pre-zoo journals hashed no waveform information; a constant-only
+        // config must keep producing the identical fingerprint.
+        let campaign = CampaignConfig::paper_grid(10, 7);
+        let fuzzers: Vec<FuzzerConfig> =
+            campaign.configs.iter().map(|c| FuzzerConfig::swarmfuzz(c.deviation)).collect();
+        let base = campaign_fingerprint(&campaign, &fuzzers);
+
+        let explicit: Vec<FuzzerConfig> =
+            fuzzers.iter().map(|f| f.with_waveforms(WaveformSet::CONSTANT_ONLY)).collect();
+        assert_eq!(base, campaign_fingerprint(&campaign, &explicit));
+
+        let zoo: Vec<FuzzerConfig> =
+            fuzzers.iter().map(|f| f.with_waveforms(WaveformSet::all())).collect();
+        assert_ne!(base, campaign_fingerprint(&campaign, &zoo), "the class set is identity");
     }
 
     #[test]

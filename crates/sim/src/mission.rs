@@ -16,6 +16,7 @@ use swarm_math::{Vec2, Vec3};
 use crate::comms::CommsConfig;
 use crate::dynamics::DroneParams;
 use crate::sensors::GpsConfig;
+use crate::spoof::{AttackModel, AttackSpec};
 use crate::wind::WindConfig;
 use crate::world::{Obstacle, World};
 use crate::SimError;
@@ -262,6 +263,44 @@ impl MissionSpec {
         }
         Ok(())
     }
+
+    /// Validates an attack against this mission: the class constructors
+    /// already reject malformed parameters in isolation (negative amplitude,
+    /// ramp exceeding the window, non-positive jump period); this adds the
+    /// mission-relative checks — the target must exist and the spoofing
+    /// window must close before the mission does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidAttack`] (or the constructor's error,
+    /// re-derived) describing the first infeasibility found.
+    pub fn validate_attack(&self, attack: &AttackSpec) -> Result<(), SimError> {
+        // Re-run the constructor checks so a hand-built (all fields public)
+        // spec cannot smuggle parameters a constructor would have rejected.
+        AttackSpec::from_waveform(
+            attack.waveform(),
+            AttackModel::target(attack),
+            attack.direction(),
+            AttackModel::start(attack),
+            attack.duration(),
+            attack.deviation(),
+        )?;
+        let target = AttackModel::target(attack);
+        if target.index() >= self.swarm_size {
+            return Err(SimError::InvalidAttack(format!(
+                "target {target} outside the {}-drone swarm",
+                self.swarm_size
+            )));
+        }
+        let end = AttackModel::start(attack) + attack.duration();
+        if end > self.duration {
+            return Err(SimError::InvalidAttack(format!(
+                "attack window ends at t={end}, after the mission ends at t={}",
+                self.duration
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +312,109 @@ mod tests {
         for n in [1, 5, 10, 15] {
             MissionSpec::paper_delivery(n, 0).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn validate_attack_accepts_all_feasible_classes() {
+        use crate::spoof::Waveform;
+        use crate::DroneId;
+        let spec = MissionSpec::paper_delivery(5, 0);
+        for waveform in [
+            Waveform::Constant,
+            Waveform::Drift { ramp: 10.0 },
+            Waveform::Circular { omega: 1.0 },
+            Waveform::Jump { period: 2.0 },
+        ] {
+            let attack = AttackSpec::from_waveform(
+                waveform,
+                DroneId(2),
+                crate::spoof::SpoofDirection::Left,
+                20.0,
+                30.0,
+                10.0,
+            )
+            .unwrap();
+            spec.validate_attack(&attack).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_attack_rejects_negative_amplitude() {
+        use crate::spoof::{ConstantOffset, SpoofDirection};
+        use crate::DroneId;
+        let spec = MissionSpec::paper_delivery(5, 0);
+        // Built by hand: every field is public, so the constructor was never
+        // consulted.
+        let attack = AttackSpec::Constant(ConstantOffset {
+            target: DroneId(0),
+            direction: SpoofDirection::Left,
+            start: 0.0,
+            duration: 5.0,
+            deviation: -5.0,
+        });
+        let SimError::InvalidAttack(msg) = spec.validate_attack(&attack).unwrap_err() else {
+            panic!("wrong error kind")
+        };
+        assert_eq!(msg, "deviation must be finite and non-negative, got -5");
+    }
+
+    #[test]
+    fn validate_attack_rejects_ramp_exceeding_window() {
+        use crate::spoof::{RampDrift, SpoofDirection};
+        use crate::DroneId;
+        let spec = MissionSpec::paper_delivery(5, 0);
+        let attack = AttackSpec::Drift(RampDrift {
+            target: DroneId(0),
+            direction: SpoofDirection::Left,
+            start: 0.0,
+            duration: 5.0,
+            deviation: 5.0,
+            ramp: 6.0,
+        });
+        let SimError::InvalidAttack(msg) = spec.validate_attack(&attack).unwrap_err() else {
+            panic!("wrong error kind")
+        };
+        assert_eq!(msg, "ramp-in time 6 exceeds the attack window duration 5");
+    }
+
+    #[test]
+    fn validate_attack_rejects_window_past_mission_end() {
+        use crate::spoof::{SpoofDirection, Waveform};
+        use crate::DroneId;
+        let spec = MissionSpec::paper_delivery(5, 0); // duration 150 s
+        let attack = AttackSpec::from_waveform(
+            Waveform::Constant,
+            DroneId(0),
+            SpoofDirection::Left,
+            140.0,
+            20.0,
+            5.0,
+        )
+        .unwrap();
+        let SimError::InvalidAttack(msg) = spec.validate_attack(&attack).unwrap_err() else {
+            panic!("wrong error kind")
+        };
+        assert_eq!(msg, "attack window ends at t=160, after the mission ends at t=150");
+    }
+
+    #[test]
+    fn validate_attack_rejects_foreign_target() {
+        use crate::spoof::{SpoofDirection, Waveform};
+        use crate::DroneId;
+        let spec = MissionSpec::paper_delivery(3, 0);
+        let attack = AttackSpec::from_waveform(
+            Waveform::Jump { period: 1.0 },
+            DroneId(9),
+            SpoofDirection::Right,
+            0.0,
+            5.0,
+            5.0,
+        )
+        .unwrap();
+        let SimError::InvalidAttack(msg) = spec.validate_attack(&attack).unwrap_err() else {
+            panic!("wrong error kind")
+        };
+        assert_eq!(msg, "target drone9 outside the 3-drone swarm");
     }
 
     #[test]

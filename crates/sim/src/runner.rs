@@ -31,7 +31,7 @@ use crate::mission::MissionSpec;
 use crate::recorder::MissionRecord;
 use crate::sensors::GpsReceiver;
 use crate::spatial::{SpatialGrid, SpatialPolicy};
-use crate::spoof::SpoofingAttack;
+use crate::spoof::AttackModel;
 use crate::wind::Wind;
 use crate::world::World;
 use crate::{CollisionEvent, CollisionKind, DroneId, SimError};
@@ -388,7 +388,7 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
     ///
     /// Returns [`SimError::UnknownTarget`] when the attack targets a drone
     /// outside the swarm.
-    pub fn run(&self, attack: Option<&SpoofingAttack>) -> Result<MissionOutcome, SimError> {
+    pub fn run(&self, attack: Option<&dyn AttackModel>) -> Result<MissionOutcome, SimError> {
         self.run_observed(attack, None)
     }
 
@@ -401,7 +401,7 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
     /// Same conditions as [`Simulation::run`].
     pub fn run_observed(
         &self,
-        attack: Option<&SpoofingAttack>,
+        attack: Option<&dyn AttackModel>,
         observer: Option<&dyn SimObserver>,
     ) -> Result<MissionOutcome, SimError> {
         self.check_attack(attack)?;
@@ -415,11 +415,11 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
     }
 
     /// Rejects attacks that reference a drone outside the swarm.
-    fn check_attack(&self, attack: Option<&SpoofingAttack>) -> Result<(), SimError> {
+    fn check_attack(&self, attack: Option<&dyn AttackModel>) -> Result<(), SimError> {
         if let Some(a) = attack {
-            if a.target.index() >= self.spec.swarm_size {
+            if a.target().index() >= self.spec.swarm_size {
                 return Err(SimError::UnknownTarget {
-                    target: a.target,
+                    target: a.target(),
                     swarm_size: self.spec.swarm_size,
                 });
             }
@@ -462,7 +462,7 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
         &self,
         st: &mut SimState<D>,
         record: &mut MissionRecord,
-        attack: Option<&SpoofingAttack>,
+        attack: Option<&dyn AttackModel>,
         stop_before: Option<usize>,
         mut on_step: Option<StepHook<'_, D>>,
     ) {
@@ -536,7 +536,7 @@ impl<C: SwarmController, D: Dynamics> Simulation<C, D> {
                         continue;
                     }
                     let offset =
-                        attack.map(|a| a.offset_for(DroneId(d), t, axis)).unwrap_or(Vec3::ZERO);
+                        attack.and_then(|a| a.offset_at(t, DroneId(d), axis)).unwrap_or(Vec3::ZERO);
                     st.gps[d].sample(
                         st.states[d].position,
                         st.states[d].velocity,
@@ -919,7 +919,7 @@ impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
         &self,
         snapshot: &SimSnapshot<D>,
         prefix: MissionRecord,
-        attack: Option<&SpoofingAttack>,
+        attack: Option<&dyn AttackModel>,
         observer: Option<&dyn SimObserver>,
     ) -> Result<MissionOutcome, SimError> {
         self.check_attack(attack)?;
@@ -932,11 +932,11 @@ impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
             )));
         }
         if let Some(a) = attack {
-            if !snapshot.done && !snapshot.admits_attack_start(a.start) {
+            if !snapshot.done && !snapshot.admits_attack_start(a.start()) {
                 return Err(SimError::SnapshotMismatch(format!(
                     "attack starting at t={} opens inside the simulated prefix (snapshot at \
                      t={:.4})",
-                    a.start,
+                    a.start(),
                     snapshot.time()
                 )));
             }
@@ -961,7 +961,7 @@ impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
         &self,
         snapshot: &SimSnapshot<D>,
         source: &MissionRecord,
-        attack: Option<&SpoofingAttack>,
+        attack: Option<&dyn AttackModel>,
         observer: Option<&dyn SimObserver>,
     ) -> Result<MissionOutcome, SimError> {
         let prefix = self.prefix_record(snapshot, source)?;
@@ -978,7 +978,7 @@ impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
         &self,
         snapshot: &SimSnapshot<D>,
         source: &MissionRecord,
-        attack: Option<&SpoofingAttack>,
+        attack: Option<&dyn AttackModel>,
     ) -> Result<MissionOutcome, SimError> {
         self.resume_observed(snapshot, source, attack, None)
     }
@@ -995,7 +995,7 @@ impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
     /// Same conditions as [`Simulation::run`].
     pub fn run_observed_with_snapshots(
         &self,
-        attack: Option<&SpoofingAttack>,
+        attack: Option<&dyn AttackModel>,
         observer: Option<&dyn SimObserver>,
         mut should_capture: impl FnMut(usize) -> bool,
         mut sink: impl FnMut(SimSnapshot<D>),
@@ -1019,7 +1019,7 @@ impl<C: SwarmController, D: Dynamics + Clone> Simulation<C, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spoof::SpoofDirection;
+    use crate::spoof::{SpoofDirection, SpoofingAttack};
 
     /// Flies straight toward the destination at 2 m/s, ignoring everything.
     struct BeeLine;

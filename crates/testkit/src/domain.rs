@@ -8,7 +8,9 @@ use std::ops::RangeInclusive;
 use swarm_graph::DiGraph;
 use swarm_math::{Vec2, Vec3};
 use swarm_sim::mission::MissionSpec;
-use swarm_sim::spoof::{SpoofDirection, SpoofingAttack};
+use swarm_sim::spoof::{
+    AttackSpec, SpoofDirection, SpoofingAttack, Waveform, WaveformKind, WaveformSet,
+};
 use swarm_sim::DroneId;
 use swarmfuzz::campaign::{MissionFailure, MissionResult, SwarmConfig};
 use swarmfuzz::seed::Seed;
@@ -120,6 +122,64 @@ pub fn spoof_window(swarm_size: usize) -> Gen<SpoofingAttack> {
     })
 }
 
+/// An attack class. The zero choice decodes to `Constant` — the paper's
+/// attack and the natural shrink target for every zoo property.
+pub fn waveform_kind() -> Gen<WaveformKind> {
+    usize_in(0..=WaveformKind::ALL.len() - 1).map(|i| WaveformKind::ALL[i])
+}
+
+/// A parameterized waveform. Shrinks toward `Waveform::Constant` (class
+/// choice 0) and, within a class, toward a zero shape parameter.
+pub fn waveform() -> Gen<Waveform> {
+    zip2(&waveform_kind(), &interesting_f64()).map(|(kind, shape)| match kind {
+        WaveformKind::Constant => Waveform::Constant,
+        WaveformKind::Drift => Waveform::Drift { ramp: shape },
+        WaveformKind::Circular => Waveform::Circular { omega: shape },
+        WaveformKind::Jump => Waveform::Jump { period: shape },
+    })
+}
+
+/// A non-empty set of attack classes; the zero choice decodes to the
+/// default constant-only set.
+pub fn waveform_set() -> Gen<WaveformSet> {
+    usize_in(0..=15).map(|bits| {
+        let mut set = WaveformSet::CONSTANT_ONLY;
+        for (i, kind) in WaveformKind::ALL.into_iter().enumerate() {
+            if bits & (1 << i) != 0 {
+                set.insert(kind);
+            }
+        }
+        set
+    })
+}
+
+/// A feasible attack parameter vector `(class, amplitude, shape, window)`
+/// against a swarm of `swarm_size` drones: every generated spec passes
+/// `MissionSpec::validate_attack`'s shape checks by construction (ramp never
+/// exceeds the window, ω is non-negative, the jump period is positive).
+/// Shrinks toward a zero-amplitude `ConstantOffset` — the attack that
+/// provably does nothing.
+pub fn attack_spec(swarm_size: usize) -> Gen<AttackSpec> {
+    assert!(swarm_size > 0, "attack_spec needs a non-empty swarm");
+    zip4(
+        &waveform_kind(),
+        &zip2(&usize_in(0..=swarm_size - 1), &spoof_direction()),
+        &zip2(&f64_in(0.0, 150.0), &f64_in(0.0, 40.0)),
+        &zip2(&f64_in(0.0, 20.0), &f64_in(0.0, 1.0)),
+    )
+    .map(|(kind, (target, direction), (start, duration), (deviation, frac))| {
+        let waveform = match kind {
+            WaveformKind::Constant => Waveform::Constant,
+            // Ramp-in time as a fraction of the window can never exceed it.
+            WaveformKind::Drift => Waveform::Drift { ramp: frac * duration },
+            WaveformKind::Circular => Waveform::Circular { omega: frac * std::f64::consts::TAU },
+            WaveformKind::Jump => Waveform::Jump { period: 0.1 + frac * 9.9 },
+        };
+        AttackSpec::from_waveform(waveform, DroneId(target), direction, start, duration, deviation)
+            .expect("generated attack parameters are feasible by construction")
+    })
+}
+
 /// A fuzzer configuration across every strategy/centrality ablation.
 pub fn fuzzer_config() -> Gen<FuzzerConfig> {
     zip4(
@@ -132,10 +192,18 @@ pub fn fuzzer_config() -> Gen<FuzzerConfig> {
             CentralityKind::Closeness,
             CentralityKind::Betweenness,
         ]),
-        &zip4(&f64_in(1.0, 20.0), &usize_in(0..=40), &f64_in(1.0, 30.0), &u64_any()),
+        &zip2(
+            &zip4(&f64_in(1.0, 20.0), &usize_in(0..=40), &f64_in(1.0, 30.0), &u64_any()),
+            &waveform_set(),
+        ),
     )
     .map(
-        |(seed_strategy, search_strategy, centrality, (deviation, budget, lead, rng_seed))| {
+        |(
+            seed_strategy,
+            search_strategy,
+            centrality,
+            ((deviation, budget, lead, rng_seed), waveforms),
+        )| {
             FuzzerConfig {
                 seed_strategy,
                 search_strategy,
@@ -146,6 +214,7 @@ pub fn fuzzer_config() -> Gen<FuzzerConfig> {
                 initial_duration: 12.0,
                 max_duration: 30.0,
                 rng_seed,
+                waveforms,
             }
         },
     )
@@ -169,19 +238,26 @@ fn spv_finding() -> Gen<SpvFinding> {
         direction,
         influence,
         victim_vdo,
+        waveform: WaveformKind::Constant,
     });
-    zip3(
+    zip4(
         &seed,
         &zip3(&interesting_f64(), &interesting_f64(), &interesting_f64()),
         &zip2(&usize_in(0..=30), &interesting_f64()),
+        &waveform(),
     )
-    .map(|(seed, (start, duration, deviation), (victim, collision_time))| SpvFinding {
-        seed,
-        start,
-        duration,
-        deviation,
-        actual_victim: DroneId(victim),
-        collision_time,
+    .map(|(seed, (start, duration, deviation), (victim, collision_time), waveform)| {
+        SpvFinding {
+            // A finding's seed class always agrees with its waveform — the
+            // fuzzer constructs them in lockstep.
+            seed: Seed { waveform: waveform.kind(), ..seed },
+            start,
+            duration,
+            deviation,
+            actual_victim: DroneId(victim),
+            collision_time,
+            waveform,
+        }
     })
 }
 
@@ -260,6 +336,59 @@ mod tests {
         let rows = sample(&journal_row(), 4, 200);
         assert!(rows.iter().any(|r| matches!(r, JournalRow::Done { .. })));
         assert!(rows.iter().any(|r| matches!(r, JournalRow::Failed(_))));
+    }
+
+    #[test]
+    fn attack_specs_cover_every_class_and_stay_feasible() {
+        let specs = sample(&attack_spec(8), 6, 200);
+        for kind in WaveformKind::ALL {
+            assert!(
+                specs.iter().any(|a| a.waveform().kind() == kind),
+                "class {kind} must appear in 200 samples"
+            );
+        }
+        for a in &specs {
+            assert!((0.0..20.0).contains(&a.deviation()));
+            // Re-validating through the constructor proves the generated
+            // shape parameters are feasible.
+            use swarm_sim::spoof::AttackModel;
+            assert!(AttackSpec::from_waveform(
+                a.waveform(),
+                a.target(),
+                a.direction(),
+                a.start(),
+                a.duration(),
+                a.deviation(),
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn attack_spec_shrink_target_is_zero_amplitude_constant() {
+        // An all-zero tape is what every counterexample shrinks toward:
+        // it must decode to the attack that provably does nothing.
+        let mut src = Source::replay(Vec::new());
+        let a = attack_spec(5).generate(&mut src);
+        assert_eq!(a.waveform(), Waveform::Constant);
+        assert_eq!(a.deviation(), 0.0);
+        assert_eq!(a.duration(), 0.0);
+    }
+
+    #[test]
+    fn waveform_set_shrink_target_is_constant_only() {
+        let mut src = Source::replay(Vec::new());
+        assert_eq!(waveform_set().generate(&mut src), WaveformSet::CONSTANT_ONLY);
+        let sets = sample(&waveform_set(), 7, 100);
+        assert!(sets.iter().any(|s| s.len() == 4), "full zoo must appear");
+        assert!(sets.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn spv_findings_keep_seed_class_and_waveform_in_lockstep() {
+        for f in sample(&spv_finding(), 8, 200) {
+            assert_eq!(f.seed.waveform, f.waveform.kind());
+        }
     }
 
     #[test]

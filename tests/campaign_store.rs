@@ -7,6 +7,9 @@
 use std::path::{Path, PathBuf};
 
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::spoof::{Waveform, WaveformKind, WaveformSet};
+use swarm_testkit::domain::journal_row;
+use swarm_testkit::tk_ensure;
 use swarmfuzz::campaign::{
     run_campaign, run_campaign_with_options, CampaignConfig, CampaignReport, CampaignRunOptions,
     JournalSpec, SwarmConfig,
@@ -233,4 +236,142 @@ fn plain_run_campaign_tolerates_mission_failures() {
     let report = run_campaign(&poisoned_campaign(1), fuzzer).expect("must not abort");
     assert_eq!(report.missions.len(), 2);
     assert_eq!(report.failures.len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Attack-zoo journal compatibility (PR 6).
+//
+// The fingerprint and the journal bytes below were captured from the build
+// *before* the trait-based attack model landed. They are load-bearing: if
+// either pin breaks, pre-existing campaign journals stop resuming.
+// ---------------------------------------------------------------------------
+
+/// `campaign_fingerprint(tiny_campaign(1), eval-budget-2 SwarmFuzz fuzzers)`
+/// as computed by the pre-zoo build.
+const LEGACY_FINGERPRINT: &str = "42c0b349f486bc48";
+
+/// A complete journal of `tiny_campaign(1)`, byte-for-byte as the pre-zoo
+/// build wrote it.
+const LEGACY_JOURNAL: &str = "\
+{\"journal\":\"swarmfuzz-campaign\",\"version\":1,\"fingerprint\":\"42c0b349f486bc48\",\"variant\":\"SwarmFuzz\"}
+{\"row\":\"done\",\"swarm_size\":3,\"index\":0,\"deviation\":5,\"mission_seed\":10205086686246041181,\"vdo\":6.146235008480474,\"success\":false,\"evaluations\":2,\"seeds_tried\":1,\"finding\":null}
+{\"row\":\"done\",\"swarm_size\":3,\"index\":1,\"deviation\":5,\"mission_seed\":14188965969156172468,\"vdo\":4.721245670209976,\"success\":false,\"evaluations\":2,\"seeds_tried\":1,\"finding\":null}
+{\"row\":\"done\",\"swarm_size\":4,\"index\":0,\"deviation\":10,\"mission_seed\":7569999635669526324,\"vdo\":4.294559005101695,\"success\":false,\"evaluations\":2,\"seeds_tried\":1,\"finding\":null}
+{\"row\":\"done\",\"swarm_size\":4,\"index\":1,\"deviation\":10,\"mission_seed\":9560818598275023580,\"vdo\":5.396841492666718,\"success\":false,\"evaluations\":2,\"seeds_tried\":1,\"finding\":null}
+";
+
+#[test]
+fn campaign_fingerprint_is_pinned_to_the_pre_zoo_value() {
+    let campaign = tiny_campaign(1);
+    let fuzzers: Vec<FuzzerConfig> =
+        campaign.configs.iter().map(|c| *fuzzer(c.deviation).config()).collect();
+    assert_eq!(
+        swarmfuzz::store::campaign_fingerprint(&campaign, &fuzzers),
+        LEGACY_FINGERPRINT,
+        "constant-only campaigns must keep their pre-zoo fingerprint"
+    );
+}
+
+#[test]
+fn pre_zoo_journal_resumes_bit_identical() {
+    let dir = tmp_dir("legacy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("legacy.jsonl");
+    std::fs::write(&path, LEGACY_JOURNAL).unwrap();
+
+    let baseline = run_campaign(&tiny_campaign(1), fuzzer).expect("fresh run");
+    let telemetry = Telemetry::enabled(1);
+    let resumed =
+        run_journaled(&tiny_campaign(1), &path, true, &telemetry).expect("legacy journal resumes");
+    assert_eq!(baseline, resumed, "a pre-zoo journal must reproduce today's report exactly");
+    // Every mission was already journaled: nothing re-runs, nothing appends.
+    assert_eq!(telemetry.counter(Counter::ResumeSkips), 4);
+    assert_eq!(telemetry.counter(Counter::JournalAppends), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn constant_only_journal_bytes_match_the_pre_zoo_format() {
+    // Fresh journaled run of the same campaign: the file must be exactly
+    // what the pre-zoo build wrote (header line included).
+    let dir = tmp_dir("legacy-bytes");
+    let path = dir.join("fresh.jsonl");
+    run_journaled(&tiny_campaign(1), &path, false, &Telemetry::off()).expect("journaled run");
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(written, LEGACY_JOURNAL, "constant-only journals must stay byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_finding_row_still_decodes_as_constant() {
+    // Hand-written in the pre-zoo finding format (no waveform field).
+    let line = "{\"row\":\"done\",\"swarm_size\":5,\"index\":4,\"deviation\":10,\
+\"mission_seed\":99,\"vdo\":2.5,\"success\":true,\"evaluations\":17,\"seeds_tried\":3,\
+\"finding\":{\"target\":3,\"victim\":1,\"direction\":\"left\",\"influence\":0.25,\
+\"victim_vdo\":1.5,\"start\":12.625,\"duration\":7.3,\"spoof_deviation\":10,\
+\"actual_victim\":2,\"collision_time\":39.5}}";
+    let row = swarmfuzz::store::decode_row(line).expect("legacy finding row decodes");
+    let swarmfuzz::store::JournalRow::Done { result, .. } = row else {
+        panic!("expected a done row")
+    };
+    let finding = result.finding.expect("finding present");
+    assert_eq!(finding.waveform, Waveform::Constant);
+    assert_eq!(finding.seed.waveform, WaveformKind::Constant);
+    // And it re-encodes into the identical pre-zoo bytes.
+    let reencoded =
+        swarmfuzz::store::encode_row(&swarmfuzz::store::JournalRow::Done { index: 4, result });
+    assert_eq!(reencoded.trim_end(), line);
+}
+
+#[test]
+fn generated_attack_rows_round_trip_through_the_codec() {
+    // Property: every journal row the domain generator can produce — all
+    // four waveform classes, hostile floats, escaped strings — survives
+    // encode→decode bit-identically. Corpus-replayed before fresh cases.
+    swarm_testkit::check("campaign-store-attack-row-roundtrip", &journal_row(), |row| {
+        let line = swarmfuzz::store::encode_row(row);
+        let back = swarmfuzz::store::decode_row(line.trim_end())
+            .map_err(|e| format!("decode failed: {e}"))?;
+        tk_ensure!(row == &back, "row {row:?} decoded to {back:?}");
+        Ok(())
+    });
+}
+
+#[test]
+fn zoo_campaign_runs_all_classes_end_to_end() {
+    // `--attacks constant,drift,circular,jump` equivalent at the library
+    // level: the full zoo campaign completes, journals, and resumes.
+    let dir = tmp_dir("zoo-e2e");
+    let path = dir.join("zoo.jsonl");
+    let zoo_fuzzer = |d: f64| {
+        let config = FuzzerConfig { eval_budget: 8, ..FuzzerConfig::swarmfuzz(d) }
+            .with_waveforms(WaveformSet::all());
+        Fuzzer::new(controller(), config)
+    };
+    let full = run_campaign_with_options(
+        &tiny_campaign(2),
+        zoo_fuzzer,
+        &Telemetry::off(),
+        &journal_options(&path, false),
+    )
+    .expect("zoo campaign");
+    assert_eq!(full.missions.len(), 4);
+
+    // Its journal resumes bit-identically, like any other campaign.
+    kill_after(&path, 2);
+    let resumed = run_campaign_with_options(
+        &tiny_campaign(2),
+        zoo_fuzzer,
+        &Telemetry::off(),
+        &journal_options(&path, true),
+    )
+    .expect("zoo resume");
+    assert_eq!(full, resumed);
+
+    // And its fingerprint differs from the constant-only campaign's, so the
+    // two journal families can never be confused.
+    let err = run_journaled(&tiny_campaign(2), &path, true, &Telemetry::off())
+        .expect_err("constant-only resume must refuse a zoo journal");
+    assert!(matches!(err, FuzzError::Journal(StoreError::FingerprintMismatch { .. })));
+    std::fs::remove_dir_all(&dir).ok();
 }
