@@ -130,6 +130,38 @@ fn main() {
         );
     }
 
+    // Trace overhead on the fuzzing hot path: the same mission fuzzed with
+    // tracing off and with a ring sink attached (every probe, seed and
+    // gradient step recorded). Budget: < 2%.
+    {
+        use std::sync::Arc;
+        use swarmfuzz::trace::RingSink;
+        use swarmfuzz::{Fuzzer, FuzzerConfig, Trace};
+
+        let spec = MissionSpec::paper_delivery(5, 1);
+        let config = FuzzerConfig { eval_budget: 4, ..FuzzerConfig::swarmfuzz(10.0) };
+        let plain = bench("trace_overhead/off", 9, 1, || {
+            let fuzzer = Fuzzer::new(paper_controller(), config);
+            std::hint::black_box(fuzzer.fuzz(&spec).unwrap());
+        });
+        let ring = Arc::new(RingSink::new(1 << 14));
+        let sink = ring.clone();
+        let traced = bench("trace_overhead/ring", 9, 1, move || {
+            let fuzzer =
+                Fuzzer::new(paper_controller(), config).with_trace(Trace::new(sink.clone()));
+            std::hint::black_box(fuzzer.fuzz(&spec).unwrap());
+        });
+        let overhead = (traced - plain) / plain * 100.0;
+        println!(
+            "trace overhead: {overhead:+.2}% ({} events recorded per run batch)",
+            ring.total()
+        );
+        rows.push(vec!["trace_overhead/off".into(), format!("{plain:.0}")]);
+        rows.push(vec!["trace_overhead/ring".into(), format!("{traced:.0}")]);
+        rows.push(vec!["trace_overhead_pct".into(), format!("{overhead:.2}")]);
+        assert!(overhead < 2.0, "trace sink exceeded the 2% hot-path budget: {overhead:.2}%");
+    }
+
     let path = results_dir().join("micro.csv");
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).ok();

@@ -1,0 +1,38 @@
+//! Bench-trajectory guard: diffs every freshly regenerated metric-style CSV
+//! under `bench_results/` against the copy committed at `HEAD` and prints a
+//! per-metric delta table. Warn-only — benchmark numbers drift with the
+//! hardware the suite runs on, so drift belongs in the CI log, not the exit
+//! code. Run any bench first (e.g. `cargo bench --bench micro`) so there is
+//! a fresh CSV to compare; files without a committed counterpart or with a
+//! non-`metric,value` layout are skipped.
+
+use swarmfuzz_bench::{print_trajectory_diff, results_dir};
+
+/// Flag metrics whose magnitude moved more than this (percent).
+const WARN_PCT: f64 = 25.0;
+
+fn main() {
+    let dir = results_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.ends_with(".csv"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    if names.is_empty() {
+        println!(
+            "no CSVs under {} — run a bench first (e.g. cargo bench --bench micro)",
+            dir.display()
+        );
+        return;
+    }
+    let mut compared = 0usize;
+    for name in &names {
+        compared += print_trajectory_diff(name, WARN_PCT);
+    }
+    println!("\ncompared {compared} metrics across {} CSV file(s); warn-only", names.len());
+}

@@ -199,6 +199,102 @@ fn load_campaign_csv(path: &Path) -> Option<CampaignReport> {
     (missions.len() == expected).then_some(CampaignReport { missions, failures: Vec::new() })
 }
 
+/// One metric's committed-vs-fresh comparison from [`diff_against_committed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name (first CSV column).
+    pub metric: String,
+    /// Value committed at `HEAD`.
+    pub committed: f64,
+    /// Freshly regenerated value.
+    pub fresh: f64,
+}
+
+impl MetricDelta {
+    /// Relative change in percent (+ = fresh is larger/slower).
+    pub fn delta_pct(&self) -> f64 {
+        if self.committed == 0.0 {
+            if self.fresh == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.fresh - self.committed) / self.committed.abs() * 100.0
+        }
+    }
+}
+
+/// Parses a two-column `metric,value` CSV (header skipped) into ordered
+/// pairs; non-numeric values and malformed lines are dropped.
+pub fn parse_metric_csv(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (metric, value) = line.split_once(',')?;
+            Some((metric.to_string(), value.trim().parse::<f64>().ok()?))
+        })
+        .collect()
+}
+
+/// Diffs a freshly generated `bench_results/<name>` CSV against the copy
+/// committed at `HEAD` (via `git show`), returning one [`MetricDelta`] per
+/// metric present in both. Returns `None` when either side is unavailable
+/// (no fresh file, no committed copy, not a git checkout) — the trajectory
+/// guard is warn-only by design: benchmark numbers drift with hardware, so
+/// the deltas belong in the CI log, not in the exit code.
+pub fn diff_against_committed(name: &str) -> Option<Vec<MetricDelta>> {
+    let fresh_text = std::fs::read_to_string(results_dir().join(name)).ok()?;
+    let root = results_dir();
+    let root = root.parent()?;
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .arg("show")
+        .arg(format!("HEAD:bench_results/{name}"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let committed_text = String::from_utf8(out.stdout).ok()?;
+    let committed = parse_metric_csv(&committed_text);
+    let fresh: std::collections::HashMap<String, f64> =
+        parse_metric_csv(&fresh_text).into_iter().collect();
+    Some(
+        committed
+            .into_iter()
+            .filter_map(|(metric, committed)| {
+                let fresh = *fresh.get(&metric)?;
+                Some(MetricDelta { metric, committed, fresh })
+            })
+            .collect(),
+    )
+}
+
+/// Prints the [`diff_against_committed`] table for `name`, flagging metrics
+/// whose magnitude moved by more than `warn_pct`. Returns how many metrics
+/// were compared (0 = nothing to compare). Never fails the process.
+pub fn print_trajectory_diff(name: &str, warn_pct: f64) -> usize {
+    let Some(deltas) = diff_against_committed(name) else {
+        println!("[bench-diff] {name}: no committed/fresh pair to compare, skipping");
+        return 0;
+    };
+    if deltas.is_empty() {
+        // Not a `metric,value` CSV (campaign caches, figure data, ...).
+        println!("[bench-diff] {name}: no comparable metrics, skipping");
+        return 0;
+    }
+    println!("\n=== bench trajectory: {name} (vs HEAD) ===");
+    println!("{:<44} {:>14} {:>14} {:>9}", "metric", "committed", "fresh", "delta");
+    for d in &deltas {
+        let pct = d.delta_pct();
+        let flag = if pct.abs() > warn_pct { "  <-- WARN" } else { "" };
+        println!("{:<44} {:>14.2} {:>14.2} {:>+8.1}%{flag}", d.metric, d.committed, d.fresh, pct);
+    }
+    deltas.len()
+}
+
 /// Formats a success rate as the paper prints it ("49%").
 pub fn percent(x: f64) -> String {
     format!("{:.0}%", x * 100.0)
@@ -245,5 +341,28 @@ mod tests {
     fn env_overrides_missions() {
         // No env set in tests: default applies.
         assert!(missions_per_config() >= 1);
+    }
+
+    #[test]
+    fn metric_csv_parses_and_skips_garbage() {
+        let rows = parse_metric_csv(
+            "benchmark,ns_per_iter\npagerank/5,1200\nbroken-line\nno_value,\nsvg/15,88.5\n",
+        );
+        assert_eq!(rows, vec![("pagerank/5".into(), 1200.0), ("svg/15".into(), 88.5)]);
+    }
+
+    #[test]
+    fn delta_pct_handles_zero_baselines() {
+        let d = |committed, fresh| MetricDelta { metric: "m".into(), committed, fresh };
+        assert_eq!(d(100.0, 110.0).delta_pct(), 10.0);
+        assert_eq!(d(100.0, 90.0).delta_pct(), -10.0);
+        assert_eq!(d(0.0, 0.0).delta_pct(), 0.0);
+        assert!(d(0.0, 5.0).delta_pct().is_infinite());
+    }
+
+    #[test]
+    fn missing_files_are_a_skip_not_a_failure() {
+        assert_eq!(diff_against_committed("definitely-not-a-bench.csv"), None);
+        assert_eq!(print_trajectory_diff("definitely-not-a-bench.csv", 10.0), 0);
     }
 }

@@ -16,16 +16,22 @@ mod parse;
 
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use parse::{
-    AuditOpts, BaselineOpts, CampaignOpts, Command, ParseError, ReplayOpts, StressOpts,
-    TelemetryMode,
+    AuditOpts, BaselineOpts, CampaignOpts, Command, DashboardOpts, ParseError, ReplayOpts,
+    StressOpts, TelemetryMode, TraceMode,
 };
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::spoof::SpoofingAttack;
 use swarm_sim::{DroneId, Simulation};
-use swarmfuzz::campaign::{run_campaign_with_options, CampaignConfig, CampaignRunOptions};
-use swarmfuzz::{FuzzError, Fuzzer, FuzzerConfig, Telemetry};
+use swarmfuzz::campaign::{
+    report_from_rows, run_campaign_traced, CampaignConfig, CampaignRunOptions,
+};
+use swarmfuzz::dashboard::render_dashboard;
+use swarmfuzz::trace::{chrome_trace, parse_ndjson, FileSink, ProgressSink, RingSink, TeeSink};
+use swarmfuzz::{CampaignJournal, FuzzError, Fuzzer, FuzzerConfig, Telemetry, Trace, TraceSink};
 
 const USAGE: &str = "\
 swarmfuzz — discover GPS-spoofing attacks in drone swarms (DSN'23 reproduction)
@@ -42,6 +48,11 @@ COMMANDS:
                 --journal PATH (off)  --resume yes|no (no)  --retries N (1)
                 --snapshot on|off (on)  --telemetry off|summary|json (off)
                 --attacks constant,drift,circular,jump (constant)
+                --trace off|ring|FILE (off)  --progress off|every-N (off)
+    dashboard render a campaign journal (+ optional trace) as one
+              self-contained HTML file, no external assets
+                --journal PATH  --trace PATH (off)  --out PATH (dashboard.html)
+                --chrome PATH (off, Chrome trace-event JSON, needs --trace)
     baseline  fly one mission without any attack and print statistics
                 --drones N (10)  --seed S (0)
     replay    replay a specific spoofing attack and report the outcome
@@ -98,6 +109,7 @@ fn main() -> ExitCode {
     let result = match command {
         Command::Audit(opts) => cmd_audit(&opts),
         Command::Campaign(opts) => cmd_campaign(&opts),
+        Command::Dashboard(opts) => cmd_dashboard(&opts),
         Command::Baseline(opts) => cmd_baseline(&opts),
         Command::Replay(opts) => cmd_replay(&opts),
         Command::Stress(opts) => cmd_stress(&opts),
@@ -227,13 +239,41 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
         constant_via_trait: false,
     };
     let attacks = opts.attacks;
-    let report = run_campaign_with_options(
+
+    // Trace sinks are observational and live outside `CampaignRunOptions`
+    // (which participates in journal fingerprints).
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    let mut file_sink: Option<Arc<FileSink>> = None;
+    match &opts.trace {
+        TraceMode::Off => {}
+        TraceMode::Ring => sinks.push(Arc::new(RingSink::new(1 << 16))),
+        TraceMode::File(path) => {
+            let sink =
+                Arc::new(FileSink::create(path).map_err(|e| CliError::Other(e.to_string()))?);
+            file_sink = Some(sink.clone());
+            sinks.push(sink);
+        }
+    }
+    if opts.progress > 0 {
+        sinks.push(Arc::new(ProgressSink::new(opts.progress)));
+    }
+    let trace = match sinks.len() {
+        0 => Trace::off(),
+        1 => Trace::new(sinks.pop().expect("one sink")),
+        _ => Trace::new(Arc::new(TeeSink::new(sinks))),
+    };
+
+    let report = run_campaign_traced(
         &campaign,
         |d| Fuzzer::new(ctrl, FuzzerConfig::swarmfuzz(d).with_waveforms(attacks)),
         &telemetry,
         &options,
+        &trace,
     )
     .map_err(CliError::Fuzz)?;
+    if let Some(sink) = file_sink {
+        sink.finish().map_err(|e| CliError::Other(e.to_string()))?;
+    }
     human_line(mode, format_args!("config\tsuccess\tavg_iterations\tmissions"));
     for &config in &campaign.configs {
         human_line(
@@ -262,6 +302,57 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
         eprint!("{summary}");
     }
     emit_telemetry(mode, &telemetry);
+    Ok(())
+}
+
+/// Renders a journal (and optional NDJSON trace) into one self-contained
+/// HTML file; with `--chrome` also exports a Chrome trace-event JSON.
+fn cmd_dashboard(opts: &DashboardOpts) -> Result<(), CliError> {
+    let contents =
+        CampaignJournal::read(&opts.journal).map_err(|e| CliError::Other(e.to_string()))?;
+    let report = report_from_rows(contents.rows);
+
+    // Table rows follow the distinct configurations present in the journal,
+    // in the campaign's canonical order (the rows are already sorted).
+    let mut configs = Vec::new();
+    for m in &report.missions {
+        if !configs.contains(&m.config) {
+            configs.push(m.config);
+        }
+    }
+    for f in &report.failures {
+        if !configs.contains(&f.config) {
+            configs.push(f.config);
+        }
+    }
+
+    let mut records = Vec::new();
+    if let Some(path) = &opts.trace {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Other(format!("{}: {e}", path.display())))?;
+        records =
+            parse_ndjson(&text).map_err(|e| CliError::Other(format!("{}: {e}", path.display())))?;
+    }
+
+    let title = format!("swarmfuzz campaign — {}", opts.journal.display());
+    let html = render_dashboard(&report, &configs, &records, &title);
+    swarmfuzz::store::atomic_write(&opts.out, &html)
+        .map_err(|e| CliError::Other(format!("{}: {e}", opts.out.display())))?;
+    println!(
+        "dashboard: {} ({} missions, {} failures, {} trace events) -> {}",
+        opts.journal.display(),
+        report.missions.len(),
+        report.failures.len(),
+        records.len(),
+        opts.out.display()
+    );
+
+    if let Some(chrome) = &opts.chrome {
+        let json = chrome_trace(&records);
+        swarmfuzz::store::atomic_write(chrome, &json)
+            .map_err(|e| CliError::Other(format!("{}: {e}", chrome.display())))?;
+        println!("chrome trace: {} ({} events)", chrome.display(), records.len());
+    }
     Ok(())
 }
 

@@ -8,6 +8,7 @@
 //! only dispatches on the result.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use swarm_sim::spoof::{SpoofDirection, WaveformSet};
 use swarm_sim::SpatialPolicy;
@@ -56,6 +57,18 @@ impl From<ArgError> for ParseError {
     }
 }
 
+/// Where `--trace` sends the campaign's structured event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No tracing (the default; zero overhead).
+    Off,
+    /// In-memory ring buffer — events are collected but not persisted;
+    /// useful to exercise the trace path without touching disk.
+    Ring,
+    /// NDJSON stream appended to the given file.
+    File(PathBuf),
+}
+
 /// `swarmfuzz audit` options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuditOpts {
@@ -76,6 +89,22 @@ pub struct CampaignOpts {
     pub snapshot: bool,
     pub attacks: WaveformSet,
     pub telemetry: TelemetryMode,
+    pub trace: TraceMode,
+    /// Print a progress line every N finished missions (0 = off).
+    pub progress: u64,
+}
+
+/// `swarmfuzz dashboard` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DashboardOpts {
+    /// Campaign journal to render.
+    pub journal: PathBuf,
+    /// Optional NDJSON trace (enables trajectory and effort sections).
+    pub trace: Option<PathBuf>,
+    /// Output HTML path.
+    pub out: PathBuf,
+    /// Also export a Chrome trace-event JSON (requires `--trace`).
+    pub chrome: Option<PathBuf>,
 }
 
 /// `swarmfuzz baseline` options.
@@ -113,6 +142,7 @@ pub struct StressOpts {
 pub enum Command {
     Audit(AuditOpts),
     Campaign(CampaignOpts),
+    Dashboard(DashboardOpts),
     Baseline(BaselineOpts),
     Replay(ReplayOpts),
     Stress(StressOpts),
@@ -131,6 +161,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Pa
     match command.as_str() {
         "audit" => parse_audit(&args).map(Command::Audit),
         "campaign" => parse_campaign(&args).map(Command::Campaign),
+        "dashboard" => parse_dashboard(&args).map(Command::Dashboard),
         "baseline" => parse_baseline(&args).map(Command::Baseline),
         "replay" => parse_replay(&args).map(Command::Replay),
         "stress" => parse_stress(&args).map(Command::Stress),
@@ -195,6 +226,8 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
             "snapshot",
             "attacks",
             "telemetry",
+            "trace",
+            "progress",
         ],
     )?;
     let resume = yes_no(args, "resume")?;
@@ -217,6 +250,26 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
             WaveformSet::parse(list).map_err(|e| ParseError::Invalid(format!("--attacks: {e}")))?
         }
     };
+    let trace = match args.raw("trace") {
+        None | Some("off") => TraceMode::Off,
+        Some("ring") => TraceMode::Ring,
+        Some(path) => TraceMode::File(path.into()),
+    };
+    let progress = match args.raw("progress") {
+        None | Some("off") => 0,
+        Some(v) => v
+            .strip_prefix("every-")
+            .unwrap_or(v)
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| {
+                ParseError::Invalid(format!(
+                    "--progress must be 'off' or a positive mission count like 'every-25', \
+                     got {v:?}"
+                ))
+            })?,
+    };
     Ok(CampaignOpts {
         missions: args.get_or("missions", 20)?,
         workers: args.get_or(
@@ -228,6 +281,27 @@ fn parse_campaign(args: &Args) -> Result<CampaignOpts, ParseError> {
         snapshot,
         attacks,
         telemetry: telemetry_mode(args)?,
+        trace,
+        progress,
+    })
+}
+
+fn parse_dashboard(args: &Args) -> Result<DashboardOpts, ParseError> {
+    reject_unknown_flags(args, "dashboard", &["journal", "trace", "out", "chrome"])?;
+    let journal: PathBuf = args
+        .raw("journal")
+        .ok_or_else(|| ParseError::Arg(ArgError::Required("--journal".into())))?
+        .into();
+    let trace: Option<PathBuf> = args.raw("trace").map(PathBuf::from);
+    let chrome: Option<PathBuf> = args.raw("chrome").map(PathBuf::from);
+    if chrome.is_some() && trace.is_none() {
+        return Err(ParseError::Invalid("--chrome PATH requires --trace PATH".into()));
+    }
+    Ok(DashboardOpts {
+        journal,
+        trace,
+        out: args.raw("out").map_or_else(|| "dashboard.html".into(), PathBuf::from),
+        chrome,
     })
 }
 
@@ -444,6 +518,74 @@ mod tests {
         assert_eq!(err.to_string(), "--resume yes requires --journal PATH");
         // `--resume no` without a journal stays fine.
         assert!(matches!(parse("campaign --resume no"), Ok(Command::Campaign(_))));
+    }
+
+    #[test]
+    fn campaign_trace_flag_modes() {
+        let Ok(Command::Campaign(opts)) = parse("campaign") else { panic!("campaign must parse") };
+        assert_eq!(opts.trace, TraceMode::Off, "tracing defaults to off");
+        assert_eq!(opts.progress, 0, "progress lines default to off");
+
+        let Ok(Command::Campaign(opts)) = parse("campaign --trace ring") else {
+            panic!("--trace ring must parse")
+        };
+        assert_eq!(opts.trace, TraceMode::Ring);
+
+        let Ok(Command::Campaign(opts)) = parse("campaign --trace out/trace.ndjson") else {
+            panic!("--trace PATH must parse")
+        };
+        assert_eq!(opts.trace, TraceMode::File(PathBuf::from("out/trace.ndjson")));
+    }
+
+    #[test]
+    fn campaign_progress_accepts_plain_and_every_n() {
+        let Ok(Command::Campaign(opts)) = parse("campaign --progress 25") else {
+            panic!("--progress 25 must parse")
+        };
+        assert_eq!(opts.progress, 25);
+        let Ok(Command::Campaign(opts)) = parse("campaign --progress every-10") else {
+            panic!("--progress every-10 must parse")
+        };
+        assert_eq!(opts.progress, 10);
+        let err = parse("campaign --progress every-zero").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "--progress must be 'off' or a positive mission count like 'every-25', \
+             got \"every-zero\""
+        );
+        let err = parse("campaign --progress 0").unwrap_err();
+        assert!(err.to_string().starts_with("--progress must be"));
+    }
+
+    #[test]
+    fn dashboard_requires_a_journal() {
+        let err = parse("dashboard").unwrap_err();
+        assert_eq!(err, ParseError::Arg(ArgError::Required("--journal".into())));
+
+        let Ok(Command::Dashboard(opts)) = parse("dashboard --journal c.jsonl") else {
+            panic!("dashboard must parse")
+        };
+        assert_eq!(opts.journal, PathBuf::from("c.jsonl"));
+        assert_eq!(opts.trace, None);
+        assert_eq!(opts.out, PathBuf::from("dashboard.html"));
+        assert_eq!(opts.chrome, None);
+    }
+
+    #[test]
+    fn dashboard_full_flag_set_and_chrome_dependency() {
+        let Ok(Command::Dashboard(opts)) =
+            parse("dashboard --journal c.jsonl --trace t.ndjson --out report.html --chrome t.json")
+        else {
+            panic!("dashboard must parse")
+        };
+        assert_eq!(opts.trace, Some(PathBuf::from("t.ndjson")));
+        assert_eq!(opts.out, PathBuf::from("report.html"));
+        assert_eq!(opts.chrome, Some(PathBuf::from("t.json")));
+
+        let err = parse("dashboard --journal c.jsonl --chrome t.json").unwrap_err();
+        assert_eq!(err.to_string(), "--chrome PATH requires --trace PATH");
+        let err = parse("dashboard --journal c.jsonl --missions 3").unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --missions for 'dashboard'");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::fuzzer::{Fuzzer, FuzzerConfig, SpvFinding};
 use crate::snapshot::SnapshotCache;
 use crate::store::{campaign_fingerprint, CampaignJournal, JournalRow};
 use crate::telemetry::{Counter, Telemetry};
+use crate::trace::{Trace, TraceEvent, TraceKey};
 use crate::FuzzError;
 
 /// One swarm configuration of the evaluation grid.
@@ -295,6 +296,33 @@ where
     C: SwarmController + Clone + Send + 'static,
     F: Fn(f64) -> Fuzzer<C> + Sync,
 {
+    run_campaign_traced(campaign, make_fuzzer, telemetry, options, &Trace::off())
+}
+
+/// [`run_campaign_with_options`] with a structured trace handle attached to
+/// every worker's fuzzer (see [`crate::trace`]).
+///
+/// The trace is a separate parameter — not a [`CampaignRunOptions`] field —
+/// because options participate in equality/fingerprint comparisons while a
+/// trace is purely observational: the returned [`CampaignReport`] is
+/// bit-identical with any sink attached (gated by `tests/campaign_trace.rs`),
+/// and since every event is keyed by logical time only, the trace itself is
+/// byte-identical across worker counts after a sequence-sort.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign_with_options`].
+pub fn run_campaign_traced<C, F>(
+    campaign: &CampaignConfig,
+    make_fuzzer: F,
+    telemetry: &Telemetry,
+    options: &CampaignRunOptions,
+    trace: &Trace,
+) -> Result<CampaignReport, FuzzError>
+where
+    C: SwarmController + Clone + Send + 'static,
+    F: Fn(f64) -> Fuzzer<C> + Sync,
+{
     // Work items: (config, mission index).
     let all_jobs: Vec<(SwarmConfig, usize)> = campaign
         .configs
@@ -332,6 +360,16 @@ where
         }
     }
     telemetry.add(Counter::ResumeSkips, completed.len() as u64);
+    trace.emit(TraceEvent::CampaignStart {
+        configs: campaign.configs.len(),
+        missions_per_config: campaign.missions_per_config,
+    });
+    // One event per resume-skipped job, under the job's own (fresh) scope:
+    // the skip set is a function of journal content alone, so the trace
+    // stays worker-count-independent.
+    for &(size, dev_bits, index) in &completed {
+        trace.scoped_bits(size as u64, dev_bits, index as u64).emit(TraceEvent::ResumeSkip);
+    }
 
     let jobs: Vec<(SwarmConfig, usize)> = all_jobs
         .into_iter()
@@ -358,17 +396,23 @@ where
             let make_fuzzer = &make_fuzzer;
             let campaign = &campaign;
             let telemetry = telemetry.clone();
+            let trace = trace.clone();
             let max_retries = options.max_retries;
             let constant_via_trait = options.constant_via_trait;
             let snapshot_cache = snapshot_cache.clone();
             scope.spawn(move || {
                 while let Ok((config, index)) = job_rx.recv() {
+                    // One scoped handle per mission: every event of this
+                    // mission is keyed by its grid coordinates plus a fresh
+                    // sequence counter, independent of which worker drew it.
+                    let mission_trace = trace.scoped(config.swarm_size, config.deviation, index);
                     let row = fuzz_one_isolated(
                         campaign,
                         config,
                         index,
                         make_fuzzer,
                         &telemetry,
+                        &mission_trace,
                         max_retries,
                         snapshot_cache.as_ref(),
                         constant_via_trait,
@@ -398,6 +442,24 @@ where
                     break;
                 }
                 telemetry.incr(Counter::JournalAppends);
+                // Keyed at the job's coordinates with the sentinel sequence
+                // number, so the marker sorts after every mission event and
+                // is independent of collector arrival order.
+                let (size, dev_bits, index) = row.job_key();
+                trace.emit_at(
+                    TraceKey {
+                        swarm_size: size as u64,
+                        deviation_bits: dev_bits,
+                        index: index as u64,
+                        seq: u64::MAX,
+                    },
+                    TraceEvent::JournalAppend {
+                        row: match &row {
+                            JournalRow::Done { .. } => "done".to_string(),
+                            JournalRow::Failed(_) => "failed".to_string(),
+                        },
+                    },
+                );
             }
             rows.push(row);
         }
@@ -409,32 +471,49 @@ where
             return Err(e.into());
         }
 
-        let mut missions = Vec::new();
-        let mut failures = Vec::new();
-        for row in rows {
-            match row {
-                JournalRow::Done { result, .. } => missions.push(result),
-                JournalRow::Failed(f) => failures.push(f),
-            }
-        }
-        // Deterministic order regardless of thread scheduling (and of the
-        // journaled-vs-recomputed split on resume).
-        missions.sort_by(|a, b| {
-            a.config
-                .swarm_size
-                .cmp(&b.config.swarm_size)
-                .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
-                .then_with(|| a.mission_seed.cmp(&b.mission_seed))
-        });
-        failures.sort_by(|a, b| {
-            a.config
-                .swarm_size
-                .cmp(&b.config.swarm_size)
-                .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
-                .then_with(|| a.index.cmp(&b.index))
-        });
-        Ok(CampaignReport { missions, failures })
+        let report = report_from_rows(rows);
+        trace.emit_at(
+            TraceKey { swarm_size: u64::MAX, deviation_bits: 0, index: 0, seq: 0 },
+            TraceEvent::CampaignEnd {
+                missions: report.missions.len(),
+                failures: report.failures.len(),
+            },
+        );
+        trace.flush();
+        Ok(report)
     })
+}
+
+/// Rebuilds a [`CampaignReport`] from journal rows with the same
+/// deterministic sort a live campaign applies — `swarmfuzz dashboard` uses
+/// this to reconstruct a report from a journal alone, and the resulting
+/// report is bit-identical to the one the original run returned.
+pub fn report_from_rows(rows: Vec<JournalRow>) -> CampaignReport {
+    let mut missions = Vec::new();
+    let mut failures = Vec::new();
+    for row in rows {
+        match row {
+            JournalRow::Done { result, .. } => missions.push(result),
+            JournalRow::Failed(f) => failures.push(f),
+        }
+    }
+    // Deterministic order regardless of thread scheduling (and of the
+    // journaled-vs-recomputed split on resume).
+    missions.sort_by(|a, b| {
+        a.config
+            .swarm_size
+            .cmp(&b.config.swarm_size)
+            .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
+            .then_with(|| a.mission_seed.cmp(&b.mission_seed))
+    });
+    failures.sort_by(|a, b| {
+        a.config
+            .swarm_size
+            .cmp(&b.config.swarm_size)
+            .then_with(|| a.config.deviation.total_cmp(&b.config.deviation))
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    CampaignReport { missions, failures }
 }
 
 /// Runs one mission with bounded retries; an error after the last retry is
@@ -446,6 +525,7 @@ fn fuzz_one_isolated<C, F>(
     index: usize,
     make_fuzzer: &F,
     telemetry: &Telemetry,
+    trace: &Trace,
     max_retries: usize,
     snapshot_cache: Option<&SnapshotCache>,
     constant_via_trait: bool,
@@ -462,33 +542,34 @@ where
             index,
             make_fuzzer,
             telemetry,
+            trace,
             snapshot_cache,
             constant_via_trait,
         ) {
             Ok(result) => return JournalRow::Done { index, result },
-            Err(_) if retries < max_retries => {
+            Err(e) if retries < max_retries => {
                 retries += 1;
                 telemetry.incr(Counter::MissionRetries);
+                trace.emit(TraceEvent::MissionRetry { attempt: retries, error: e.to_string() });
             }
             Err(e) => {
                 telemetry.incr(Counter::MissionFailures);
-                return JournalRow::Failed(MissionFailure {
-                    config,
-                    index,
-                    error: e.to_string(),
-                    retries,
-                });
+                let error = e.to_string();
+                trace.emit(TraceEvent::MissionFailed { error: error.clone(), retries });
+                return JournalRow::Failed(MissionFailure { config, index, error, retries });
             }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fuzz_one<C, F>(
     campaign: &CampaignConfig,
     config: SwarmConfig,
     index: usize,
     make_fuzzer: &F,
     telemetry: &Telemetry,
+    trace: &Trace,
     snapshot_cache: Option<&SnapshotCache>,
     constant_via_trait: bool,
 ) -> Result<MissionResult, FuzzError>
@@ -498,6 +579,7 @@ where
 {
     let mut fuzzer = make_fuzzer(config.deviation)
         .with_telemetry(telemetry.clone())
+        .with_trace(trace.clone())
         .with_snapshots(snapshot_cache.is_some())
         .with_constant_via_trait(constant_via_trait);
     if let Some(cache) = snapshot_cache {

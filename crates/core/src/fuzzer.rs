@@ -29,15 +29,18 @@ use swarm_sim::spoof::{Waveform, WaveformKind, WaveformSet};
 use swarm_sim::{DroneId, MissionOutcome, SimObserver, Simulation, SwarmController};
 
 use crate::objective::Objective;
-use crate::schedule::{expand_waveforms, random_schedule, svg_schedule_instrumented};
+use crate::schedule::{
+    expand_waveforms, random_schedule, svg_schedule_instrumented, trace_schedule,
+};
 use crate::search::{
-    gradient_search, random_search, shaped_gradient_search, shaped_random_search, GradientConfig,
-    SearchResult, ShapeBounds,
+    gradient_search_traced, random_search, shaped_gradient_search_traced, shaped_random_search,
+    GradientConfig, SearchResult, ShapeBounds,
 };
 use crate::seed::Seed;
 use crate::snapshot::{cache_key, MissionCache, SnapshotCache, SnapshotRing};
 use crate::svg::CentralityKind;
 use crate::telemetry::{Counter, Phase, Telemetry};
+use crate::trace::{Trace, TraceEvent};
 use crate::FuzzError;
 
 /// How seeds are ordered for fuzzing.
@@ -201,6 +204,7 @@ pub struct Fuzzer<C> {
     controller: C,
     config: FuzzerConfig,
     telemetry: Telemetry,
+    trace: Trace,
     snapshots: bool,
     snapshot_cache: Option<SnapshotCache>,
     constant_via_trait: bool,
@@ -215,10 +219,22 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             controller,
             config,
             telemetry: Telemetry::off(),
+            trace: Trace::off(),
             snapshots: true,
             snapshot_cache: None,
             constant_via_trait: false,
         }
+    }
+
+    /// Attaches a structured trace handle recording typed pipeline events
+    /// (probes, gradient steps, seed rankings — see [`crate::trace`]).
+    ///
+    /// Like [`Fuzzer::with_telemetry`], tracing is purely observational and
+    /// deliberately not part of [`FuzzerConfig`]: the returned
+    /// [`FuzzReport`] is identical with or without it.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Attaches a telemetry handle recording phase timings and counters.
@@ -287,6 +303,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
     ///   malformed missions;
     /// * [`FuzzError::Sim`] for simulation-level failures.
     pub fn fuzz(&self, spec: &MissionSpec) -> Result<FuzzReport, FuzzError> {
+        self.trace.emit(TraceEvent::MissionStart { mission_seed: spec.seed });
         let sim = Simulation::new(spec.clone(), self.controller.clone())?;
         let observer: Option<&dyn SimObserver> =
             if self.telemetry.is_enabled() { Some(&self.telemetry) } else { None };
@@ -313,11 +330,14 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                     )?
                 };
                 if let Some(c) = outcome.first_collision() {
+                    self.trace.emit(TraceEvent::BaselineRejected {
+                        mission_seed: spec.seed,
+                        time: c.time,
+                    });
                     return Err(FuzzError::BaselineCollision(*c));
                 }
                 self.telemetry.incr(Counter::MissionsRun);
-                let built =
-                    Arc::new(MissionCache::new(outcome.record, ring.into_inner().into_snapshots()));
+                let built = Arc::new(MissionCache::from_ring(outcome.record, ring.into_inner()));
                 if let Some(shared) = shared {
                     shared.insert(key, built.clone());
                 }
@@ -329,6 +349,8 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 sim.run_observed(None, observer)?
             };
             if let Some(c) = outcome.first_collision() {
+                self.trace
+                    .emit(TraceEvent::BaselineRejected { mission_seed: spec.seed, time: c.time });
                 return Err(FuzzError::BaselineCollision(*c));
             }
             self.telemetry.incr(Counter::MissionsRun);
@@ -340,6 +362,17 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             (None, None) => unreachable!("one baseline source is always populated"),
         };
         let (vdo_drone, mission_vdo) = record.mission_vdo().ok_or(FuzzError::NoObstacle)?;
+        // Emitted whether the baseline was freshly simulated or served from
+        // the shared cache: the cache entry is built deterministically from
+        // the same mission, so the event content — and with it the trace —
+        // is independent of cache hit patterns (i.e. of the worker count).
+        self.trace.emit(TraceEvent::BaselineDone {
+            vdo: mission_vdo,
+            vdo_drone: vdo_drone.index(),
+            duration: record.duration(),
+            snapshots: mission_cache.as_ref().map_or(0, |c| c.ring_len()),
+            stride: mission_cache.as_ref().map_or(0, |c| c.stride()),
+        });
 
         // Step 2: seed scheduling.
         let mut rng = rng_for(self.config.rng_seed ^ spec.seed, streams::FUZZER);
@@ -357,6 +390,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 SeedStrategy::Random => random_schedule(record, &mut rng)?,
             }
         };
+        trace_schedule(&pool, &self.trace);
         // Replay each ranked pair once per enabled attack class. Identity
         // for the default constant-only set.
         let pool = expand_waveforms(pool, self.config.waveforms);
@@ -374,6 +408,14 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             seeds_tried += 1;
             self.telemetry.incr(Counter::SeedsTried);
             let remaining = self.config.eval_budget - evaluations;
+            self.trace.emit(TraceEvent::SeedStart {
+                ordinal: seeds_tried,
+                target: seed.target.index(),
+                victim: seed.victim.index(),
+                theta: seed.direction.theta(),
+                waveform: seed.waveform.name().to_string(),
+                budget: remaining,
+            });
             let result = self.search_seed(
                 &sim,
                 mission_cache.as_deref(),
@@ -385,6 +427,12 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             )?;
             evaluations += result.outcome.evaluations;
             self.telemetry.add(Counter::Evaluations, result.outcome.evaluations as u64);
+            self.trace.emit(TraceEvent::SeedDone {
+                evaluations: result.outcome.evaluations,
+                converged: result.outcome.converged,
+                best_value: result.outcome.best_value,
+                success: result.outcome.success.is_some(),
+            });
             if let Some(s) = result.outcome.success {
                 self.telemetry.incr(Counter::SpvFound);
                 finding = Some(SpvFinding {
@@ -400,6 +448,11 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             }
         }
 
+        self.trace.emit(TraceEvent::MissionDone {
+            success: finding.is_some(),
+            evaluations,
+            seeds_tried,
+        });
         Ok(FuzzReport {
             finding,
             evaluations,
@@ -435,24 +488,41 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             objective = objective.with_observer(&self.telemetry);
         }
         let telemetry = &self.telemetry;
+        let trace = &self.trace;
         let eval3 = |ts: f64, dt: f64, shape: Option<f64>| {
-            if let Some(cache) = fork {
-                // Clamp like the objective will, so fork admission sees the
-                // start time the attack window actually uses.
-                if let Some(snap) = cache.newest_admitting(ts.max(0.0)) {
-                    telemetry.incr(Counter::ForkHits);
-                    telemetry.add(Counter::PrefixStepsSaved, snap.stats().physics_steps);
-                    let prefix = {
-                        let _span = telemetry.span(Phase::PrefixSim);
-                        sim.prefix_record(snap, cache.baseline())?
-                    };
-                    let _span = telemetry.span(Phase::ForkedSim);
-                    return objective.evaluate_shaped_forked(snap, prefix, ts, dt, shape);
+            let mut fork_flag = None;
+            let result = (|| {
+                if let Some(cache) = fork {
+                    // Clamp like the objective will, so fork admission sees
+                    // the start time the attack window actually uses.
+                    if let Some(snap) = cache.newest_admitting(ts.max(0.0)) {
+                        fork_flag = Some(true);
+                        telemetry.incr(Counter::ForkHits);
+                        telemetry.add(Counter::PrefixStepsSaved, snap.stats().physics_steps);
+                        let prefix = {
+                            let _span = telemetry.span(Phase::PrefixSim);
+                            sim.prefix_record(snap, cache.baseline())?
+                        };
+                        let _span = telemetry.span(Phase::ForkedSim);
+                        return objective.evaluate_shaped_forked(snap, prefix, ts, dt, shape);
+                    }
+                    fork_flag = Some(false);
+                    telemetry.incr(Counter::ForkMisses);
                 }
-                telemetry.incr(Counter::ForkMisses);
+                let _span = telemetry.span(Phase::MissionSim);
+                objective.evaluate_shaped(ts, dt, shape)
+            })();
+            if let Ok(e) = &result {
+                trace.emit(TraceEvent::Probe {
+                    ts,
+                    dt,
+                    shape,
+                    value: e.value,
+                    success: e.is_success(),
+                    fork: fork_flag,
+                });
             }
-            let _span = telemetry.span(Phase::MissionSim);
-            objective.evaluate_shaped(ts, dt, shape)
+            result
         };
         // Initial guess: start the spoofing window `lead_time` seconds
         // before the victim's recorded closest approach.
@@ -463,13 +533,14 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             let shaped = match self.config.search_strategy {
                 SearchStrategy::Gradient => {
                     let _span = self.telemetry.span(Phase::GradientSearch);
-                    shaped_gradient_search(
+                    shaped_gradient_search_traced(
                         |ts, dt, shape| eval3(ts, dt, Some(shape)),
                         (ts0, dt0),
                         budget,
                         t_mission,
                         &bounds,
                         &GradientConfig::default(),
+                        &self.trace,
                     )?
                 }
                 SearchStrategy::Random => {
@@ -490,12 +561,13 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         let outcome = match self.config.search_strategy {
             SearchStrategy::Gradient => {
                 let _span = self.telemetry.span(Phase::GradientSearch);
-                let first = gradient_search(
+                let first = gradient_search_traced(
                     &mut eval,
                     (ts0, dt0),
                     budget,
                     t_mission,
                     &GradientConfig::default(),
+                    &self.trace,
                 )?;
                 if first.success.is_some() || first.evaluations >= budget {
                     return Ok(SeedSearch { outcome: first, shape: None });
@@ -506,12 +578,13 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                 // window with the remaining budget.
                 let ts1 = (t_close - 1.6 * self.config.lead_time).max(0.0);
                 let dt1 = 1.5 * self.config.initial_duration;
-                let second = gradient_search(
+                let second = gradient_search_traced(
                     &mut eval,
                     (ts1, dt1),
                     budget - first.evaluations,
                     t_mission,
                     &GradientConfig::default(),
+                    &self.trace,
                 )?;
                 SearchResult {
                     success: second.success,

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod campaign;
+pub mod dashboard;
 pub mod defense;
 mod error;
 pub mod exhaustive;
@@ -64,6 +65,7 @@ pub mod snapshot;
 pub mod store;
 pub mod svg;
 pub mod telemetry;
+pub mod trace;
 
 pub use error::FuzzError;
 pub use fuzzer::{FuzzReport, Fuzzer, FuzzerConfig, SearchStrategy, SeedStrategy, SpvFinding};
@@ -72,3 +74,4 @@ pub use snapshot::{MissionCache, SnapshotCache, SnapshotRing};
 pub use store::{CampaignJournal, StoreError};
 pub use svg::{CentralityKind, SvgAnalysis, SvgBuilder};
 pub use telemetry::{Telemetry, TelemetryReport};
+pub use trace::{Trace, TraceEvent, TraceKey, TraceRecord, TraceSink};

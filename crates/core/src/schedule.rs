@@ -23,6 +23,7 @@ use swarm_sim::{DroneId, SwarmController};
 use crate::seed::{Seed, Seedpool};
 use crate::svg::{CentralityKind, SvgBuilder};
 use crate::telemetry::Telemetry;
+use crate::trace::{Trace, TraceEvent};
 use crate::FuzzError;
 
 /// Builds the SVG-guided seedpool for a recorded mission.
@@ -147,6 +148,26 @@ pub fn random_schedule(record: &MissionRecord, rng: &mut StdRng) -> Result<Seedp
     }
     seeds.shuffle(rng);
     Ok(Seedpool::new(seeds))
+}
+
+/// Emits one [`TraceEvent::SeedRanked`] per seed, in schedule order, so a
+/// trace records *why* the scheduler ranked each `<T-V, θ>` pair where it
+/// did (ascending victim VDO, descending SVG influence — or shuffle order
+/// with influence 0 for the random scheduler).
+pub fn trace_schedule(pool: &Seedpool, trace: &Trace) {
+    if !trace.is_enabled() {
+        return;
+    }
+    for (rank, seed) in pool.iter().enumerate() {
+        trace.emit(TraceEvent::SeedRanked {
+            rank,
+            target: seed.target.index(),
+            victim: seed.victim.index(),
+            theta: seed.direction.theta(),
+            influence: seed.influence,
+            victim_vdo: seed.victim_vdo,
+        });
+    }
 }
 
 /// Expands a ranked pool of `<T-V, θ>` seeds into `(T, V, θ, waveform)`

@@ -16,6 +16,7 @@ use rand::Rng;
 use swarm_sim::DroneId;
 
 use crate::objective::{EvalOutcome, Evaluation};
+use crate::trace::{Trace, TraceEvent};
 use crate::FuzzError;
 
 /// Tuning of the gradient-guided search.
@@ -100,11 +101,33 @@ fn success_of(e: &Evaluation) -> Option<SearchSuccess> {
 ///
 /// Propagates the first [`FuzzError`] returned by `objective`.
 pub fn gradient_search<F>(
+    objective: F,
+    initial: (f64, f64),
+    budget: usize,
+    t_mission: f64,
+    config: &GradientConfig,
+) -> Result<SearchResult, FuzzError>
+where
+    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    gradient_search_traced(objective, initial, budget, t_mission, config, &Trace::off())
+}
+
+/// [`gradient_search`] with a trace handle: each projected descent update
+/// (after clamping) is emitted as a [`TraceEvent::GradientStep`]. The trace
+/// is purely observational — the returned result is identical to the
+/// untraced call's.
+///
+/// # Errors
+///
+/// Propagates the first [`FuzzError`] returned by `objective`.
+pub fn gradient_search_traced<F>(
     mut objective: F,
     initial: (f64, f64),
     budget: usize,
     t_mission: f64,
     config: &GradientConfig,
+    trace: &Trace,
 ) -> Result<SearchResult, FuzzError>
 where
     F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
@@ -160,6 +183,7 @@ where
         ts = (ts - step_ts).max(0.0);
         dt = (dt - step_dt).max(0.0);
         clamp_window(&mut ts, &mut dt, t_mission);
+        trace.emit(TraceEvent::GradientStep { g_ts, g_dt, ts, dt });
 
         if evals >= budget {
             break;
@@ -223,12 +247,42 @@ pub struct ShapedSearchResult {
 ///
 /// Propagates the first [`FuzzError`] returned by `objective`.
 pub fn shaped_gradient_search<F>(
+    objective: F,
+    initial: (f64, f64),
+    budget: usize,
+    t_mission: f64,
+    bounds: &ShapeBounds,
+    config: &GradientConfig,
+) -> Result<ShapedSearchResult, FuzzError>
+where
+    F: FnMut(f64, f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    shaped_gradient_search_traced(
+        objective,
+        initial,
+        budget,
+        t_mission,
+        bounds,
+        config,
+        &Trace::off(),
+    )
+}
+
+/// [`shaped_gradient_search`] with a trace handle; see
+/// [`gradient_search_traced`]. The window axes of each descent update are
+/// emitted as [`TraceEvent::GradientStep`]s.
+///
+/// # Errors
+///
+/// Propagates the first [`FuzzError`] returned by `objective`.
+pub fn shaped_gradient_search_traced<F>(
     mut objective: F,
     initial: (f64, f64),
     budget: usize,
     t_mission: f64,
     bounds: &ShapeBounds,
     config: &GradientConfig,
+    trace: &Trace,
 ) -> Result<ShapedSearchResult, FuzzError>
 where
     F: FnMut(f64, f64, f64) -> Result<Evaluation, FuzzError>,
@@ -300,6 +354,7 @@ where
         dt = (dt - step_dt).max(0.0);
         shape = bounds.clamp(shape - step_sh);
         clamp_window(&mut ts, &mut dt, t_mission);
+        trace.emit(TraceEvent::GradientStep { g_ts, g_dt, ts, dt });
 
         if evals >= budget {
             break;

@@ -53,12 +53,27 @@ pub fn cache_key(spec: &MissionSpec, policy: SpatialPolicy) -> CacheKey {
 pub struct MissionCache {
     baseline: MissionRecord,
     ring: Vec<SimSnapshot<PointMass>>,
+    stride: usize,
 }
 
 impl MissionCache {
     /// Bundles a baseline record with its snapshot ring.
     pub fn new(baseline: MissionRecord, ring: Vec<SimSnapshot<PointMass>>) -> Self {
-        MissionCache { baseline, ring }
+        MissionCache { baseline, ring, stride: 0 }
+    }
+
+    /// Bundles a baseline record with a finalized [`SnapshotRing`],
+    /// preserving the ring's self-tuned capture stride so trace consumers
+    /// can report it whether the cache was freshly built or shared.
+    pub fn from_ring(baseline: MissionRecord, ring: SnapshotRing) -> Self {
+        let stride = ring.stride();
+        MissionCache { baseline, ring: ring.into_snapshots(), stride }
+    }
+
+    /// Capture stride of the ring in physics steps (0 when unknown, e.g. a
+    /// cache built from bare snapshots via [`MissionCache::new`]).
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// The no-attack baseline record (the `source` for

@@ -211,53 +211,55 @@ impl JournalRow {
 // ---------------------------------------------------------------------------
 
 /// A parsed JSON value. Numbers keep their raw text so 64-bit integers
-/// (mission seeds) never round through `f64`.
+/// (mission seeds) never round through `f64`. Shared with the trace codec
+/// (`crate::trace`), which is why the type is crate-visible.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(String),
     Str(String),
+    Arr(Vec<Json>),
     Obj(HashMap<String, Json>),
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(map) => map.get(key).filter(|v| !matches!(v, Json::Null)),
             _ => None,
         }
     }
 
-    fn str(&self) -> Option<&str> {
+    pub(crate) fn str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn boolean(&self) -> Option<bool> {
+    pub(crate) fn boolean(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
-    fn u64(&self) -> Option<u64> {
+    pub(crate) fn u64(&self) -> Option<u64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    fn usize(&self) -> Option<usize> {
+    pub(crate) fn usize(&self) -> Option<usize> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    fn f64(&self) -> Option<f64> {
+    pub(crate) fn f64(&self) -> Option<f64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
@@ -307,6 +309,7 @@ impl<'a> JsonParser<'a> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
             Some(b'"') => Ok(Json::Str(self.parse_string()?)),
             Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
             Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
@@ -344,6 +347,28 @@ impl<'a> JsonParser<'a> {
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
             }
         }
     }
@@ -422,7 +447,7 @@ impl<'a> JsonParser<'a> {
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let mut p = JsonParser::new(text);
     let v = p.parse_value()?;
     p.skip_ws();
@@ -432,7 +457,7 @@ fn parse_json(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -477,7 +502,7 @@ fn direction_name(d: SpoofDirection) -> &'static str {
     }
 }
 
-fn push_field_f64(out: &mut String, key: &str, x: f64) {
+pub(crate) fn push_field_f64(out: &mut String, key: &str, x: f64) {
     // Rust's shortest-round-trip formatting: parses back bit-identical.
     out.push_str(&format!(",\"{key}\":{x}"));
 }

@@ -390,10 +390,16 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some((registry, phase, started)) = self.active.take() {
-            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            registry.phases[phase as usize].record(ns);
+            registry.phases[phase as usize].record(span_ns(started, Instant::now()));
         }
     }
+}
+
+/// Span duration in nanoseconds, saturating on both ends: a non-monotonic
+/// clock step backwards yields 0 rather than a garbage `max_ns`, and a span
+/// longer than ~584 years saturates at `u64::MAX`.
+fn span_ns(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// One counter's snapshot value.
@@ -585,6 +591,16 @@ mod tests {
         assert_eq!(report.counter("spv_found"), Some(3));
         assert_eq!(report.counter("missions_run"), Some(0));
         assert_eq!(report.counter("no_such"), None);
+    }
+
+    #[test]
+    fn span_ns_saturates_on_backwards_clock_steps() {
+        let a = Instant::now();
+        let b = a + std::time::Duration::from_nanos(100);
+        assert_eq!(span_ns(a, b), 100);
+        // A clock stepping backwards must clamp to zero, not wrap.
+        assert_eq!(span_ns(b, a), 0);
+        assert_eq!(span_ns(a, a), 0);
     }
 
     #[test]

@@ -375,3 +375,48 @@ fn zoo_campaign_runs_all_classes_end_to_end() {
     assert!(matches!(err, FuzzError::Journal(StoreError::FingerprintMismatch { .. })));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn pinned_failed_row_journal_parses_with_full_error_context() {
+    // Hand-written in the current on-disk format — this text stands in for
+    // journals written by earlier builds and must keep parsing forever.
+    // The failed row carries the rendered error and the retry count; both
+    // must survive the read and surface in the error summary and dashboard.
+    const PINNED: &str = concat!(
+        "{\"journal\":\"swarmfuzz-campaign\",\"version\":1,",
+        "\"fingerprint\":\"3136705a7e3a0631\",\"variant\":\"SwarmFuzz\"}\n",
+        "{\"row\":\"done\",\"swarm_size\":3,\"index\":0,\"deviation\":5,",
+        "\"mission_seed\":42,\"vdo\":3.5,\"success\":false,\"evaluations\":2,",
+        "\"seeds_tried\":1,\"finding\":null}\n",
+        "{\"row\":\"failed\",\"swarm_size\":4,\"index\":1,\"deviation\":10,",
+        "\"retries\":2,\"error\":\"simulation diverged: NaN position at t=12.5 ",
+        "(drone <3> \\\"scout\\\")\"}\n",
+    );
+    let dir = tmp_dir("pinned-failed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pinned.jsonl");
+    std::fs::write(&path, PINNED).unwrap();
+
+    let contents = CampaignJournal::read(&path).expect("pinned journal must parse");
+    assert_eq!(contents.fingerprint, "3136705a7e3a0631");
+    assert_eq!(contents.rows.len(), 2);
+
+    let report = swarmfuzz::campaign::report_from_rows(contents.rows);
+    assert_eq!(report.missions.len(), 1);
+    assert_eq!(report.failures.len(), 1);
+    let failure = &report.failures[0];
+    assert_eq!(failure.config, SwarmConfig { swarm_size: 4, deviation: 10.0 });
+    assert_eq!(failure.index, 1);
+    assert_eq!(failure.retries, 2);
+    assert_eq!(failure.error, "simulation diverged: NaN position at t=12.5 (drone <3> \"scout\")");
+
+    let summary = report.error_summary().expect("failures present");
+    assert!(summary.contains("4d-10m index 1 (2 retries)"));
+    assert!(summary.contains("NaN position at t=12.5"));
+
+    let html = swarmfuzz::dashboard::render_dashboard(&report, &[], &[], "pinned");
+    assert!(html.contains("Quarantined failures"));
+    assert!(html.contains("NaN position at t=12.5"));
+    assert!(html.contains("&lt;3&gt; &quot;scout&quot;"), "error context is HTML-escaped");
+    std::fs::remove_dir_all(&dir).ok();
+}
