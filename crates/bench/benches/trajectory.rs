@@ -1,14 +1,25 @@
 //! Bench-trajectory guard: diffs every freshly regenerated metric-style CSV
 //! under `bench_results/` against the copy committed at `HEAD` and prints a
-//! per-metric delta table. Warn-only — benchmark numbers drift with the
-//! hardware the suite runs on, so drift belongs in the CI log, not the exit
-//! code. Run any bench first (e.g. `cargo bench --bench micro`) so there is
-//! a fresh CSV to compare; files without a committed counterpart or with a
+//! per-metric delta table.
+//!
+//! Most metrics are warn-only — benchmark numbers drift with the hardware
+//! the suite runs on, so ordinary drift belongs in the CI log, not the exit
+//! code. The exception is the gated list in
+//! [`swarmfuzz_bench::GATED_METRICS`] (currently the large-swarm throughput
+//! headline `tps_at_n1000` in `scaling_trajectory.csv`): when a fresh copy
+//! of the gated file exists — i.e. the full scaling bench ran on this
+//! machine against its own committed baseline — a regression past the
+//! gate's threshold (10%) fails the process. Runs without a fresh gated
+//! file (e.g. CI executing only the `--smoke` benches) skip the gate, so
+//! cross-machine noise cannot produce false failures.
+//!
+//! Run any bench first (e.g. `cargo bench --bench micro`) so there is a
+//! fresh CSV to compare; files without a committed counterpart or with a
 //! non-`metric,value` layout are skipped.
 
-use swarmfuzz_bench::{print_trajectory_diff, results_dir};
+use swarmfuzz_bench::{diff_against_committed, print_trajectory_diff, results_dir, GATED_METRICS};
 
-/// Flag metrics whose magnitude moved more than this (percent).
+/// Flag metrics whose magnitude moved more than this (percent); warn-only.
 const WARN_PCT: f64 = 25.0;
 
 fn main() {
@@ -34,5 +45,46 @@ fn main() {
     for name in &names {
         compared += print_trajectory_diff(name, WARN_PCT);
     }
-    println!("\ncompared {compared} metrics across {} CSV file(s); warn-only", names.len());
+
+    // Hard gates: fail (not warn) when a gated metric regressed past its
+    // threshold. Only judged when a fresh same-machine file exists.
+    let mut failures = Vec::new();
+    for gate in GATED_METRICS {
+        let Some(deltas) = diff_against_committed(gate.file) else {
+            println!(
+                "[bench-gate] {}:{}: no fresh/committed pair, skipping",
+                gate.file, gate.metric
+            );
+            continue;
+        };
+        let Some(d) = deltas.iter().find(|d| d.metric == gate.metric) else {
+            println!("[bench-gate] {}:{}: metric absent, skipping", gate.file, gate.metric);
+            continue;
+        };
+        let regression = gate.regression_pct(d);
+        let verdict = if gate.fails(d) { "FAIL" } else { "ok" };
+        println!(
+            "[bench-gate] {}:{}: committed {:.1}, fresh {:.1}, regression {:+.1}% (limit {:.0}%) — {verdict}",
+            gate.file, gate.metric, d.committed, d.fresh, regression, gate.fail_pct
+        );
+        if gate.fails(d) {
+            failures.push(format!(
+                "{}:{} regressed {:.1}% (limit {:.0}%)",
+                gate.file, gate.metric, regression, gate.fail_pct
+            ));
+        }
+    }
+
+    println!(
+        "\ncompared {compared} metrics across {} CSV file(s); gated: {}, warn-only elsewhere",
+        names.len(),
+        GATED_METRICS.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("bench trajectory guard failed:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

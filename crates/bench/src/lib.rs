@@ -272,6 +272,51 @@ pub fn diff_against_committed(name: &str) -> Option<Vec<MetricDelta>> {
     )
 }
 
+/// A hard-gated trajectory metric: when a fresh `bench_results/<file>`
+/// exists on the same machine, a value that moves more than `fail_pct`
+/// percent in the bad direction vs the committed copy fails the trajectory
+/// guard instead of merely warning. Missing files (e.g. a CI run that only
+/// executed the smoke benches) skip the gate — the guard can only judge a
+/// fresh full run against its own committed baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GatedMetric {
+    /// Metric CSV under `bench_results/` (must be `metric,value` layout).
+    pub file: &'static str,
+    /// Metric name (first CSV column).
+    pub metric: &'static str,
+    /// Maximum tolerated regression in percent.
+    pub fail_pct: f64,
+    /// Direction: `true` = larger is better (throughput), `false` =
+    /// smaller is better (latency).
+    pub higher_is_better: bool,
+}
+
+impl GatedMetric {
+    /// Signed regression percent for a committed/fresh pair: positive =
+    /// worse (slower for throughput metrics, bigger for latency metrics).
+    pub fn regression_pct(&self, d: &MetricDelta) -> f64 {
+        if self.higher_is_better {
+            -d.delta_pct()
+        } else {
+            d.delta_pct()
+        }
+    }
+
+    /// Whether the pair regresses past the tolerated threshold.
+    pub fn fails(&self, d: &MetricDelta) -> bool {
+        self.regression_pct(d) > self.fail_pct
+    }
+}
+
+/// The trajectory metrics CI refuses to regress (see `benches/trajectory.rs`
+/// and DESIGN.md §13): the long-term large-swarm throughput headline.
+pub const GATED_METRICS: &[GatedMetric] = &[GatedMetric {
+    file: "scaling_trajectory.csv",
+    metric: "tps_at_n1000",
+    fail_pct: 10.0,
+    higher_is_better: true,
+}];
+
 /// Prints the [`diff_against_committed`] table for `name`, flagging metrics
 /// whose magnitude moved by more than `warn_pct`. Returns how many metrics
 /// were compared (0 = nothing to compare). Never fails the process.
@@ -364,5 +409,31 @@ mod tests {
     fn missing_files_are_a_skip_not_a_failure() {
         assert_eq!(diff_against_committed("definitely-not-a-bench.csv"), None);
         assert_eq!(print_trajectory_diff("definitely-not-a-bench.csv", 10.0), 0);
+    }
+
+    #[test]
+    fn gated_metric_regression_respects_direction() {
+        let gate =
+            GatedMetric { file: "f.csv", metric: "m", fail_pct: 10.0, higher_is_better: true };
+        let d = |committed, fresh| MetricDelta { metric: "m".into(), committed, fresh };
+        // Throughput dropping is a regression; rising is an improvement.
+        assert_eq!(gate.regression_pct(&d(100.0, 80.0)), 20.0);
+        assert!(gate.fails(&d(100.0, 80.0)));
+        assert!(!gate.fails(&d(100.0, 95.0))); // within tolerance
+        assert!(!gate.fails(&d(100.0, 150.0))); // faster never fails
+                                                // Latency metrics gate in the opposite direction.
+        let lat = GatedMetric { higher_is_better: false, ..gate };
+        assert!(lat.fails(&d(100.0, 120.0)));
+        assert!(!lat.fails(&d(100.0, 80.0)));
+    }
+
+    #[test]
+    fn gated_metrics_cover_the_n1000_throughput_headline() {
+        assert!(GATED_METRICS
+            .iter()
+            .any(|g| g.file == "scaling_trajectory.csv" && g.metric == "tps_at_n1000"));
+        for g in GATED_METRICS {
+            assert!(g.fail_pct > 0.0, "a zero-tolerance gate would fail on noise");
+        }
     }
 }

@@ -46,7 +46,8 @@ COMMANDS:
     campaign  run the paper's 6-configuration evaluation grid
                 --missions K (20)  --workers W (cores)
                 --journal PATH (off)  --resume yes|no (no)  --retries N (1)
-                --snapshot on|off (on)  --telemetry off|summary|json (off)
+                --snapshot on|off (on)  --batch on|off (off)
+                --telemetry off|summary|json (off)
                 --attacks constant,drift,circular,jump (constant)
                 --trace off|ring|FILE (off)  --progress off|every-N (off)
     dashboard render a campaign journal (+ optional trace) as one
@@ -60,7 +61,8 @@ COMMANDS:
                 --start TS  --duration DT  --deviation M (10)  --minimize yes|no (no)
     stress    fly the large-swarm stress scenario and report throughput
                 --drones N (100)  --seed S (0)  --duration T (20)
-                --grid auto|on|off (auto)  --telemetry off|summary|json (off)
+                --grid auto|on|off (auto)  --layout auto|aos|soa (auto)
+                --telemetry off|summary|json (off)
     help      print this message
 ";
 
@@ -237,6 +239,7 @@ fn cmd_campaign(opts: &CampaignOpts) -> Result<(), CliError> {
         max_retries: opts.max_retries,
         snapshot: opts.snapshot,
         constant_via_trait: false,
+        batch: opts.batch,
     };
     let attacks = opts.attacks;
 
@@ -377,7 +380,7 @@ fn cmd_baseline(opts: &BaselineOpts) -> Result<(), CliError> {
 fn cmd_stress(opts: &StressOpts) -> Result<(), CliError> {
     use swarm_sim::{metrics, scenario, SimConfig, SpatialGrid, SpatialPolicy};
 
-    let StressOpts { drones, seed, duration, spatial, telemetry: mode } = *opts;
+    let StressOpts { drones, seed, duration, spatial, layout, telemetry: mode } = *opts;
     let telemetry =
         if mode == TelemetryMode::Off { Telemetry::off() } else { Telemetry::enabled(1) };
 
@@ -387,8 +390,11 @@ fn cmd_stress(opts: &StressOpts) -> Result<(), CliError> {
         .comms
         .range
         .ok_or_else(|| CliError::Other("large_swarm scenario did not set a radio range".into()))?;
-    let sim = Simulation::new(spec.clone(), controller())?
-        .with_config(SimConfig { spatial, ..Default::default() });
+    let sim = Simulation::new(spec.clone(), controller())?.with_config(SimConfig {
+        spatial,
+        layout,
+        ..Default::default()
+    });
 
     let started = std::time::Instant::now();
     let out = sim.run_observed(None, Some(&telemetry))?;
@@ -401,12 +407,18 @@ fn cmd_stress(opts: &StressOpts) -> Result<(), CliError> {
     human_line(
         mode,
         format_args!(
-            "  simulated {simulated:.1} s in {:.0} ms  ({ticks_per_sec:.0} physics ticks/s, grid {})",
+            "  simulated {simulated:.1} s in {:.0} ms  ({ticks_per_sec:.0} physics ticks/s, \
+             grid {}, layout {})",
             wall.as_secs_f64() * 1e3,
             match spatial {
                 SpatialPolicy::Auto => "auto",
                 SpatialPolicy::ForceOn => "on",
                 SpatialPolicy::ForceOff => "off",
+            },
+            match layout {
+                swarm_sim::StateLayout::Auto => "auto",
+                swarm_sim::StateLayout::ForceAos => "aos",
+                swarm_sim::StateLayout::ForceSoa => "soa",
             },
         ),
     );

@@ -25,7 +25,7 @@
 
 use serde::{Deserialize, Serialize};
 use swarm_math::Vec3;
-use swarm_sim::{ControlContext, SwarmController};
+use swarm_sim::{ControlBatch, ControlContext, SwarmController};
 
 use crate::braking::braking_curve;
 
@@ -260,6 +260,16 @@ impl SwarmController for VasarhelyiController {
     fn desired_velocity(&self, ctx: &ControlContext<'_>) -> Vec3 {
         self.compute_terms(ctx).total
     }
+
+    fn desired_velocity_batch(&self, batch: &ControlBatch<'_>, out: &mut [Vec3]) {
+        assert_eq!(out.len(), batch.lanes.len(), "output must have one slot per lane");
+        // One tight loop over the CSR lanes, evaluating the exact scalar
+        // control law per lane — bit-identity to per-drone dispatch is
+        // load-bearing (see tests/soa_equivalence.rs).
+        for (lane, slot) in batch.lanes.iter().zip(out) {
+            *slot = self.compute_terms(&batch.context(lane)).total;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +441,58 @@ mod tests {
         ));
         assert_eq!(terms.collision_avoidance(), terms.repulsion + terms.obstacle);
         assert_eq!(terms.cohesion(), terms.friction + terms.attraction);
+    }
+
+    #[test]
+    fn batched_commands_match_scalar_dispatch_bitwise() {
+        use swarm_sim::ControlLane;
+
+        let world = World::with_obstacles(vec![Obstacle::Cylinder {
+            center: V2::new(15.0, 2.0),
+            radius: 4.0,
+        }]);
+        // Shared CSR pool: lane 0 sees two neighbors, lane 1 sees one.
+        let pool = [
+            neighbor(1, Vec3::new(0.0, 6.0, 10.0), Vec3::new(1.0, -0.5, 0.0)),
+            neighbor(2, Vec3::new(0.0, 30.0, 10.0), Vec3::ZERO),
+            neighbor(0, Vec3::new(3.0, -2.0, 9.5), Vec3::new(2.0, 0.0, 0.1)),
+        ];
+        let lanes = [
+            ControlLane {
+                id: DroneId(0),
+                self_state: PerceivedSelf {
+                    position: Vec3::new(0.0, 0.0, 10.0),
+                    velocity: Vec3::new(2.0, 0.1, 0.0),
+                },
+                neighbors_start: 0,
+                neighbors_len: 2,
+            },
+            ControlLane {
+                id: DroneId(1),
+                self_state: PerceivedSelf {
+                    position: Vec3::new(1.0, 4.0, 10.2),
+                    velocity: Vec3::new(-1.0, 0.0, 0.0),
+                },
+                neighbors_start: 2,
+                neighbors_len: 1,
+            },
+        ];
+        let batch = ControlBatch {
+            lanes: &lanes,
+            neighbors: &pool,
+            world: &world,
+            destination: Vec3::new(233.5, 0.0, 10.0),
+            time: 1.5,
+        };
+        let c = controller();
+        let mut out = [Vec3::ZERO; 2];
+        c.desired_velocity_batch(&batch, &mut out);
+        for (lane, got) in lanes.iter().zip(&out) {
+            let want = c.desired_velocity(&batch.context(lane));
+            assert_eq!(want.x.to_bits(), got.x.to_bits());
+            assert_eq!(want.y.to_bits(), got.y.to_bits());
+            assert_eq!(want.z.to_bits(), got.z.to_bits());
+        }
     }
 
     #[test]

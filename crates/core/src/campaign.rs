@@ -255,6 +255,11 @@ pub struct CampaignRunOptions {
     /// (`tests/attack_zoo_equivalence.rs`); like `snapshot`, an execution
     /// detail that never perturbs the journal fingerprint.
     pub constant_via_trait: bool,
+    /// Run each gradient iteration's two finite-difference probes as one
+    /// lockstep mission batch (`Fuzzer::with_batch`). Report-identical to
+    /// sequential probing (`tests/soa_equivalence.rs`); like `snapshot`, an
+    /// execution detail that never perturbs the journal fingerprint.
+    pub batch: bool,
 }
 
 impl Default for CampaignRunOptions {
@@ -264,6 +269,7 @@ impl Default for CampaignRunOptions {
             max_retries: 1,
             snapshot: true,
             constant_via_trait: false,
+            batch: false,
         }
     }
 }
@@ -399,6 +405,7 @@ where
             let trace = trace.clone();
             let max_retries = options.max_retries;
             let constant_via_trait = options.constant_via_trait;
+            let batch = options.batch;
             let snapshot_cache = snapshot_cache.clone();
             scope.spawn(move || {
                 while let Ok((config, index)) = job_rx.recv() {
@@ -416,6 +423,7 @@ where
                         max_retries,
                         snapshot_cache.as_ref(),
                         constant_via_trait,
+                        batch,
                     );
                     if let JournalRow::Done { result, .. } = &row {
                         telemetry.worker_mission_done(
@@ -529,6 +537,7 @@ fn fuzz_one_isolated<C, F>(
     max_retries: usize,
     snapshot_cache: Option<&SnapshotCache>,
     constant_via_trait: bool,
+    batch: bool,
 ) -> JournalRow
 where
     C: SwarmController + Clone,
@@ -545,6 +554,7 @@ where
             trace,
             snapshot_cache,
             constant_via_trait,
+            batch,
         ) {
             Ok(result) => return JournalRow::Done { index, result },
             Err(e) if retries < max_retries => {
@@ -572,6 +582,7 @@ fn fuzz_one<C, F>(
     trace: &Trace,
     snapshot_cache: Option<&SnapshotCache>,
     constant_via_trait: bool,
+    batch: bool,
 ) -> Result<MissionResult, FuzzError>
 where
     C: SwarmController + Clone,
@@ -581,7 +592,8 @@ where
         .with_telemetry(telemetry.clone())
         .with_trace(trace.clone())
         .with_snapshots(snapshot_cache.is_some())
-        .with_constant_via_trait(constant_via_trait);
+        .with_constant_via_trait(constant_via_trait)
+        .with_batch(batch);
     if let Some(cache) = snapshot_cache {
         fuzzer = fuzzer.with_snapshot_cache(cache.clone());
     }

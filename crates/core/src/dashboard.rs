@@ -414,6 +414,7 @@ mod tests {
                     value: 5.0,
                     success: false,
                     fork: Some(true),
+                    batched: Some(true),
                 },
             },
             TraceRecord {
@@ -425,6 +426,7 @@ mod tests {
                     value: f64::INFINITY,
                     success: false,
                     fork: None,
+                    batched: None,
                 },
             },
             TraceRecord {
@@ -436,6 +438,7 @@ mod tests {
                     value: -0.5,
                     success: true,
                     fork: Some(false),
+                    batched: None,
                 },
             },
             TraceRecord {

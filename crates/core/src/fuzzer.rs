@@ -23,10 +23,11 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use swarm_math::rng::{rng_for, streams};
+use swarm_sim::dynamics::PointMass;
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::recorder::MissionRecord;
 use swarm_sim::spoof::{Waveform, WaveformKind, WaveformSet};
-use swarm_sim::{DroneId, MissionOutcome, SimObserver, Simulation, SwarmController};
+use swarm_sim::{DroneId, MissionOutcome, SimObserver, SimSnapshot, Simulation, SwarmController};
 
 use crate::objective::Objective;
 use crate::schedule::{
@@ -34,7 +35,7 @@ use crate::schedule::{
 };
 use crate::search::{
     gradient_search_traced, random_search, shaped_gradient_search_traced, shaped_random_search,
-    GradientConfig, SearchResult, ShapeBounds,
+    GradientConfig, PairedEvaluator, ProbeEvaluator, SearchResult, ShapeBounds,
 };
 use crate::seed::Seed;
 use crate::snapshot::{cache_key, MissionCache, SnapshotCache, SnapshotRing};
@@ -42,6 +43,11 @@ use crate::svg::CentralityKind;
 use crate::telemetry::{Counter, Phase, Telemetry};
 use crate::trace::{Trace, TraceEvent};
 use crate::FuzzError;
+
+/// A resolved fork for one lane of a batched probe pair: the admitting
+/// snapshot plus its reconstructed prefix record (when a snapshot admits
+/// the probe's start time), and the probe's fork trace annotation.
+type LaneFork<'a> = (Option<(&'a SimSnapshot<PointMass>, MissionRecord)>, Option<bool>);
 
 /// How seeds are ordered for fuzzing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -208,6 +214,7 @@ pub struct Fuzzer<C> {
     snapshots: bool,
     snapshot_cache: Option<SnapshotCache>,
     constant_via_trait: bool,
+    batch: bool,
 }
 
 impl<C: SwarmController + Clone> Fuzzer<C> {
@@ -223,6 +230,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             snapshots: true,
             snapshot_cache: None,
             constant_via_trait: false,
+            batch: false,
         }
     }
 
@@ -277,9 +285,32 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
         self
     }
 
+    /// Routes the gradient search's finite-difference probe pairs through
+    /// the lockstep [`BatchRunner`](swarm_sim::BatchRunner): both missions
+    /// of a pair advance through the batched SoA kernels together. Reports
+    /// and canonical traces are identical either way (the batched pair is
+    /// bit-identical per mission, and a pair whose first probe collides
+    /// discards the second without counting it). Like
+    /// [`Fuzzer::with_snapshots`] this is an execution detail and
+    /// deliberately not part of [`FuzzerConfig`].
+    ///
+    /// Admission rules: only the unshaped (constant/drift) gradient fd pair
+    /// batches. Shaped searches stay sequential (their three-axis probes are
+    /// not a fixed pair), and random search is excluded because it draws
+    /// windows from an RNG stream — batching must not change draw order.
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// `true` when snapshot-and-fork execution is enabled.
     pub fn snapshots_enabled(&self) -> bool {
         self.snapshots
+    }
+
+    /// `true` when fd probe pairs run through the lockstep batch runner.
+    pub fn batch_enabled(&self) -> bool {
+        self.batch
     }
 
     /// The fuzzer configuration.
@@ -520,6 +551,7 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
                     value: e.value,
                     success: e.is_success(),
                     fork: fork_flag,
+                    batched: None,
                 });
             }
             result
@@ -557,45 +589,102 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
             };
             return Ok(SeedSearch { outcome: shaped.result, shape: Some(shaped.shape) });
         }
-        let mut eval = |ts: f64, dt: f64| eval3(ts, dt, None);
         let outcome = match self.config.search_strategy {
             SearchStrategy::Gradient => {
                 let _span = self.telemetry.span(Phase::GradientSearch);
-                let first = gradient_search_traced(
-                    &mut eval,
-                    (ts0, dt0),
-                    budget,
-                    t_mission,
-                    &GradientConfig::default(),
-                    &self.trace,
-                )?;
-                if first.success.is_some() || first.evaluations >= budget {
-                    return Ok(SeedSearch { outcome: first, shape: None });
-                }
                 // Multi-start: the objective is convex in the window for a
                 // fixed interaction geometry, but different windows engage
                 // different geometries; restart once from an earlier, longer
                 // window with the remaining budget.
                 let ts1 = (t_close - 1.6 * self.config.lead_time).max(0.0);
                 let dt1 = 1.5 * self.config.initial_duration;
-                let second = gradient_search_traced(
-                    &mut eval,
-                    (ts1, dt1),
-                    budget - first.evaluations,
-                    t_mission,
-                    &GradientConfig::default(),
-                    &self.trace,
-                )?;
-                SearchResult {
-                    success: second.success,
-                    evaluations: first.evaluations + second.evaluations,
-                    converged: second.converged,
-                    best_value: first.best_value.min(second.best_value),
+                if self.batch {
+                    // Per-probe fork admission, identical to the sequential
+                    // path's: each lane of the pair resolves its own
+                    // snapshot and prefix record.
+                    let resolve = |ts: f64| -> Result<LaneFork<'_>, FuzzError> {
+                        let Some(cache) = fork else { return Ok((None, None)) };
+                        match cache.newest_admitting(ts.max(0.0)) {
+                            Some(snap) => {
+                                telemetry.incr(Counter::ForkHits);
+                                telemetry
+                                    .add(Counter::PrefixStepsSaved, snap.stats().physics_steps);
+                                let prefix = {
+                                    let _span = telemetry.span(Phase::PrefixSim);
+                                    sim.prefix_record(snap, cache.baseline())?
+                                };
+                                Ok((Some((snap, prefix)), Some(true)))
+                            }
+                            None => {
+                                telemetry.incr(Counter::ForkMisses);
+                                Ok((None, Some(false)))
+                            }
+                        }
+                    };
+                    let pair = |a: (f64, f64), b: (f64, f64)| {
+                        telemetry.incr(Counter::BatchedPairs);
+                        let (fork_a, flag_a) = resolve(a.0)?;
+                        let (fork_b, flag_b) = resolve(b.0)?;
+                        let (first, second) = {
+                            let phase = if flag_a == Some(true) && flag_b == Some(true) {
+                                Phase::ForkedSim
+                            } else {
+                                Phase::MissionSim
+                            };
+                            let _span = telemetry.span(phase);
+                            objective.evaluate_pair_batched((a, fork_a), (b, fork_b), None)?
+                        };
+                        trace.emit(TraceEvent::Probe {
+                            ts: a.0,
+                            dt: a.1,
+                            shape: None,
+                            value: first.value,
+                            success: first.is_success(),
+                            fork: flag_a,
+                            batched: Some(true),
+                        });
+                        match &second {
+                            Some(e) => trace.emit(TraceEvent::Probe {
+                                ts: b.0,
+                                dt: b.1,
+                                shape: None,
+                                value: e.value,
+                                success: e.is_success(),
+                                fork: flag_b,
+                                batched: Some(true),
+                            }),
+                            None => telemetry.incr(Counter::BatchedDiscards),
+                        }
+                        Ok((first, second))
+                    };
+                    gradient_multi_start(
+                        || PairedEvaluator::new(|ts: f64, dt: f64| eval3(ts, dt, None), &pair),
+                        (ts0, dt0),
+                        (ts1, dt1),
+                        budget,
+                        t_mission,
+                        &self.trace,
+                    )?
+                } else {
+                    gradient_multi_start(
+                        || |ts: f64, dt: f64| eval3(ts, dt, None),
+                        (ts0, dt0),
+                        (ts1, dt1),
+                        budget,
+                        t_mission,
+                        &self.trace,
+                    )?
                 }
             }
             SearchStrategy::Random => {
                 let _span = self.telemetry.span(Phase::RandomSearch);
-                random_search(eval, budget, t_mission, self.config.max_duration, rng)?
+                random_search(
+                    |ts: f64, dt: f64| eval3(ts, dt, None),
+                    budget,
+                    t_mission,
+                    self.config.max_duration,
+                    rng,
+                )?
             }
         };
         Ok(SeedSearch { outcome, shape: None })
@@ -607,6 +696,49 @@ impl<C: SwarmController + Clone> Fuzzer<C> {
 struct SeedSearch {
     outcome: SearchResult,
     shape: Option<f64>,
+}
+
+/// The paper's two-start gradient search: one run from the VDO-led guess,
+/// and — unless it succeeded or exhausted the budget — a restart from the
+/// second window with what remains. `make` builds a fresh evaluator per
+/// start, which is what lets the batched and sequential paths share this
+/// logic (their evaluator types differ).
+fn gradient_multi_start<E>(
+    mut make: impl FnMut() -> E,
+    first_start: (f64, f64),
+    second_start: (f64, f64),
+    budget: usize,
+    t_mission: f64,
+    trace: &Trace,
+) -> Result<SearchResult, FuzzError>
+where
+    E: ProbeEvaluator,
+{
+    let first = gradient_search_traced(
+        make(),
+        first_start,
+        budget,
+        t_mission,
+        &GradientConfig::default(),
+        trace,
+    )?;
+    if first.success.is_some() || first.evaluations >= budget {
+        return Ok(first);
+    }
+    let second = gradient_search_traced(
+        make(),
+        second_start,
+        budget - first.evaluations,
+        t_mission,
+        &GradientConfig::default(),
+        trace,
+    )?;
+    Ok(SearchResult {
+        success: second.success,
+        evaluations: first.evaluations + second.evaluations,
+        converged: second.converged,
+        best_value: first.best_value.min(second.best_value),
+    })
 }
 
 /// Search bounds for a waveform's shape parameter, or `None` for the

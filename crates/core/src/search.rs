@@ -67,6 +67,99 @@ pub struct SearchResult {
     pub best_value: f64,
 }
 
+/// A source of objective evaluations for the window search.
+///
+/// The search calls [`eval`](ProbeEvaluator::eval) for single probes and
+/// [`eval_pair`](ProbeEvaluator::eval_pair) for the two independent
+/// finite-difference probes of each gradient iteration. The default
+/// `eval_pair` runs them sequentially; batched implementations (the fuzzer's
+/// lockstep [`BatchRunner`](swarm_sim::BatchRunner) evaluator) may simulate
+/// both missions at once. Every closure `FnMut(f64, f64) ->
+/// Result<Evaluation, FuzzError>` is an evaluator via the blanket impl.
+pub trait ProbeEvaluator {
+    /// Evaluates the objective at one window `(t_s, Δt)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying simulation/objective failure.
+    fn eval(&mut self, ts: f64, dt: f64) -> Result<Evaluation, FuzzError>;
+
+    /// Evaluates two *independent* probes (neither depends on the other's
+    /// result).
+    ///
+    /// Contract: the second evaluation is `None` **iff** the first probe
+    /// found a collision — the search stops at the first success, so a
+    /// batched implementation that simulated both missions anyway must
+    /// discard the second result (and not count it) to keep reports
+    /// identical to sequential evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying simulation/objective failure.
+    fn eval_pair(
+        &mut self,
+        a: (f64, f64),
+        b: (f64, f64),
+    ) -> Result<(Evaluation, Option<Evaluation>), FuzzError> {
+        let first = self.eval(a.0, a.1)?;
+        if matches!(first.outcome, EvalOutcome::SpvCollision { .. }) {
+            return Ok((first, None));
+        }
+        let second = self.eval(b.0, b.1)?;
+        Ok((first, Some(second)))
+    }
+}
+
+impl<F> ProbeEvaluator for F
+where
+    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+{
+    fn eval(&mut self, ts: f64, dt: f64) -> Result<Evaluation, FuzzError> {
+        self(ts, dt)
+    }
+}
+
+/// An evaluator assembled from two closures: `eval` for single probes and
+/// `pair` for the gradient's finite-difference pairs. This is how the fuzzer
+/// routes fd pairs through the lockstep [`BatchRunner`] while single probes
+/// keep the sequential path — the `pair` closure owns the batch dispatch and
+/// must honor the [`ProbeEvaluator::eval_pair`] discard contract.
+///
+/// [`BatchRunner`]: swarm_sim::BatchRunner
+pub struct PairedEvaluator<F, G> {
+    eval: F,
+    pair: G,
+}
+
+impl<F, G> PairedEvaluator<F, G>
+where
+    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+    G: FnMut((f64, f64), (f64, f64)) -> Result<(Evaluation, Option<Evaluation>), FuzzError>,
+{
+    /// Bundles the two closures into one evaluator.
+    pub fn new(eval: F, pair: G) -> Self {
+        PairedEvaluator { eval, pair }
+    }
+}
+
+impl<F, G> ProbeEvaluator for PairedEvaluator<F, G>
+where
+    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+    G: FnMut((f64, f64), (f64, f64)) -> Result<(Evaluation, Option<Evaluation>), FuzzError>,
+{
+    fn eval(&mut self, ts: f64, dt: f64) -> Result<Evaluation, FuzzError> {
+        (self.eval)(ts, dt)
+    }
+
+    fn eval_pair(
+        &mut self,
+        a: (f64, f64),
+        b: (f64, f64),
+    ) -> Result<(Evaluation, Option<Evaluation>), FuzzError> {
+        (self.pair)(a, b)
+    }
+}
+
 /// Projects a window onto the feasible region `t_s ≥ 0`, `Δt ≥ 0`,
 /// `t_s + Δt < t_mission`: first pulls `t_s` back inside the mission, then
 /// shortens `Δt` to fit the remainder.
@@ -100,15 +193,15 @@ fn success_of(e: &Evaluation) -> Option<SearchSuccess> {
 /// # Errors
 ///
 /// Propagates the first [`FuzzError`] returned by `objective`.
-pub fn gradient_search<F>(
-    objective: F,
+pub fn gradient_search<E>(
+    objective: E,
     initial: (f64, f64),
     budget: usize,
     t_mission: f64,
     config: &GradientConfig,
 ) -> Result<SearchResult, FuzzError>
 where
-    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+    E: ProbeEvaluator,
 {
     gradient_search_traced(objective, initial, budget, t_mission, config, &Trace::off())
 }
@@ -121,8 +214,8 @@ where
 /// # Errors
 ///
 /// Propagates the first [`FuzzError`] returned by `objective`.
-pub fn gradient_search_traced<F>(
-    mut objective: F,
+pub fn gradient_search_traced<E>(
+    mut objective: E,
     initial: (f64, f64),
     budget: usize,
     t_mission: f64,
@@ -130,16 +223,16 @@ pub fn gradient_search_traced<F>(
     trace: &Trace,
 ) -> Result<SearchResult, FuzzError>
 where
-    F: FnMut(f64, f64) -> Result<Evaluation, FuzzError>,
+    E: ProbeEvaluator,
 {
     let (mut ts, mut dt) = initial;
     clamp_window(&mut ts, &mut dt, t_mission);
     let mut evals = 0usize;
     let mut best = f64::INFINITY;
 
-    macro_rules! probe {
-        ($ts:expr, $dt:expr) => {{
-            let e = objective($ts, $dt)?;
+    macro_rules! fold {
+        ($e:expr) => {{
+            let e = $e;
             evals += 1;
             best = best.min(e.value);
             if let Some(s) = success_of(&e) {
@@ -154,13 +247,19 @@ where
         }};
     }
 
-    let mut current = probe!(ts, dt);
+    let mut current = fold!(objective.eval(ts, dt)?);
 
     while evals + 2 <= budget {
-        // Forward finite differences (each probe is one mission).
+        // Forward finite differences (each probe is one mission). The two
+        // probes are independent, so a batched evaluator may simulate both
+        // missions in lockstep; the fold order below keeps the report
+        // identical to sequential evaluation either way.
         let h = config.fd_step;
-        let e_ts = probe!(ts + h, dt);
-        let e_dt = probe!(ts, dt + h);
+        let (first, second) = objective.eval_pair((ts + h, dt), (ts, dt + h))?;
+        let e_ts = fold!(first);
+        let e_dt = fold!(second.expect(
+            "eval_pair contract: second probe present whenever the first found no collision"
+        ));
         let g_ts = (e_ts.value - current.value) / h;
         let g_dt = (e_dt.value - current.value) / h;
 
@@ -188,7 +287,7 @@ where
         if evals >= budget {
             break;
         }
-        let next = probe!(ts, dt);
+        let next = fold!(objective.eval(ts, dt)?);
 
         let improvement = current.value - next.value;
         current = next;
@@ -541,7 +640,7 @@ mod tests {
         let fd_step = GradientConfig::default().fd_step;
         let mut max_seen: f64 = 0.0;
         let r = gradient_search(
-            |ts, dt| {
+            |ts: f64, dt: f64| {
                 max_seen = max_seen.max(ts + dt);
                 bowl(1.0)(ts, dt)
             },
@@ -568,7 +667,7 @@ mod tests {
         let mut max_ts: f64 = 0.0;
         // Bowl centred at (90, 10): descent on ts pushes toward 90 > t_mission.
         let r = gradient_search(
-            |ts, dt| {
+            |ts: f64, dt: f64| {
                 max_ts = max_ts.max(ts);
                 let value = 1.0 + 0.02 * ((ts - 90.0).powi(2) + (dt - 10.0).powi(2));
                 Ok(Evaluation { value, outcome: EvalOutcome::NoCollision, start: ts, duration: dt })
@@ -590,7 +689,7 @@ mod tests {
         let t_mission = 30.0;
         let mut probes = Vec::new();
         gradient_search(
-            |ts, dt| {
+            |ts: f64, dt: f64| {
                 probes.push((ts, dt));
                 bowl(1.0)(ts, dt)
             },
@@ -633,7 +732,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(11);
             let mut samples = Vec::new();
             random_search(
-                |ts, dt| {
+                |ts: f64, dt: f64| {
                     samples.push((ts, dt));
                     bowl(5.0)(ts, dt)
                 },
@@ -752,7 +851,7 @@ mod tests {
     fn search_counts_every_probe() {
         let mut calls = 0usize;
         let r = gradient_search(
-            |ts, dt| {
+            |ts: f64, dt: f64| {
                 calls += 1;
                 bowl(2.0)(ts, dt)
             },
@@ -763,5 +862,70 @@ mod tests {
         )
         .unwrap();
         assert_eq!(calls, r.evaluations);
+    }
+
+    #[test]
+    fn default_eval_pair_skips_second_probe_after_collision() {
+        let mut calls = Vec::new();
+        let mut evaluator = |ts: f64, dt: f64| {
+            calls.push((ts, dt));
+            bowl(-50.0)(ts, dt) // collides everywhere near the bowl centre
+        };
+        let (first, second) = evaluator.eval_pair((20.0, 10.0), (21.0, 10.0)).unwrap();
+        assert!(matches!(first.outcome, EvalOutcome::SpvCollision { .. }));
+        assert!(second.is_none(), "second probe must be skipped after a collision");
+        assert_eq!(calls, vec![(20.0, 10.0)]);
+    }
+
+    /// A paired evaluator that always simulates both probes (as the lockstep
+    /// batch runner does) but honors the discard contract. The search report
+    /// must be indistinguishable from the sequential closure path.
+    struct PairedBowl<'a> {
+        floor: f64,
+        pairs: &'a std::cell::Cell<usize>,
+    }
+
+    impl ProbeEvaluator for PairedBowl<'_> {
+        fn eval(&mut self, ts: f64, dt: f64) -> Result<Evaluation, FuzzError> {
+            bowl(self.floor)(ts, dt)
+        }
+
+        fn eval_pair(
+            &mut self,
+            a: (f64, f64),
+            b: (f64, f64),
+        ) -> Result<(Evaluation, Option<Evaluation>), FuzzError> {
+            self.pairs.set(self.pairs.get() + 1);
+            let first = self.eval(a.0, a.1)?;
+            let second = self.eval(b.0, b.1)?; // always simulated
+            if matches!(first.outcome, EvalOutcome::SpvCollision { .. }) {
+                return Ok((first, None)); // ...but discarded on first success
+            }
+            Ok((first, Some(second)))
+        }
+    }
+
+    #[test]
+    fn paired_evaluator_reports_identically_to_sequential() {
+        for floor in [-2.0, 1.5, 0.5] {
+            for initial in [(5.0, 3.0), (18.0, 9.0), (100.0, 60.0)] {
+                let pairs = std::cell::Cell::new(0usize);
+                let batched = gradient_search(
+                    PairedBowl { floor, pairs: &pairs },
+                    initial,
+                    40,
+                    200.0,
+                    &GradientConfig::default(),
+                )
+                .unwrap();
+                let sequential =
+                    gradient_search(bowl(floor), initial, 40, 200.0, &GradientConfig::default())
+                        .unwrap();
+                assert_eq!(batched, sequential, "floor={floor} initial={initial:?}");
+                if batched.evaluations >= 3 {
+                    assert!(pairs.get() > 0, "fd probes must route through eval_pair");
+                }
+            }
+        }
     }
 }

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use swarm_math::Vec3;
 
 use crate::spatial::SpatialGrid;
-use crate::DroneId;
+use crate::{DroneId, SimError};
 
 /// Configuration of the communication bus.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,16 +99,18 @@ impl CommsBus {
     /// tables. `receiver_positions` are the drones' true positions, used for
     /// the radio-range check.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `receiver_positions.len()` differs from the swarm size.
+    /// Returns [`SimError::CommsInvariant`] if `receiver_positions.len()`
+    /// differs from the swarm size or the in-flight queue has lost its
+    /// `delay_ticks + 1` slots (e.g. a corrupted snapshot resume).
     pub fn step(
         &mut self,
         broadcasts: Vec<StateMessage>,
         receiver_positions: &[Vec3],
         rng: &mut StdRng,
-    ) {
-        self.step_indexed(broadcasts, receiver_positions, None, rng);
+    ) -> Result<(), SimError> {
+        self.step_indexed(broadcasts, receiver_positions, None, rng).map(|_| ())
     }
 
     /// [`CommsBus::step`] with an optional spatial index over
@@ -124,34 +126,54 @@ impl CommsBus {
     ///
     /// Returns the number of grid cells probed (0 on the dense path).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `receiver_positions.len()` differs from the swarm size, or
-    /// if a grid is supplied that does not index exactly the receivers.
+    /// Returns [`SimError::CommsInvariant`] if `receiver_positions.len()`
+    /// differs from the swarm size, the in-flight queue is malformed, or a
+    /// grid is supplied that does not index exactly the receivers. These were
+    /// once `assert`/`expect` panics; as typed errors a malformed snapshot
+    /// resume fails one mission instead of taking down the whole worker.
     pub fn step_indexed(
         &mut self,
         broadcasts: Vec<StateMessage>,
         receiver_positions: &[Vec3],
         grid: Option<&SpatialGrid>,
         rng: &mut StdRng,
-    ) -> u64 {
-        assert_eq!(
-            receiver_positions.len(),
-            self.swarm_size,
-            "receiver position count must equal swarm size"
-        );
-        self.in_flight
-            .back_mut()
-            .expect("in_flight always has delay_ticks+1 slots")
-            .extend(broadcasts);
+    ) -> Result<u64, SimError> {
+        if receiver_positions.len() != self.swarm_size {
+            return Err(SimError::CommsInvariant(format!(
+                "got {} receiver positions for a swarm of {}",
+                receiver_positions.len(),
+                self.swarm_size
+            )));
+        }
+        let Some(back) = self.in_flight.back_mut() else {
+            return Err(SimError::CommsInvariant(format!(
+                "in-flight queue is empty; expected {} slot(s) for delay_ticks = {}",
+                self.config.delay_ticks + 1,
+                self.config.delay_ticks
+            )));
+        };
+        back.extend(broadcasts);
 
-        let due = self.in_flight.pop_front().expect("in_flight never empty");
+        // Non-empty was just established above, but stay panic-free even if
+        // a future refactor breaks that reasoning.
+        let due = self
+            .in_flight
+            .pop_front()
+            .ok_or_else(|| SimError::CommsInvariant("in-flight queue drained mid-step".into()))?;
         self.in_flight.push_back(Vec::new());
 
         let mut cells_probed = 0u64;
         match (grid, self.config.range) {
             (Some(grid), Some(range)) => {
-                assert_eq!(grid.len(), self.swarm_size, "grid must index the whole swarm");
+                if grid.len() != self.swarm_size {
+                    return Err(SimError::CommsInvariant(format!(
+                        "spatial index covers {} drones, swarm has {}",
+                        grid.len(),
+                        self.swarm_size
+                    )));
+                }
                 let mut scratch = std::mem::take(&mut self.scratch);
                 for msg in due {
                     cells_probed += grid.within_into(msg.position, range, &mut scratch);
@@ -169,7 +191,57 @@ impl CommsBus {
                 }
             }
         }
-        cells_probed
+        Ok(cells_probed)
+    }
+
+    /// Checks the bus's internal invariants against the swarm it claims to
+    /// serve: the neighbor tables must cover exactly `expected_swarm_size`
+    /// receivers and the in-flight queue must hold exactly `delay_ticks + 1`
+    /// slots. Run on every snapshot resume so a corrupted or reconfigured
+    /// snapshot is rejected up front with a typed error instead of panicking
+    /// (or silently mis-delivering) steps later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CommsInvariant`] describing the first violation.
+    pub fn validate(&self, expected_swarm_size: usize) -> Result<(), SimError> {
+        if self.swarm_size != expected_swarm_size {
+            return Err(SimError::CommsInvariant(format!(
+                "bus serves {} drones, mission has {expected_swarm_size}",
+                self.swarm_size
+            )));
+        }
+        if self.tables.len() != self.swarm_size {
+            return Err(SimError::CommsInvariant(format!(
+                "neighbor tables cover {} receivers, swarm has {}",
+                self.tables.len(),
+                self.swarm_size
+            )));
+        }
+        if self.in_flight.len() != self.config.delay_ticks + 1 {
+            return Err(SimError::CommsInvariant(format!(
+                "in-flight queue holds {} slot(s), delay_ticks = {} requires {}",
+                self.in_flight.len(),
+                self.config.delay_ticks,
+                self.config.delay_ticks + 1
+            )));
+        }
+        for row in &self.tables {
+            if row.iter().any(|m| m.sender.index() >= self.swarm_size) {
+                return Err(SimError::CommsInvariant(
+                    "neighbor table references a sender outside the swarm".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only corruption: drops every in-flight slot, simulating a
+    /// snapshot whose queue was truncated (e.g. by a delay reconfiguration
+    /// between capture and resume).
+    #[cfg(test)]
+    pub(crate) fn corrupt_in_flight_for_test(&mut self) {
+        self.in_flight.clear();
     }
 
     /// Delivery of one message to one candidate receiver: sender skip, exact
@@ -241,7 +313,7 @@ mod tests {
     #[test]
     fn ideal_bus_delivers_same_tick() {
         let mut bus = CommsBus::new(3, CommsConfig::default());
-        bus.step(vec![msg(0, 0.0), msg(1, 0.0)], &[Vec3::ZERO; 3], &mut rng());
+        bus.step(vec![msg(0, 0.0), msg(1, 0.0)], &[Vec3::ZERO; 3], &mut rng()).unwrap();
         assert_eq!(bus.neighbors_of(DroneId(2)).count(), 2);
         assert!(bus.last_heard(DroneId(2), DroneId(0)).is_some());
         // A drone never hears itself.
@@ -252,11 +324,11 @@ mod tests {
     fn delayed_bus_delivers_after_delay() {
         let mut bus = CommsBus::new(2, CommsConfig { delay_ticks: 2, ..Default::default() });
         let pos = [Vec3::ZERO; 2];
-        bus.step(vec![msg(0, 0.0)], &pos, &mut rng());
+        bus.step(vec![msg(0, 0.0)], &pos, &mut rng()).unwrap();
         assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
-        bus.step(Vec::new(), &pos, &mut rng());
+        bus.step(Vec::new(), &pos, &mut rng()).unwrap();
         assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
-        bus.step(Vec::new(), &pos, &mut rng());
+        bus.step(Vec::new(), &pos, &mut rng()).unwrap();
         assert_eq!(bus.neighbors_of(DroneId(1)).count(), 1);
     }
 
@@ -264,7 +336,7 @@ mod tests {
     fn full_drop_blocks_everything() {
         let mut bus = CommsBus::new(2, CommsConfig { drop_probability: 1.0, ..Default::default() });
         for t in 0..10 {
-            bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut rng());
+            bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut rng()).unwrap();
         }
         assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
     }
@@ -273,7 +345,7 @@ mod tests {
     fn out_of_range_receiver_misses_message() {
         let mut bus = CommsBus::new(2, CommsConfig { range: Some(10.0), ..Default::default() });
         let positions = [Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
-        bus.step(vec![msg(0, 0.0)], &positions, &mut rng());
+        bus.step(vec![msg(0, 0.0)], &positions, &mut rng()).unwrap();
         assert_eq!(bus.neighbors_of(DroneId(1)).count(), 0);
     }
 
@@ -287,7 +359,8 @@ mod tests {
             vec![msg(3, 0.0), msg(0, 0.0), msg(4, 0.0), msg(1, 0.0)],
             &[Vec3::ZERO; 5],
             &mut rng(),
-        );
+        )
+        .unwrap();
         let senders: Vec<usize> = bus.neighbors_of(DroneId(2)).map(|m| m.sender.index()).collect();
         assert_eq!(senders, vec![0, 1, 3, 4]);
         // Gaps (unheard senders) are skipped, order preserved.
@@ -319,9 +392,9 @@ mod tests {
                     time: t as f64,
                 })
                 .collect();
-            dense.step(broadcasts.clone(), &positions, &mut rng_a);
+            dense.step(broadcasts.clone(), &positions, &mut rng_a).unwrap();
             grid.rebuild(&positions, 12.0);
-            gridded.step_indexed(broadcasts, &positions, Some(&grid), &mut rng_b);
+            gridded.step_indexed(broadcasts, &positions, Some(&grid), &mut rng_b).unwrap();
         }
         for r in 0..n {
             let a: Vec<StateMessage> = dense.neighbors_of(DroneId(r)).collect();
@@ -334,11 +407,53 @@ mod tests {
     fn newer_message_replaces_older() {
         let mut bus = CommsBus::new(2, CommsConfig::default());
         let pos = [Vec3::ZERO; 2];
-        bus.step(vec![msg(0, 0.0)], &pos, &mut rng());
+        bus.step(vec![msg(0, 0.0)], &pos, &mut rng()).unwrap();
         let mut newer = msg(0, 1.0);
         newer.position = Vec3::new(9.0, 9.0, 9.0);
-        bus.step(vec![newer], &pos, &mut rng());
+        bus.step(vec![newer], &pos, &mut rng()).unwrap();
         assert_eq!(bus.last_heard(DroneId(1), DroneId(0)).unwrap().position, newer.position);
+    }
+
+    #[test]
+    fn wrong_receiver_count_is_a_typed_error_not_a_panic() {
+        let mut bus = CommsBus::new(3, CommsConfig::default());
+        let err = bus.step(vec![msg(0, 0.0)], &[Vec3::ZERO; 2], &mut rng()).unwrap_err();
+        assert!(matches!(err, SimError::CommsInvariant(_)), "got {err:?}");
+        assert!(err.to_string().contains("2 receiver positions"));
+    }
+
+    #[test]
+    fn drained_in_flight_queue_is_a_typed_error_not_a_panic() {
+        let mut bus = CommsBus::new(2, CommsConfig { delay_ticks: 1, ..Default::default() });
+        bus.corrupt_in_flight_for_test();
+        let err = bus.step(vec![msg(0, 0.0)], &[Vec3::ZERO; 2], &mut rng()).unwrap_err();
+        let SimError::CommsInvariant(text) = err else { panic!("wrong kind") };
+        assert_eq!(text, "in-flight queue is empty; expected 2 slot(s) for delay_ticks = 1");
+    }
+
+    #[test]
+    fn undersized_grid_is_a_typed_error_not_a_panic() {
+        use crate::spatial::SpatialGrid;
+        let mut bus = CommsBus::new(3, CommsConfig { range: Some(10.0), ..Default::default() });
+        let grid = SpatialGrid::build(&[Vec3::ZERO; 2], 10.0);
+        let err = bus
+            .step_indexed(vec![msg(0, 0.0)], &[Vec3::ZERO; 3], Some(&grid), &mut rng())
+            .unwrap_err();
+        assert!(matches!(err, SimError::CommsInvariant(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn validate_accepts_fresh_and_rejects_corrupted_buses() {
+        let bus = CommsBus::new(4, CommsConfig { delay_ticks: 2, ..Default::default() });
+        bus.validate(4).unwrap();
+        assert!(matches!(bus.validate(5), Err(SimError::CommsInvariant(_))));
+
+        let mut corrupted = bus.clone();
+        corrupted.corrupt_in_flight_for_test();
+        let SimError::CommsInvariant(text) = corrupted.validate(4).unwrap_err() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(text, "in-flight queue holds 0 slot(s), delay_ticks = 2 requires 3");
     }
 
     #[test]
@@ -346,7 +461,7 @@ mod tests {
         let mut bus = CommsBus::new(2, CommsConfig { drop_probability: 0.5, ..Default::default() });
         let mut r = rng();
         for t in 0..50 {
-            bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut r);
+            bus.step(vec![msg(0, t as f64)], &[Vec3::ZERO; 2], &mut r).unwrap();
         }
         assert!(bus.last_heard(DroneId(1), DroneId(0)).is_some());
     }

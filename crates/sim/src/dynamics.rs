@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use swarm_math::Vec3;
 
 use crate::pid::{Pid, PidConfig};
+use crate::soa::SoaState;
 
 /// Physical parameters shared by all dynamics models.
 ///
@@ -78,6 +79,39 @@ pub trait Dynamics {
 
     /// Clears internal controller state (integrators, filters).
     fn reset(&mut self);
+
+    /// Advances every *alive* drone one physics step over SoA columns
+    /// (`models[d]` owns drone `d`'s internal state). Also records the
+    /// realized acceleration `(v' − v) / dt` in the scratch columns.
+    ///
+    /// The default implementation gathers each drone's state from the
+    /// columns, delegates to [`Dynamics::step`] and scatters the result back
+    /// in index order — bit-identical to the scalar loop by construction, and
+    /// correct for any stateful model. Models with closed-form per-drone
+    /// arithmetic (see [`PointMass`]) override it with a dense column kernel
+    /// that evaluates the *same expression tree*, which is what keeps the
+    /// override bit-identical (pinned by `batch_kernel_matches_scalar_step`).
+    fn step_batch(
+        models: &mut [Self],
+        soa: &mut SoaState,
+        commanded: &[Vec3],
+        alive: &[bool],
+        dt: f64,
+    ) where
+        Self: Sized,
+    {
+        for (d, model) in models.iter_mut().enumerate() {
+            if !alive[d] {
+                continue;
+            }
+            let prev_velocity = soa.velocity(d);
+            let next = model.step(&soa.drone_state(d), commanded[d], dt);
+            soa.set_drone_state(d, next);
+            soa.accx[d] = (next.velocity.x - prev_velocity.x) / dt;
+            soa.accy[d] = (next.velocity.y - prev_velocity.y) / dt;
+            soa.accz[d] = (next.velocity.z - prev_velocity.z) / dt;
+        }
+    }
 }
 
 /// Velocity-tracking point-mass dynamics (SwarmLab's default model).
@@ -120,6 +154,41 @@ impl Dynamics for PointMass {
     }
 
     fn reset(&mut self) {}
+
+    /// Dense column kernel: stateless per drone, so the whole swarm advances
+    /// in one pass over the columns with no AoS gather/scatter. The body is
+    /// the exact expression tree of [`PointMass::step`], drone by drone in
+    /// index order — see the trait doc for why that guarantees bit-identity.
+    fn step_batch(
+        models: &mut [Self],
+        soa: &mut SoaState,
+        commanded: &[Vec3],
+        alive: &[bool],
+        dt: f64,
+    ) {
+        for d in 0..soa.len() {
+            if !alive[d] {
+                continue;
+            }
+            let p = models[d].params;
+            let state_velocity = soa.velocity(d);
+            let cmd = commanded[d].clamp_norm(p.max_speed);
+            let accel = ((cmd - state_velocity) / p.velocity_time_constant).clamp_norm(p.max_accel)
+                - state_velocity * p.drag;
+            let velocity = (state_velocity + accel * dt).clamp_norm(p.max_speed);
+            let position = soa.position(d) + velocity * dt;
+            soa.set_position(d, position);
+            soa.vx[d] = velocity.x;
+            soa.vy[d] = velocity.y;
+            soa.vz[d] = velocity.z;
+            soa.attx[d] = 0.0;
+            soa.atty[d] = 0.0;
+            soa.attz[d] = 0.0;
+            soa.accx[d] = (velocity.x - state_velocity.x) / dt;
+            soa.accy[d] = (velocity.y - state_velocity.y) / dt;
+            soa.accz[d] = (velocity.z - state_velocity.z) / dt;
+        }
+    }
 }
 
 /// Parameters specific to the cascaded quadrotor model.
@@ -247,7 +316,10 @@ mod tests {
     fn settle<D: Dynamics>(model: &mut D, cmd: Vec3, seconds: f64) -> DroneState {
         let mut s = DroneState::default();
         let dt = 0.01;
-        for _ in 0..(seconds / dt) as usize {
+        // Derive the step count through the shared rounding helper — the
+        // truncating `(seconds / dt) as usize` this used to do ran one step
+        // short of the mission loop's own cadence (10.0/0.01 < 1000.0).
+        for _ in 0..crate::mission::ticks_per(seconds, dt) {
             s = model.step(&s, cmd, dt);
         }
         s
@@ -309,6 +381,90 @@ mod tests {
             assert!(s.attitude.x.abs() <= m.params().max_tilt + 1e-9);
             assert!(s.attitude.y.abs() <= m.params().max_tilt + 1e-9);
         }
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_step_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let v3 = |rng: &mut StdRng, scale: f64| {
+            Vec3::new(
+                rng.gen_range(-scale..scale),
+                rng.gen_range(-scale..scale),
+                rng.gen_range(-scale..scale),
+            )
+        };
+        for case in 0..64 {
+            let n = rng.gen_range(1usize..40);
+            let states: Vec<DroneState> = (0..n)
+                .map(|_| DroneState {
+                    position: v3(&mut rng, 100.0),
+                    velocity: v3(&mut rng, 10.0),
+                    attitude: Vec3::ZERO,
+                })
+                .collect();
+            let commanded: Vec<Vec3> = (0..n).map(|_| v3(&mut rng, 20.0)).collect();
+            let alive: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.85)).collect();
+            let dt = 0.01;
+
+            // Scalar reference: the AoS per-drone loop.
+            let mut scalar = states.clone();
+            let mut model = PointMass::default();
+            for d in 0..n {
+                if alive[d] {
+                    scalar[d] = model.step(&scalar[d], commanded[d], dt);
+                }
+            }
+
+            // Column kernel over the same inputs.
+            let gps = vec![crate::sensors::GpsReceiver::new(Default::default()); n];
+            let mut soa = SoaState::load(&states, &gps);
+            let mut models = vec![PointMass::default(); n];
+            PointMass::step_batch(&mut models, &mut soa, &commanded, &alive, dt);
+
+            for (d, expected) in scalar.iter().enumerate() {
+                let got = soa.drone_state(d);
+                assert_eq!(
+                    got.position.x.to_bits(),
+                    expected.position.x.to_bits(),
+                    "case {case} drone {d} position.x diverged"
+                );
+                assert_eq!(got, *expected, "case {case} drone {d} state diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn default_step_batch_advances_stateful_models_like_the_scalar_loop() {
+        // The quadrotor uses the default gather/scatter path; its PID
+        // internals must evolve exactly as in the per-drone loop.
+        let n = 4;
+        let states: Vec<DroneState> =
+            (0..n).map(|d| DroneState::at(Vec3::new(d as f64, 0.0, 10.0))).collect();
+        let commanded: Vec<Vec3> = (0..n).map(|d| Vec3::new(1.0 + d as f64, -0.5, 0.2)).collect();
+        let alive = vec![true, true, false, true];
+        let dt = 0.01;
+
+        let mut scalar = states.clone();
+        let mut scalar_models: Vec<Quadrotor> = (0..n).map(|_| Quadrotor::default()).collect();
+        let gps = vec![crate::sensors::GpsReceiver::new(Default::default()); n];
+        let mut soa = SoaState::load(&states, &gps);
+        let mut batch_models: Vec<Quadrotor> = (0..n).map(|_| Quadrotor::default()).collect();
+
+        for _ in 0..50 {
+            for d in 0..n {
+                if alive[d] {
+                    scalar[d] = scalar_models[d].step(&scalar[d], commanded[d], dt);
+                }
+            }
+            Quadrotor::step_batch(&mut batch_models, &mut soa, &commanded, &alive, dt);
+        }
+        for (d, expected) in scalar.iter().enumerate() {
+            assert_eq!(soa.drone_state(d), *expected, "drone {d} state diverged");
+        }
+        assert_eq!(scalar_models, batch_models, "PID internals diverged");
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub enum SimError {
     /// or the requested attack window opens inside the already-simulated
     /// prefix.
     SnapshotMismatch(String),
+    /// The communication bus detected a broken internal invariant (in-flight
+    /// queue not sized `delay_ticks + 1`, neighbor tables not matching the
+    /// swarm size, a spatial index that does not cover the receivers). These
+    /// used to be `expect`/`assert` panics inside the delivery hot loop; as a
+    /// typed error a malformed snapshot resume or a mid-run delay
+    /// reconfiguration fails the one mission instead of killing the worker.
+    CommsInvariant(String),
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +41,7 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidAttack(msg) => write!(f, "invalid attack: {msg}"),
             SimError::SnapshotMismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
+            SimError::CommsInvariant(msg) => write!(f, "comms invariant violated: {msg}"),
         }
     }
 }
@@ -52,5 +60,8 @@ mod tests {
         assert!(!SimError::InvalidMission("x".into()).to_string().is_empty());
         assert!(!SimError::InvalidAttack("y".into()).to_string().is_empty());
         assert!(SimError::SnapshotMismatch("stale".into()).to_string().contains("stale"));
+        let e = SimError::CommsInvariant("queue drained".into());
+        assert!(e.to_string().contains("comms invariant"));
+        assert!(e.to_string().contains("queue drained"));
     }
 }

@@ -58,6 +58,7 @@ pub mod render;
 pub mod runner;
 pub mod scenario;
 pub mod sensors;
+pub mod soa;
 pub mod spatial;
 pub mod spoof;
 pub mod wind;
@@ -65,9 +66,11 @@ pub mod world;
 
 pub use error::SimError;
 pub use runner::{
-    ControlContext, MissionOutcome, NeighborState, PerceivedSelf, RunStats, SimConfig, SimObserver,
-    SimSnapshot, Simulation, SwarmController,
+    BatchJob, BatchRunner, ControlBatch, ControlContext, ControlLane, MissionOutcome,
+    NeighborState, PerceivedSelf, RunStats, SimConfig, SimObserver, SimSnapshot, Simulation,
+    StateLayout, SwarmController,
 };
+pub use soa::SoaState;
 pub use spatial::{SpatialGrid, SpatialPolicy, GRID_AUTO_THRESHOLD};
 
 use serde::{Deserialize, Serialize};

@@ -24,6 +24,24 @@ use crate::SimError;
 /// Length of the paper's delivery mission in metres.
 pub const PAPER_MISSION_LENGTH: f64 = 233.5;
 
+/// Upper bound on any `span / physics_dt` tick ratio a spec may derive.
+/// Beyond this the `f64 → usize` conversion would quietly saturate; validate
+/// rejects such specs up front with a typed error instead.
+pub const MAX_TICK_RATIO: f64 = 1e12;
+
+/// The single tick-derivation rule: the whole physics-step count nearest to
+/// `span / physics_dt`.
+///
+/// Every cadence in the repo must derive step counts through this helper —
+/// mission duration, control period, GPS period, and test settle loops alike.
+/// Rounding (not truncation) is essential: `10.0 / 0.01` is `999.999…` in
+/// binary, and truncating it silently drops a step. Callers may assume a
+/// validated spec; [`MissionSpec::validate`] rejects NaN, non-positive and
+/// overflowing ratios so this helper never sees them.
+pub fn ticks_per(span: f64, physics_dt: f64) -> usize {
+    (span / physics_dt).round() as usize
+}
+
 /// Cruise altitude used by the reproduction missions (metres).
 pub const CRUISE_ALTITUDE: f64 = 10.0;
 
@@ -138,17 +156,17 @@ impl MissionSpec {
 
     /// Number of physics steps in the mission.
     pub fn physics_steps(&self) -> usize {
-        (self.duration / self.physics_dt).round() as usize
+        ticks_per(self.duration, self.physics_dt)
     }
 
     /// Number of physics steps per control tick (at least 1).
     pub fn steps_per_control(&self) -> usize {
-        ((self.control_period / self.physics_dt).round() as usize).max(1)
+        ticks_per(self.control_period, self.physics_dt).max(1)
     }
 
     /// Number of physics steps per GPS sample (at least 1).
     pub fn steps_per_gps(&self) -> usize {
-        ((self.gps.period() / self.physics_dt).round() as usize).max(1)
+        ticks_per(self.gps.period(), self.physics_dt).max(1)
     }
 
     /// A 64-bit fingerprint of every field of the spec, used to key snapshot
@@ -230,11 +248,26 @@ impl MissionSpec {
                 self.physics_dt
             )));
         }
+        if !self.control_period.is_finite() {
+            return Err(SimError::InvalidMission(format!(
+                "control_period must be finite, got {}",
+                self.control_period
+            )));
+        }
         if self.control_period < self.physics_dt {
             return Err(SimError::InvalidMission("control_period must be >= physics_dt".into()));
         }
         if not_positive(self.duration) {
             return Err(SimError::InvalidMission("duration must be positive".into()));
+        }
+        // Bound every tick ratio `ticks_per` will derive so the f64 → usize
+        // conversions can never saturate mid-run.
+        let steps = self.duration / self.physics_dt;
+        if steps > MAX_TICK_RATIO {
+            return Err(SimError::InvalidMission(format!(
+                "duration/physics_dt ratio {steps:e} exceeds the supported {MAX_TICK_RATIO:e} \
+                 physics steps"
+            )));
         }
         if self.start_min.x > self.start_max.x || self.start_min.y > self.start_max.y {
             return Err(SimError::InvalidMission("start box corners are inverted".into()));
@@ -247,6 +280,13 @@ impl MissionSpec {
             return Err(SimError::InvalidMission(format!(
                 "GPS rate must be positive, got {} Hz",
                 self.gps.rate_hz
+            )));
+        }
+        let gps_steps = self.gps.period() / self.physics_dt;
+        if gps_steps > MAX_TICK_RATIO {
+            return Err(SimError::InvalidMission(format!(
+                "GPS period/physics_dt ratio {gps_steps:e} exceeds the supported \
+                 {MAX_TICK_RATIO:e} physics steps"
             )));
         }
         for (i, o) in self.world.obstacles.iter().enumerate() {
@@ -503,6 +543,68 @@ mod tests {
         let mut c = a.clone();
         c.comms.range = Some(25.0);
         assert_ne!(a.fingerprint(), c.fingerprint(), "comms range must be hashed");
+    }
+
+    #[test]
+    fn ticks_per_rounds_instead_of_truncating() {
+        // 0.3 / 0.1 is 2.999…96 in binary: truncation loses a step,
+        // rounding does not. This was the dynamics settle-helper bug.
+        assert_eq!((0.3f64 / 0.1) as usize, 2, "binary premise changed");
+        assert_eq!(ticks_per(0.3, 0.1), 3);
+        assert_eq!(ticks_per(10.0, 0.01), 1000);
+        assert_eq!(ticks_per(150.0, 0.01), 15_000);
+        assert_eq!(ticks_per(0.1, 0.01), 10);
+        assert_eq!(ticks_per(0.0, 0.01), 0);
+    }
+
+    #[test]
+    fn derived_step_counts_agree_with_the_shared_helper() {
+        let m = MissionSpec::paper_delivery(5, 3);
+        assert_eq!(m.physics_steps(), ticks_per(m.duration, m.physics_dt));
+        assert_eq!(m.steps_per_control(), ticks_per(m.control_period, m.physics_dt).max(1));
+        assert_eq!(m.steps_per_gps(), ticks_per(m.gps.period(), m.physics_dt).max(1));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_control_period() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut m = MissionSpec::paper_delivery(5, 0);
+            m.control_period = bad;
+            let SimError::InvalidMission(msg) = m.validate().unwrap_err() else {
+                panic!("wrong error kind for control_period {bad}")
+            };
+            assert_eq!(msg, format!("control_period must be finite, got {bad}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_duration_ratio() {
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.duration = 1e300;
+        let SimError::InvalidMission(msg) = m.validate().unwrap_err() else {
+            panic!("wrong error kind")
+        };
+        assert_eq!(
+            msg,
+            format!(
+                "duration/physics_dt ratio {:e} exceeds the supported {MAX_TICK_RATIO:e} physics \
+                 steps",
+                1e300 / 0.01
+            )
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overflowing_gps_ratio() {
+        let mut m = MissionSpec::paper_delivery(5, 0);
+        m.gps.rate_hz = 1e-300;
+        let SimError::InvalidMission(msg) = m.validate().unwrap_err() else {
+            panic!("wrong error kind")
+        };
+        assert!(
+            msg.starts_with("GPS period/physics_dt ratio") && msg.contains("exceeds"),
+            "unexpected message: {msg}"
+        );
     }
 
     /// Regression: a zero GPS rate used to pass validation and panic later

@@ -43,6 +43,16 @@ impl GpsConfig {
         assert!(self.rate_hz > 0.0, "GPS rate must be positive, got {}", self.rate_hz);
         1.0 / self.rate_hz
     }
+
+    /// `true` when sampling never draws from the noise RNG — the condition
+    /// under which the SoA GPS kernel may fill whole fix columns without
+    /// consulting per-drone receiver state.
+    pub fn is_noise_free(&self) -> bool {
+        // Written via a helper so NaN stds (rejected by validation anyway)
+        // keep counting as noise-free, exactly as `!(std > 0.0)` would.
+        let noisy = |std: f64| std > 0.0;
+        !noisy(self.position_noise_std) && !noisy(self.velocity_noise_std)
+    }
 }
 
 /// A GPS fix: position and velocity as perceived by the receiver.
@@ -89,21 +99,7 @@ impl GpsReceiver {
         time: f64,
         rng: &mut StdRng,
     ) -> GpsFix {
-        let pos_noise = if self.config.position_noise_std > 0.0 {
-            gaussian3(rng, self.config.position_noise_std)
-        } else {
-            Vec3::ZERO
-        };
-        let vel_noise = if self.config.velocity_noise_std > 0.0 {
-            gaussian3(rng, self.config.velocity_noise_std)
-        } else {
-            Vec3::ZERO
-        };
-        self.last_fix = GpsFix {
-            position: true_position + pos_noise + offset,
-            velocity: true_velocity + vel_noise,
-            time,
-        };
+        self.last_fix = sample_fix(&self.config, true_position, true_velocity, offset, time, rng);
         self.initialized = true;
         self.last_fix
     }
@@ -111,6 +107,47 @@ impl GpsReceiver {
     /// The most recent fix, or `None` before the first sample.
     pub fn fix(&self) -> Option<GpsFix> {
         self.initialized.then_some(self.last_fix)
+    }
+
+    /// The raw fix state (last fix, initialized flag) — used by the SoA
+    /// column store to load/restore receiver state losslessly.
+    pub(crate) fn fix_state(&self) -> (GpsFix, bool) {
+        (self.last_fix, self.initialized)
+    }
+
+    /// Restores the raw fix state captured by [`GpsReceiver::fix_state`].
+    pub(crate) fn restore_fix_state(&mut self, fix: GpsFix, initialized: bool) {
+        self.last_fix = fix;
+        self.initialized = initialized;
+    }
+}
+
+/// The measurement law shared by the per-receiver scalar path
+/// ([`GpsReceiver::sample`]) and the SoA column kernel: one expression tree,
+/// so the two paths cannot drift apart bit-wise. Noise draws are guarded by
+/// strict `> 0.0` comparisons so a zero-noise config consumes no RNG state.
+pub(crate) fn sample_fix(
+    config: &GpsConfig,
+    true_position: Vec3,
+    true_velocity: Vec3,
+    offset: Vec3,
+    time: f64,
+    rng: &mut StdRng,
+) -> GpsFix {
+    let pos_noise = if config.position_noise_std > 0.0 {
+        gaussian3(rng, config.position_noise_std)
+    } else {
+        Vec3::ZERO
+    };
+    let vel_noise = if config.velocity_noise_std > 0.0 {
+        gaussian3(rng, config.velocity_noise_std)
+    } else {
+        Vec3::ZERO
+    };
+    GpsFix {
+        position: true_position + pos_noise + offset,
+        velocity: true_velocity + vel_noise,
+        time,
     }
 }
 
@@ -207,5 +244,28 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         GpsConfig { rate_hz: 0.0, ..Default::default() }.period();
+    }
+
+    #[test]
+    fn noise_free_predicate_matches_rng_consumption() {
+        // The SoA fast path is admissible exactly when sampling leaves the
+        // RNG untouched; the predicate must agree with `sample`'s guards,
+        // including for NaN stds (which the `> 0.0` guards treat as no noise).
+        for (p, v, free) in [
+            (0.0, 0.0, true),
+            (0.5, 0.0, false),
+            (0.0, 0.5, false),
+            (-1.0, -1.0, true),
+            (f64::NAN, 0.0, true),
+        ] {
+            let cfg =
+                GpsConfig { position_noise_std: p, velocity_noise_std: v, ..Default::default() };
+            assert_eq!(cfg.is_noise_free(), free, "std=({p},{v})");
+            let mut a = rng();
+            let mut b = a.clone();
+            sample_fix(&cfg, Vec3::X, Vec3::ZERO, Vec3::ZERO, 0.0, &mut a);
+            let untouched = a.gen::<u64>() == b.gen::<u64>();
+            assert_eq!(untouched, free, "RNG consumption disagrees for std=({p},{v})");
+        }
     }
 }

@@ -1,0 +1,312 @@
+//! Structure-of-arrays mirror of the per-drone hot state.
+//!
+//! The mission loop's working set is small but touched every physics step:
+//! positions, velocities, attitudes and the latest GPS fix of every drone.
+//! Stored as an array of structs ([`crate::dynamics::DroneState`] +
+//! [`crate::sensors::GpsReceiver`]), each kernel strides over interleaved
+//! fields; stored as parallel `Vec<f64>` columns, the dynamics integrator,
+//! the wind drift, the GPS sampler and the collision broad-phase guard all
+//! walk dense, contiguous memory that the autovectorizer can keep in vector
+//! registers.
+//!
+//! ## Bit-identity contract
+//!
+//! [`SoaState`] is a *layout* change, never a *semantics* change: every
+//! kernel that reads or writes columns must evaluate the exact floating-point
+//! expression tree of the scalar path it replaces, visiting drones in the
+//! same fixed index order. Rust/LLVM does not re-associate or otherwise
+//! rewrite `f64` arithmetic without explicit fast-math intrinsics (which this
+//! crate never uses), so equal expression trees over equal inputs produce
+//! equal bits — vectorized or not. The whole-mission differential suite
+//! (`tests/soa_equivalence.rs`) and the in-crate kernel tests pin this claim.
+//!
+//! A subtle corner worth spelling out: the scalar GPS sampler computes
+//! `position + pos_noise + offset` even when noise and offset are zero.
+//! `(-0.0) + 0.0` is `+0.0` in IEEE 754, so a column kernel that merely
+//! *copied* the position column would differ in sign bit from the scalar
+//! path whenever a coordinate is `-0.0`. The fast-path kernel therefore runs
+//! the same shared sampling law (`sensors::sample_fix`) instead of copying.
+
+use swarm_math::Vec3;
+
+use crate::dynamics::DroneState;
+use crate::sensors::{GpsFix, GpsReceiver};
+
+/// Parallel-column storage of the per-drone hot state: kinematics (position,
+/// velocity, attitude), the last applied acceleration, and the latest GPS
+/// fix (position, velocity, timestamp, initialized flag).
+///
+/// Columns are plain `Vec<f64>` (one per scalar component) so batched
+/// kernels can iterate without pointer chasing. The struct-of-arrays form is
+/// loaded from the canonical AoS state at run entry ([`SoaState::load`]) and
+/// stored back at every exit point ([`SoaState::store`]), so snapshots and
+/// final states are identical to what the AoS loop would have left behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaState {
+    n: usize,
+    /// Position columns (world frame, metres).
+    pub px: Vec<f64>,
+    /// See [`SoaState::px`].
+    pub py: Vec<f64>,
+    /// See [`SoaState::px`].
+    pub pz: Vec<f64>,
+    /// Velocity columns (m/s).
+    pub vx: Vec<f64>,
+    /// See [`SoaState::vx`].
+    pub vy: Vec<f64>,
+    /// See [`SoaState::vx`].
+    pub vz: Vec<f64>,
+    /// Attitude columns (roll, pitch, yaw in radians). Point-mass dynamics
+    /// write zeros; dead drones keep their last attitude, so the columns are
+    /// load/stored rather than cleared.
+    pub attx: Vec<f64>,
+    /// See [`SoaState::attx`].
+    pub atty: Vec<f64>,
+    /// See [`SoaState::attx`].
+    pub attz: Vec<f64>,
+    /// Acceleration applied on the most recent integration step (m/s²).
+    /// Kernel scratch — not part of the AoS state, never stored back.
+    pub accx: Vec<f64>,
+    /// See [`SoaState::accx`].
+    pub accy: Vec<f64>,
+    /// See [`SoaState::accx`].
+    pub accz: Vec<f64>,
+    /// GPS fix position columns.
+    pub fpx: Vec<f64>,
+    /// See [`SoaState::fpx`].
+    pub fpy: Vec<f64>,
+    /// See [`SoaState::fpx`].
+    pub fpz: Vec<f64>,
+    /// GPS fix velocity columns.
+    pub fvx: Vec<f64>,
+    /// See [`SoaState::fvx`].
+    pub fvy: Vec<f64>,
+    /// See [`SoaState::fvx`].
+    pub fvz: Vec<f64>,
+    /// GPS fix timestamp column (seconds).
+    pub ftime: Vec<f64>,
+    /// Whether the receiver has produced a fix yet (mirrors
+    /// `GpsReceiver::initialized`).
+    pub finit: Vec<bool>,
+}
+
+impl SoaState {
+    /// All-zero columns for `n` drones.
+    pub fn new(n: usize) -> Self {
+        SoaState {
+            n,
+            px: vec![0.0; n],
+            py: vec![0.0; n],
+            pz: vec![0.0; n],
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            vz: vec![0.0; n],
+            attx: vec![0.0; n],
+            atty: vec![0.0; n],
+            attz: vec![0.0; n],
+            accx: vec![0.0; n],
+            accy: vec![0.0; n],
+            accz: vec![0.0; n],
+            fpx: vec![0.0; n],
+            fpy: vec![0.0; n],
+            fpz: vec![0.0; n],
+            fvx: vec![0.0; n],
+            fvy: vec![0.0; n],
+            fvz: vec![0.0; n],
+            ftime: vec![0.0; n],
+            finit: vec![false; n],
+        }
+    }
+
+    /// Number of drones (length of every column).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for an empty swarm.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Builds columns from the canonical AoS state.
+    pub fn load(states: &[DroneState], gps: &[GpsReceiver]) -> Self {
+        assert_eq!(states.len(), gps.len(), "state and receiver counts must match");
+        let mut soa = SoaState::new(states.len());
+        for (d, s) in states.iter().enumerate() {
+            soa.set_drone_state(d, *s);
+        }
+        for (d, g) in gps.iter().enumerate() {
+            let (fix, initialized) = g.fix_state();
+            soa.fpx[d] = fix.position.x;
+            soa.fpy[d] = fix.position.y;
+            soa.fpz[d] = fix.position.z;
+            soa.fvx[d] = fix.velocity.x;
+            soa.fvy[d] = fix.velocity.y;
+            soa.fvz[d] = fix.velocity.z;
+            soa.ftime[d] = fix.time;
+            soa.finit[d] = initialized;
+        }
+        soa
+    }
+
+    /// Writes the columns back into the canonical AoS state (the inverse of
+    /// [`SoaState::load`]). Acceleration columns are scratch and have no AoS
+    /// counterpart.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the destination slices do not match the column length.
+    pub fn store(&self, states: &mut [DroneState], gps: &mut [GpsReceiver]) {
+        assert_eq!(states.len(), self.n, "state count must match column length");
+        assert_eq!(gps.len(), self.n, "receiver count must match column length");
+        for (d, s) in states.iter_mut().enumerate() {
+            *s = self.drone_state(d);
+        }
+        for (d, g) in gps.iter_mut().enumerate() {
+            g.restore_fix_state(self.gps_fix(d), self.finit[d]);
+        }
+    }
+
+    /// The drone's position as a vector.
+    #[inline]
+    pub fn position(&self, d: usize) -> Vec3 {
+        Vec3::new(self.px[d], self.py[d], self.pz[d])
+    }
+
+    /// Overwrites the drone's position columns.
+    #[inline]
+    pub fn set_position(&mut self, d: usize, p: Vec3) {
+        self.px[d] = p.x;
+        self.py[d] = p.y;
+        self.pz[d] = p.z;
+    }
+
+    /// The drone's velocity as a vector.
+    #[inline]
+    pub fn velocity(&self, d: usize) -> Vec3 {
+        Vec3::new(self.vx[d], self.vy[d], self.vz[d])
+    }
+
+    /// The drone's full kinematic state gathered from the columns.
+    #[inline]
+    pub fn drone_state(&self, d: usize) -> DroneState {
+        DroneState {
+            position: self.position(d),
+            velocity: self.velocity(d),
+            attitude: Vec3::new(self.attx[d], self.atty[d], self.attz[d]),
+        }
+    }
+
+    /// Scatters a full kinematic state into the columns.
+    #[inline]
+    pub fn set_drone_state(&mut self, d: usize, s: DroneState) {
+        self.set_position(d, s.position);
+        self.vx[d] = s.velocity.x;
+        self.vy[d] = s.velocity.y;
+        self.vz[d] = s.velocity.z;
+        self.attx[d] = s.attitude.x;
+        self.atty[d] = s.attitude.y;
+        self.attz[d] = s.attitude.z;
+    }
+
+    /// The raw GPS fix gathered from the columns (valid even before the
+    /// first sample, mirroring `GpsReceiver`'s default fix).
+    #[inline]
+    pub fn gps_fix(&self, d: usize) -> GpsFix {
+        GpsFix {
+            position: Vec3::new(self.fpx[d], self.fpy[d], self.fpz[d]),
+            velocity: Vec3::new(self.fvx[d], self.fvy[d], self.fvz[d]),
+            time: self.ftime[d],
+        }
+    }
+
+    /// The latest fix, or `None` before the first sample — the column
+    /// equivalent of `GpsReceiver::fix`.
+    #[inline]
+    pub fn fix(&self, d: usize) -> Option<GpsFix> {
+        self.finit[d].then(|| self.gps_fix(d))
+    }
+
+    /// Stores a fresh fix and marks the receiver initialized — the column
+    /// equivalent of `GpsReceiver::sample`'s store.
+    #[inline]
+    pub fn set_fix(&mut self, d: usize, fix: GpsFix) {
+        self.fpx[d] = fix.position.x;
+        self.fpy[d] = fix.position.y;
+        self.fpz[d] = fix.position.z;
+        self.fvx[d] = fix.velocity.x;
+        self.fvy[d] = fix.velocity.y;
+        self.fvz[d] = fix.velocity.z;
+        self.ftime[d] = fix.time;
+        self.finit[d] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::GpsConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_aos(rng: &mut StdRng, n: usize) -> (Vec<DroneState>, Vec<GpsReceiver>) {
+        let v3 = |rng: &mut StdRng| {
+            Vec3::new(
+                rng.gen_range(-50.0..50.0),
+                rng.gen_range(-50.0..50.0),
+                rng.gen_range(0.0..20.0),
+            )
+        };
+        let states = (0..n)
+            .map(|_| DroneState { position: v3(rng), velocity: v3(rng), attitude: v3(rng) })
+            .collect();
+        let gps = (0..n)
+            .map(|_| {
+                let mut g = GpsReceiver::new(GpsConfig::default());
+                if rng.gen_bool(0.7) {
+                    g.sample(v3(rng), v3(rng), Vec3::ZERO, rng.gen_range(0.0..10.0), rng);
+                }
+                g
+            })
+            .collect();
+        (states, gps)
+    }
+
+    #[test]
+    fn load_store_roundtrip_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(0x50A);
+        for _ in 0..64 {
+            let n = rng.gen_range(1usize..30);
+            let (states, gps) = random_aos(&mut rng, n);
+            let soa = SoaState::load(&states, &gps);
+            let mut states2 = vec![DroneState::default(); n];
+            let mut gps2 = vec![GpsReceiver::new(GpsConfig::default()); n];
+            soa.store(&mut states2, &mut gps2);
+            assert_eq!(states, states2);
+            assert_eq!(gps, gps2);
+        }
+    }
+
+    #[test]
+    fn fix_mirrors_receiver_semantics() {
+        let mut soa = SoaState::new(2);
+        assert_eq!(soa.fix(0), None, "no fix before the first sample");
+        let fix = GpsFix { position: Vec3::X, velocity: Vec3::Z, time: 1.25 };
+        soa.set_fix(0, fix);
+        assert_eq!(soa.fix(0), Some(fix));
+        assert_eq!(soa.fix(1), None);
+    }
+
+    #[test]
+    fn negative_zero_positions_survive_the_roundtrip() {
+        // -0.0 has a distinct bit pattern; the columns must not normalize it.
+        let state = DroneState { position: Vec3::new(-0.0, 0.0, -0.0), ..Default::default() };
+        let gps = [GpsReceiver::new(GpsConfig::default())];
+        let soa = SoaState::load(&[state], &gps);
+        assert!(soa.px[0].is_sign_negative());
+        let mut out = [DroneState::default()];
+        let mut gps_out = [GpsReceiver::new(GpsConfig::default())];
+        soa.store(&mut out, &mut gps_out);
+        assert_eq!(out[0].position.x.to_bits(), (-0.0f64).to_bits());
+    }
+}

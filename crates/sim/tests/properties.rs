@@ -96,7 +96,7 @@ fn ideal_bus_delivers_to_all_others() {
             .collect();
         let sent: std::collections::BTreeSet<usize> =
             msgs.iter().map(|m| m.sender.index()).collect();
-        bus.step(msgs, &positions, &mut bus_rng);
+        bus.step(msgs, &positions, &mut bus_rng).unwrap();
         for r in 0..n {
             let heard: std::collections::BTreeSet<usize> =
                 bus.neighbors_of(DroneId(r)).map(|m| m.sender.index()).collect();

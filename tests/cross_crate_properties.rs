@@ -68,6 +68,52 @@ fn controller_output_always_finite() {
     });
 }
 
+/// Every cadence a valid spec derives goes through the shared `ticks_per`
+/// rule, rounds (never truncates), and stays mutually consistent.
+#[test]
+fn derived_tick_counts_are_consistent_for_random_valid_specs() {
+    use swarm_sim::mission::ticks_per;
+    let gen = gens::zip4(
+        &gens::usize_in(1..=12),
+        &gens::f64_in(0.001, 0.2),
+        &gens::f64_in(1.0, 16.0),
+        &gens::zip2(&gens::f64_in(0.5, 120.0), &gens::f64_in(0.2, 60.0)),
+    );
+    check("tick-count-consistency", &gen, |&(n, dt, ctrl_mult, (duration, rate))| {
+        let mut spec = MissionSpec::paper_delivery(n, 1);
+        spec.physics_dt = dt;
+        spec.control_period = dt * ctrl_mult;
+        spec.duration = duration;
+        spec.gps.rate_hz = rate;
+        spec.validate().map_err(|e| format!("drawn spec must validate: {e}"))?;
+        // All three cadences derive through the single helper.
+        tk_ensure!(
+            spec.physics_steps() == ticks_per(spec.duration, spec.physics_dt),
+            "physics_steps bypassed ticks_per"
+        );
+        tk_ensure!(
+            spec.steps_per_control() == ticks_per(spec.control_period, spec.physics_dt).max(1),
+            "steps_per_control bypassed ticks_per"
+        );
+        tk_ensure!(
+            spec.steps_per_gps() == ticks_per(spec.gps.period(), spec.physics_dt).max(1),
+            "steps_per_gps bypassed ticks_per"
+        );
+        // Rounding, not truncation: the reconstructed span is within half a
+        // physics step of the requested one.
+        let reconstructed = spec.physics_steps() as f64 * dt;
+        tk_ensure!(
+            (reconstructed - duration).abs() <= 0.5 * dt * (1.0 + 1e-9) + 1e-12,
+            "physics_steps truncated: {} steps x {dt} = {reconstructed} vs {duration}",
+            spec.physics_steps()
+        );
+        // Sub-step cadences clamp to one step rather than zero.
+        tk_ensure!(spec.steps_per_control() >= 1, "control cadence collapsed to zero");
+        tk_ensure!(spec.steps_per_gps() >= 1, "GPS cadence collapsed to zero");
+        Ok(())
+    });
+}
+
 /// PageRank is a probability distribution on any random graph.
 #[test]
 fn pagerank_mass_conserved() {

@@ -1,0 +1,303 @@
+//! Differential proof that the structure-of-arrays hot path and the
+//! lockstep probe batcher are invisible.
+//!
+//! The SoA mission kernels (batched controller terms, dynamics integration,
+//! wind and GPS sampling over column vectors) and the fuzzer's
+//! finite-difference pair batching (two probe missions advanced through
+//! those kernels in lockstep) are only admissible because they produce
+//! *bit-identical* results to the scalar per-drone path. This suite pins
+//! that claim at three levels:
+//!
+//! * sim level — whole-mission records with the layout forced to SoA vs
+//!   forced to AoS, over seeded-random swarm sizes, mission seeds, grid
+//!   policies, lossy/delayed comms, GPS noise and wind (every RNG stream
+//!   must stay in phase across the layout switch), and with snapshot
+//!   fork-and-resume layered on top;
+//! * fuzzer level — [`FuzzReport`]s with `--batch on` are bit-identical to
+//!   sequential probing, and a batched pair whose first probe collides
+//!   discards the second mission without counting it against the budget;
+//! * campaign/trace level — [`CampaignReport`]s are bit-identical across
+//!   batch on/off and worker counts, and the canonical (execution-detail
+//!   stripped) trace is byte-identical across batch modes.
+
+use std::sync::Arc;
+
+use swarm_control::{VasarhelyiController, VasarhelyiParams};
+use swarm_sim::mission::MissionSpec;
+use swarm_sim::spoof::SpoofingAttack;
+use swarm_sim::{SimConfig, Simulation, SpatialPolicy, StateLayout};
+use swarm_testkit::gens::{f64_in, one_of, u64_in, usize_in, zip2, zip3, zip4};
+use swarm_testkit::{cases, check_budgeted, tk_ensure, Gen};
+use swarmfuzz::campaign::{
+    run_campaign_traced, run_campaign_with_options, CampaignConfig, CampaignReport,
+    CampaignRunOptions, SwarmConfig,
+};
+use swarmfuzz::telemetry::Counter;
+use swarmfuzz::trace::{canonical_ndjson, encode_record, RingSink};
+use swarmfuzz::{Fuzzer, FuzzerConfig, Telemetry, Trace};
+
+fn controller() -> VasarhelyiController {
+    VasarhelyiController::new(VasarhelyiParams::default())
+}
+
+fn policies() -> Vec<SpatialPolicy> {
+    vec![SpatialPolicy::Auto, SpatialPolicy::ForceOn, SpatialPolicy::ForceOff]
+}
+
+/// One randomized layout-differential case: a short delivery mission with
+/// optional comms loss/delay, GPS noise and wind, and a grid policy.
+#[derive(Debug, Clone)]
+struct LayoutCase {
+    swarm_size: usize,
+    seed: u64,
+    policy: SpatialPolicy,
+    lossy: bool,
+    windy: bool,
+}
+
+fn layout_case() -> Gen<LayoutCase> {
+    zip4(
+        &zip2(&usize_in(3..=8), &u64_in(0..=u64::MAX)),
+        &one_of(policies()),
+        &one_of(vec![false, true]),
+        &one_of(vec![false, true]),
+    )
+    .map(|((swarm_size, seed), policy, lossy, windy)| LayoutCase {
+        swarm_size,
+        seed,
+        policy,
+        lossy,
+        windy,
+    })
+}
+
+/// The case's mission spec: short, with every RNG-consuming subsystem the
+/// case toggles on (drop lottery, delayed delivery, GPS noise, wind gusts).
+fn case_spec(case: &LayoutCase) -> MissionSpec {
+    let mut spec = MissionSpec::paper_delivery(case.swarm_size, case.seed);
+    spec.duration = 18.0;
+    if case.lossy {
+        spec.comms.range = Some(40.0);
+        spec.comms.drop_probability = 0.2;
+        spec.comms.delay_ticks = 2;
+        spec.gps.position_noise_std = 0.05;
+        spec.gps.velocity_noise_std = 0.02;
+    }
+    if case.windy {
+        spec.wind.mean = swarm_math::Vec3::new(0.4, -0.2, 0.0);
+        spec.wind.gust_std = 0.3;
+    }
+    spec
+}
+
+fn sim_with(
+    spec: &MissionSpec,
+    policy: SpatialPolicy,
+    layout: StateLayout,
+) -> Simulation<VasarhelyiController> {
+    Simulation::new(spec.clone(), controller()).expect("spec is valid").with_config(SimConfig {
+        spatial: policy,
+        layout,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn missions_are_bit_identical_soa_vs_aos_across_specs_and_policies() {
+    check_budgeted("soa_equals_aos", (cases() / 8).max(8), &layout_case(), |case| {
+        let spec = case_spec(case);
+        let aos = sim_with(&spec, case.policy, StateLayout::ForceAos)
+            .run(None)
+            .map_err(|e| e.to_string())?;
+        let soa = sim_with(&spec, case.policy, StateLayout::ForceSoa)
+            .run(None)
+            .map_err(|e| e.to_string())?;
+        tk_ensure!(
+            aos.record == soa.record,
+            "SoA mission diverged from AoS (n {}, seed {}, policy {:?}, lossy {}, windy {})",
+            case.swarm_size,
+            case.seed,
+            case.policy,
+            case.lossy,
+            case.windy
+        );
+        // Auto must pick one of the two identical paths, never a third.
+        let auto =
+            sim_with(&spec, case.policy, StateLayout::Auto).run(None).map_err(|e| e.to_string())?;
+        tk_ensure!(auto.record == aos.record, "Auto layout diverged from the forced paths");
+        Ok(())
+    });
+}
+
+#[test]
+fn forked_attacked_missions_are_bit_identical_soa_vs_aos() {
+    // Snapshot fork-and-resume layered over the layout switch: a mission
+    // forked at the attack start under SoA must match both the fresh SoA run
+    // and the fresh AoS run bit-for-bit.
+    let gen = zip3(&layout_case(), &f64_in(0.0, 14.0), &f64_in(0.0, 10.0));
+    check_budgeted(
+        "soa_fork_equals_aos_fresh",
+        (cases() / 16).max(8),
+        &gen,
+        |(case, start, duration)| {
+            let spec = case_spec(case);
+            let attack = SpoofingAttack::new(
+                0.into(),
+                swarm_sim::spoof::SpoofDirection::Right,
+                *start,
+                *duration,
+                10.0,
+            )
+            .map_err(|e| e.to_string())?;
+            let aos = sim_with(&spec, case.policy, StateLayout::ForceAos)
+                .run(Some(&attack))
+                .map_err(|e| e.to_string())?;
+            let soa_sim = sim_with(&spec, case.policy, StateLayout::ForceSoa);
+            let fresh = soa_sim.run(Some(&attack)).map_err(|e| e.to_string())?;
+            tk_ensure!(fresh.record == aos.record, "fresh SoA diverged from AoS under attack");
+            let (snapshot, source) = soa_sim.run_to(*start).map_err(|e| e.to_string())?;
+            let forked =
+                soa_sim.resume(&snapshot, &source, Some(&attack)).map_err(|e| e.to_string())?;
+            tk_ensure!(
+                forked.record == aos.record,
+                "forked SoA diverged (start {start}, duration {duration}, policy {:?})",
+                case.policy
+            );
+            Ok(())
+        },
+    );
+}
+
+fn fuzzer_with(deviation: f64, budget: usize, batch: bool) -> Fuzzer<VasarhelyiController> {
+    let config = FuzzerConfig { eval_budget: budget, ..FuzzerConfig::swarmfuzz(deviation) };
+    Fuzzer::new(controller(), config).with_batch(batch)
+}
+
+#[test]
+fn fuzz_reports_are_bit_identical_batch_on_vs_off() {
+    // Whole-pipeline differential: same mission, same config, fd-pair
+    // batching toggled, crossed with snapshot forking (a batched lane may
+    // fork while its partner starts fresh).
+    let gen = zip3(&u64_in(0..=50), &one_of(vec![2usize, 5, 20]), &one_of(vec![false, true]));
+    check_budgeted(
+        "fuzz_report_batch_toggle",
+        (cases() / 16).max(6),
+        &gen,
+        |&(seed, budget, snapshots)| {
+            let spec = MissionSpec::paper_delivery(5, seed);
+            let on = fuzzer_with(10.0, budget, true).with_snapshots(snapshots).fuzz(&spec);
+            let off = fuzzer_with(10.0, budget, false).with_snapshots(snapshots).fuzz(&spec);
+            tk_ensure!(
+                format!("{on:?}") == format!("{off:?}"),
+                "batch toggle changed the fuzz result (seed {seed}, budget {budget}, \
+                 snapshots {snapshots})"
+            );
+            if let Ok(report) = on {
+                tk_ensure!(
+                    report.evaluations <= budget,
+                    "budget overspent under batching: {} > {budget}",
+                    report.evaluations
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn batched_pairs_engage_and_discards_are_accounted() {
+    // The batch path must actually run (pairs > 0 at a real budget), and the
+    // fork accounting must cover every mission the batcher simulated: each
+    // lane resolves its own fork, so hits + misses equals the counted
+    // evaluations plus the discarded second probes.
+    let spec = MissionSpec::paper_delivery(5, 11);
+    let telemetry = Telemetry::enabled(1);
+    let report = fuzzer_with(10.0, 20, true)
+        .with_telemetry(telemetry.clone())
+        .fuzz(&spec)
+        .expect("fuzz must run");
+    let sequential = fuzzer_with(10.0, 20, false).fuzz(&spec).expect("fuzz must run");
+    assert_eq!(report, sequential, "batched report must match sequential");
+    let pairs = telemetry.counter(Counter::BatchedPairs);
+    assert!(pairs > 0, "gradient fd pairs must route through the batch runner");
+    let hits = telemetry.counter(Counter::ForkHits);
+    let misses = telemetry.counter(Counter::ForkMisses);
+    let discards = telemetry.counter(Counter::BatchedDiscards);
+    assert_eq!(
+        hits + misses,
+        telemetry.counter(Counter::Evaluations) + discards,
+        "fork accounting must cover counted evaluations and discarded lanes"
+    );
+}
+
+fn tiny_campaign(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        configs: vec![
+            SwarmConfig { swarm_size: 3, deviation: 5.0 },
+            SwarmConfig { swarm_size: 5, deviation: 10.0 },
+        ],
+        missions_per_config: 2,
+        base_seed: 21,
+        workers,
+    }
+}
+
+#[test]
+fn campaign_reports_are_bit_identical_batch_on_vs_off_across_workers() {
+    let make = |deviation: f64| {
+        let config = FuzzerConfig { eval_budget: 4, ..FuzzerConfig::swarmfuzz(deviation) };
+        Fuzzer::new(controller(), config)
+    };
+    let run = |workers: usize, batch: bool| {
+        let options = CampaignRunOptions { batch, ..Default::default() };
+        run_campaign_with_options(&tiny_campaign(workers), make, &Telemetry::off(), &options)
+            .expect("campaign must run")
+    };
+    let reference = run(1, false);
+    assert_eq!(reference.missions.len(), 4);
+    for workers in [1usize, 4] {
+        assert_eq!(reference, run(workers, false), "workers={workers}, batch off");
+        assert_eq!(reference, run(workers, true), "workers={workers}, batch on");
+    }
+}
+
+/// Raw (unsorted) NDJSON plus report for a single-worker traced campaign.
+fn ring_ndjson(batch: bool) -> (CampaignReport, String) {
+    // Budget 4 so the gradient search reaches at least one fd pair (the
+    // initial probe costs one evaluation, a pair needs two more).
+    let fuzzer = |deviation: f64| {
+        let config = FuzzerConfig { eval_budget: 4, ..FuzzerConfig::swarmfuzz(deviation) };
+        Fuzzer::new(controller(), config)
+    };
+    let options = CampaignRunOptions { batch, ..Default::default() };
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let report = run_campaign_traced(
+        &tiny_campaign(1),
+        fuzzer,
+        &Telemetry::off(),
+        &options,
+        &Trace::new(ring.clone()),
+    )
+    .expect("campaign must run");
+    assert_eq!(ring.dropped(), 0, "ring must be large enough for the tiny campaign");
+    let text: String = ring.records().iter().map(|r| encode_record(r) + "\n").collect();
+    (report, text)
+}
+
+#[test]
+fn canonical_trace_identical_across_batch_modes() {
+    // Batched probes are annotated (`"batched":true`) in the raw stream but
+    // the annotation is an execution detail: canonicalizing strips it, and
+    // the remaining bytes — probe order, values, successes — must match the
+    // sequential run exactly.
+    let (report_on, raw_on) = ring_ndjson(true);
+    let (report_off, raw_off) = ring_ndjson(false);
+    assert_eq!(report_on, report_off, "probe batching must not change the report");
+    assert!(raw_on.contains("\"batched\":true"), "batched probes must carry the annotation");
+    assert!(!raw_off.contains("\"batched\""), "sequential probes must not");
+    assert_eq!(
+        canonical_ndjson(&raw_on).expect("batch-on stream parses"),
+        canonical_ndjson(&raw_off).expect("batch-off stream parses"),
+        "canonical trace (execution-strategy fields stripped) must match"
+    );
+}
