@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parse::{
     AuditOpts, BaselineOpts, CampaignOpts, Command, DashboardOpts, ParseError, ReplayOpts,
-    StressOpts, TelemetryMode, TraceMode,
+    ResultsOpts, ServeOpts, StatusOpts, StressOpts, SubmitOpts, TelemetryMode, TraceMode,
 };
 use swarm_control::{VasarhelyiController, VasarhelyiParams};
 use swarm_sim::mission::MissionSpec;
@@ -63,6 +63,18 @@ COMMANDS:
                 --drones N (100)  --seed S (0)  --duration T (20)
                 --grid auto|on|off (auto)  --layout auto|aos|soa (auto)
                 --telemetry off|summary|json (off)
+    serve     run the multi-tenant campaign server over TCP
+                --bind ADDR (127.0.0.1:7700)  --workers W (cores)
+                --queue-depth D (64)  --journal-dir DIR (off)
+    submit    submit a campaign to a running server and print its job id
+                --server ADDR (127.0.0.1:7700)  --tenant NAME (default)
+                --weight W (1)  --wait yes|no (no)
+                --spec PATH (off) | --missions K (20)  --seed S (12648430)
+                --attacks constant,drift,circular,jump (constant)  --budget N (off)
+    status    poll a submitted job's phase and progress
+                --server ADDR (127.0.0.1:7700)  --job ID
+    results   fetch a finished job's report (bit-identical to a direct run)
+                --server ADDR (127.0.0.1:7700)  --job ID  --wait yes|no (no)
     help      print this message
 ";
 
@@ -115,6 +127,10 @@ fn main() -> ExitCode {
         Command::Baseline(opts) => cmd_baseline(&opts),
         Command::Replay(opts) => cmd_replay(&opts),
         Command::Stress(opts) => cmd_stress(&opts),
+        Command::Serve(opts) => cmd_serve(&opts),
+        Command::Submit(opts) => cmd_submit(&opts),
+        Command::Status(opts) => cmd_status(&opts),
+        Command::Results(opts) => cmd_results(&opts),
         Command::Help => {
             print!("{USAGE}");
             Ok(())
@@ -154,6 +170,11 @@ impl From<FuzzError> for CliError {
 impl From<swarm_sim::SimError> for CliError {
     fn from(e: swarm_sim::SimError) -> Self {
         CliError::Sim(e)
+    }
+}
+impl From<swarmfuzz::wire::WireError> for CliError {
+    fn from(e: swarmfuzz::wire::WireError) -> Self {
+        CliError::Other(e.to_string())
     }
 }
 
@@ -439,6 +460,145 @@ fn cmd_stress(opts: &StressOpts) -> Result<(), CliError> {
         human_line(mode, format_args!("  swarm extent    : {extent:.2} m"));
     }
     emit_telemetry(mode, &telemetry);
+    Ok(())
+}
+
+/// Runs the multi-tenant campaign server until the process is killed.
+/// Workers execute missions in-process with the paper's controller; clients
+/// talk the line-delimited wire protocol on `--bind`.
+fn cmd_serve(opts: &ServeOpts) -> Result<(), CliError> {
+    use swarmfuzz::server::{in_process_factory, ExecutorOptions};
+    use swarmfuzz::{CampaignServer, ServerConfig};
+
+    let listener = std::net::TcpListener::bind(&opts.bind)
+        .map_err(|e| CliError::Other(format!("bind {}: {e}", opts.bind)))?;
+    let addr = listener.local_addr().map_err(|e| CliError::Other(e.to_string()))?;
+    let server = CampaignServer::start(
+        ServerConfig {
+            workers: opts.workers,
+            queue_depth: opts.queue_depth,
+            journal_dir: opts.journal_dir.clone(),
+        },
+        in_process_factory(controller(), ExecutorOptions::default(), Telemetry::off()),
+        Telemetry::off(),
+    );
+    eprintln!(
+        "swarmfuzzd: serving on {addr} ({} workers, queue depth {})",
+        opts.workers, opts.queue_depth
+    );
+    if let Some(dir) = &opts.journal_dir {
+        eprintln!("swarmfuzzd: shard journals in {}", dir.display());
+    }
+    swarmfuzz::wire::serve(server, listener)
+        .join()
+        .map_err(|_| CliError::Other("acceptor thread panicked".into()))
+}
+
+type TcpClient =
+    swarmfuzz::wire::Client<std::io::BufReader<std::net::TcpStream>, std::net::TcpStream>;
+
+fn connect(addr: &str) -> Result<TcpClient, CliError> {
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Other(format!("connect {addr}: {e}")))?;
+    swarmfuzz::wire::Client::over_tcp(stream).map_err(|e| CliError::Other(e.to_string()))
+}
+
+/// The campaign to submit: a pre-encoded spec file verbatim, or the paper
+/// grid built from the command-line flags (same default seed as the local
+/// `campaign` command, so both produce the same fingerprint).
+fn submit_spec(opts: &SubmitOpts) -> Result<swarmfuzz::CampaignSpec, CliError> {
+    match &opts.spec {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Other(format!("{}: {e}", path.display())))?;
+            let line = text
+                .lines()
+                .find(|l| !l.trim().is_empty())
+                .ok_or_else(|| CliError::Other(format!("{}: empty spec file", path.display())))?;
+            swarmfuzz::CampaignSpec::decode(line.trim())
+                .map_err(|e| CliError::Other(format!("{}: {e}", path.display())))
+        }
+        None => {
+            let mut spec =
+                swarmfuzz::CampaignSpec::new(CampaignConfig::paper_grid(opts.missions, opts.seed));
+            spec.attacks = opts.attacks;
+            spec.eval_budget = opts.budget;
+            Ok(spec)
+        }
+    }
+}
+
+/// Prints the per-configuration success table for a served report; the
+/// configurations are recovered from the rows themselves (already in the
+/// campaign's canonical order).
+fn print_report(report: &swarmfuzz::campaign::CampaignReport) {
+    let mut configs = Vec::new();
+    for m in &report.missions {
+        if !configs.contains(&m.config) {
+            configs.push(m.config);
+        }
+    }
+    for f in &report.failures {
+        if !configs.contains(&f.config) {
+            configs.push(f.config);
+        }
+    }
+    println!("config\tsuccess\tavg_iterations\tmissions");
+    for &config in &configs {
+        println!(
+            "{config}\t{:.0}%\t{:.2}\t{}",
+            report.success_rate(config).unwrap_or(0.0) * 100.0,
+            report.mean_iterations(config).unwrap_or(0.0),
+            report.for_config(config).len()
+        );
+    }
+    if let Some(summary) = report.error_summary() {
+        eprint!("{summary}");
+    }
+}
+
+fn cmd_submit(opts: &SubmitOpts) -> Result<(), CliError> {
+    let spec = submit_spec(opts)?;
+    let mut client = connect(&opts.server)?;
+    let accepted = client.submit(&opts.tenant, opts.weight, &spec)?;
+    println!(
+        "job {} accepted: fingerprint {}, {}/{} missions already journalled",
+        accepted.job, accepted.fingerprint, accepted.done, accepted.total
+    );
+    if opts.wait {
+        print_report(&client.results(accepted.job, true)?);
+    } else {
+        println!("poll:  swarmfuzz status  --server {} --job {}", opts.server, accepted.job);
+        println!(
+            "fetch: swarmfuzz results --server {} --job {} --wait yes",
+            opts.server, accepted.job
+        );
+    }
+    Ok(())
+}
+
+fn cmd_status(opts: &StatusOpts) -> Result<(), CliError> {
+    let status = connect(&opts.server)?.status(opts.job)?;
+    println!(
+        "job {}: {}  tenant {}  {}/{} missions  fingerprint {}",
+        status.job,
+        status.phase.name(),
+        status.tenant,
+        status.done,
+        status.total,
+        status.fingerprint
+    );
+    if let Some(ordinal) = status.completed_ordinal {
+        println!("  completed as job #{ordinal} on this server");
+    }
+    if let Some(error) = &status.error {
+        println!("  error: {error}");
+    }
+    Ok(())
+}
+
+fn cmd_results(opts: &ResultsOpts) -> Result<(), CliError> {
+    print_report(&connect(&opts.server)?.results(opts.job, opts.wait)?);
     Ok(())
 }
 

@@ -139,6 +139,56 @@ pub struct StressOpts {
     pub telemetry: TelemetryMode,
 }
 
+/// Default address the campaign server binds and clients dial.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7700";
+
+/// `swarmfuzz serve` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// TCP address to listen on.
+    pub bind: String,
+    pub workers: usize,
+    /// Bounded admission depth; over-depth submissions are rejected with a
+    /// typed `queue-full` error, never silently dropped.
+    pub queue_depth: usize,
+    /// Directory for per-campaign shard journals (crash-safe resume).
+    pub journal_dir: Option<PathBuf>,
+}
+
+/// `swarmfuzz submit` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOpts {
+    /// Server address to dial.
+    pub server: String,
+    pub tenant: String,
+    /// Fair-share weight (only applied when the tenant is new).
+    pub weight: u64,
+    /// Pre-encoded campaign spec file; when absent the paper grid is built
+    /// from `missions`/`seed`/`attacks`/`budget`.
+    pub spec: Option<PathBuf>,
+    pub missions: usize,
+    pub seed: u64,
+    pub attacks: WaveformSet,
+    pub budget: Option<usize>,
+    /// Block until the job finishes and print its report.
+    pub wait: bool,
+}
+
+/// `swarmfuzz status` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusOpts {
+    pub server: String,
+    pub job: u64,
+}
+
+/// `swarmfuzz results` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultsOpts {
+    pub server: String,
+    pub job: u64,
+    pub wait: bool,
+}
+
 /// A fully validated command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -148,6 +198,10 @@ pub enum Command {
     Baseline(BaselineOpts),
     Replay(ReplayOpts),
     Stress(StressOpts),
+    Serve(ServeOpts),
+    Submit(SubmitOpts),
+    Status(StatusOpts),
+    Results(ResultsOpts),
     Help,
 }
 
@@ -167,6 +221,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Command, Pa
         "baseline" => parse_baseline(&args).map(Command::Baseline),
         "replay" => parse_replay(&args).map(Command::Replay),
         "stress" => parse_stress(&args).map(Command::Stress),
+        "serve" => parse_serve(&args).map(Command::Serve),
+        "submit" => parse_submit(&args).map(Command::Submit),
+        "status" => parse_status(&args).map(Command::Status),
+        "results" => parse_results(&args).map(Command::Results),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
@@ -384,6 +442,83 @@ fn parse_stress(args: &Args) -> Result<StressOpts, ParseError> {
         spatial,
         layout,
         telemetry: telemetry_mode(args)?,
+    })
+}
+
+fn parse_serve(args: &Args) -> Result<ServeOpts, ParseError> {
+    reject_unknown_flags(args, "serve", &["bind", "workers", "queue-depth", "journal-dir"])?;
+    let workers =
+        args.get_or("workers", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))?;
+    if workers == 0 {
+        return Err(ParseError::Invalid("--workers must be at least 1".into()));
+    }
+    let queue_depth: usize = args.get_or("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err(ParseError::Invalid("--queue-depth must be at least 1".into()));
+    }
+    Ok(ServeOpts {
+        bind: args.raw("bind").unwrap_or(DEFAULT_ADDR).to_string(),
+        workers,
+        queue_depth,
+        journal_dir: args.raw("journal-dir").map(PathBuf::from),
+    })
+}
+
+fn parse_submit(args: &Args) -> Result<SubmitOpts, ParseError> {
+    reject_unknown_flags(
+        args,
+        "submit",
+        &["server", "tenant", "weight", "spec", "missions", "seed", "attacks", "budget", "wait"],
+    )?;
+    let spec = args.raw("spec").map(PathBuf::from);
+    if spec.is_some() {
+        for flag in ["missions", "seed", "attacks", "budget"] {
+            if args.raw(flag).is_some() {
+                return Err(ParseError::Invalid(format!(
+                    "--spec carries the whole campaign; drop --{flag}"
+                )));
+            }
+        }
+    }
+    let attacks = match args.raw("attacks") {
+        None => WaveformSet::CONSTANT_ONLY,
+        Some(list) => {
+            WaveformSet::parse(list).map_err(|e| ParseError::Invalid(format!("--attacks: {e}")))?
+        }
+    };
+    let budget = match args.raw("budget") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|_| {
+            ParseError::Arg(ArgError::BadValue { flag: "--budget".into(), value: v.into() })
+        })?),
+    };
+    Ok(SubmitOpts {
+        server: args.raw("server").unwrap_or(DEFAULT_ADDR).to_string(),
+        tenant: args.raw("tenant").unwrap_or("default").to_string(),
+        weight: args.get_or("weight", 1)?,
+        spec,
+        missions: args.get_or("missions", 20)?,
+        seed: args.get_or("seed", 0xC0FFEE)?,
+        attacks,
+        budget,
+        wait: yes_no(args, "wait")?,
+    })
+}
+
+fn parse_status(args: &Args) -> Result<StatusOpts, ParseError> {
+    reject_unknown_flags(args, "status", &["server", "job"])?;
+    Ok(StatusOpts {
+        server: args.raw("server").unwrap_or(DEFAULT_ADDR).to_string(),
+        job: args.require("job")?,
+    })
+}
+
+fn parse_results(args: &Args) -> Result<ResultsOpts, ParseError> {
+    reject_unknown_flags(args, "results", &["server", "job", "wait"])?;
+    Ok(ResultsOpts {
+        server: args.raw("server").unwrap_or(DEFAULT_ADDR).to_string(),
+        job: args.require("job")?,
+        wait: yes_no(args, "wait")?,
     })
 }
 
@@ -750,5 +885,118 @@ mod tests {
         assert_eq!(err.to_string(), "unknown flag --telemetry for 'baseline'");
         let err = parse("stress --missions 3").unwrap_err();
         assert_eq!(err.to_string(), "unknown flag --missions for 'stress'");
+        let err = parse("serve --missions 3").unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --missions for 'serve'");
+        let err = parse("results --tenant acme --job 1").unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --tenant for 'results'");
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let Ok(Command::Serve(opts)) = parse("serve") else { panic!("serve must parse") };
+        assert_eq!(opts.bind, DEFAULT_ADDR);
+        assert!(opts.workers >= 1, "workers default to available parallelism");
+        assert_eq!(opts.queue_depth, 64);
+        assert_eq!(opts.journal_dir, None);
+
+        let Ok(Command::Serve(opts)) = parse(
+            "serve --bind 0.0.0.0:9000 --workers 8 --queue-depth 16 --journal-dir /tmp/shards",
+        ) else {
+            panic!("serve must parse")
+        };
+        assert_eq!(opts.bind, "0.0.0.0:9000");
+        assert_eq!(opts.workers, 8);
+        assert_eq!(opts.queue_depth, 16);
+        assert_eq!(opts.journal_dir, Some(PathBuf::from("/tmp/shards")));
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers_and_zero_depth() {
+        let err = parse("serve --workers 0").unwrap_err();
+        assert_eq!(err.to_string(), "--workers must be at least 1");
+        let err = parse("serve --queue-depth 0").unwrap_err();
+        assert_eq!(err.to_string(), "--queue-depth must be at least 1");
+    }
+
+    #[test]
+    fn submit_defaults_build_the_paper_grid() {
+        let Ok(Command::Submit(opts)) = parse("submit") else { panic!("submit must parse") };
+        assert_eq!(opts.server, DEFAULT_ADDR);
+        assert_eq!(opts.tenant, "default");
+        assert_eq!(opts.weight, 1);
+        assert_eq!(opts.spec, None);
+        assert_eq!(opts.missions, 20);
+        assert_eq!(opts.seed, 0xC0FFEE, "default seed matches the 'campaign' command");
+        assert_eq!(opts.attacks, WaveformSet::CONSTANT_ONLY);
+        assert_eq!(opts.budget, None);
+        assert!(!opts.wait);
+    }
+
+    #[test]
+    fn submit_full_flag_set() {
+        let Ok(Command::Submit(opts)) = parse(
+            "submit --server 10.0.0.5:7700 --tenant acme --weight 3 --missions 4 --seed 9 \
+             --attacks constant,drift --budget 50 --wait yes",
+        ) else {
+            panic!("submit must parse")
+        };
+        assert_eq!(opts.server, "10.0.0.5:7700");
+        assert_eq!(opts.tenant, "acme");
+        assert_eq!(opts.weight, 3);
+        assert_eq!(opts.missions, 4);
+        assert_eq!(opts.seed, 9);
+        assert!(opts.attacks.contains(swarm_sim::spoof::WaveformKind::Drift));
+        assert_eq!(opts.budget, Some(50));
+        assert!(opts.wait);
+    }
+
+    #[test]
+    fn submit_spec_file_excludes_grid_flags() {
+        let Ok(Command::Submit(opts)) = parse("submit --spec campaign.spec") else {
+            panic!("submit --spec must parse")
+        };
+        assert_eq!(opts.spec, Some(PathBuf::from("campaign.spec")));
+
+        let err = parse("submit --spec campaign.spec --missions 4").unwrap_err();
+        assert_eq!(err.to_string(), "--spec carries the whole campaign; drop --missions");
+        let err = parse("submit --spec campaign.spec --budget 2").unwrap_err();
+        assert_eq!(err.to_string(), "--spec carries the whole campaign; drop --budget");
+    }
+
+    #[test]
+    fn submit_rejects_bad_budget_and_wait() {
+        let err = parse("submit --budget lots").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Arg(ArgError::BadValue { flag: "--budget".into(), value: "lots".into() })
+        );
+        let err = parse("submit --wait maybe").unwrap_err();
+        assert_eq!(err.to_string(), "--wait must be 'yes' or 'no', got \"maybe\"");
+    }
+
+    #[test]
+    fn status_and_results_require_a_job() {
+        assert_eq!(
+            parse("status").unwrap_err(),
+            ParseError::Arg(ArgError::Required("--job".into()))
+        );
+        assert_eq!(
+            parse("results").unwrap_err(),
+            ParseError::Arg(ArgError::Required("--job".into()))
+        );
+
+        let Ok(Command::Status(opts)) = parse("status --job 7") else {
+            panic!("status must parse")
+        };
+        assert_eq!(opts, StatusOpts { server: DEFAULT_ADDR.into(), job: 7 });
+
+        let Ok(Command::Results(opts)) = parse("results --server h:1 --job 7 --wait yes") else {
+            panic!("results must parse")
+        };
+        assert_eq!(opts, ResultsOpts { server: "h:1".into(), job: 7, wait: true });
+        let Ok(Command::Results(opts)) = parse("results --job 7") else {
+            panic!("results must parse")
+        };
+        assert!(!opts.wait, "results default to a non-blocking fetch");
     }
 }

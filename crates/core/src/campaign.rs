@@ -9,12 +9,13 @@
 use std::collections::HashSet;
 use std::path::PathBuf;
 
-use crossbeam::channel;
 use serde::{Deserialize, Serialize};
 use swarm_sim::mission::MissionSpec;
 use swarm_sim::SwarmController;
 
+use crate::executor::{ExecutionProfile, InProcessExecutor, MissionJob};
 use crate::fuzzer::{Fuzzer, FuzzerConfig, SpvFinding};
+use crate::server::run_scheduled;
 use crate::snapshot::SnapshotCache;
 use crate::store::{campaign_fingerprint, CampaignJournal, JournalRow};
 use crate::telemetry::{Counter, Telemetry};
@@ -329,11 +330,13 @@ where
     C: SwarmController + Clone + Send + 'static,
     F: Fn(f64) -> Fuzzer<C> + Sync,
 {
-    // Work items: (config, mission index).
-    let all_jobs: Vec<(SwarmConfig, usize)> = campaign
+    // Work items: every (config, mission index) of the grid.
+    let all_jobs: Vec<MissionJob> = campaign
         .configs
         .iter()
-        .flat_map(|&c| (0..campaign.missions_per_config).map(move |i| (c, i)))
+        .flat_map(|&config| {
+            (0..campaign.missions_per_config).map(move |index| MissionJob { config, index })
+        })
         .collect();
 
     // Open or resume the journal before spawning anything.
@@ -355,8 +358,7 @@ where
 
     // Deduplicate journaled rows onto the grid and drop the rest (a matching
     // fingerprint makes strays impossible short of hand-editing).
-    let grid_keys: HashSet<(usize, u64, usize)> =
-        all_jobs.iter().map(|&(c, i)| (c.swarm_size, c.deviation.to_bits(), i)).collect();
+    let grid_keys: HashSet<(usize, u64, usize)> = all_jobs.iter().map(MissionJob::key).collect();
     let mut completed: HashSet<(usize, u64, usize)> = HashSet::new();
     let mut rows: Vec<JournalRow> = Vec::new();
     for row in loaded_rows {
@@ -377,119 +379,67 @@ where
         trace.scoped_bits(size as u64, dev_bits, index as u64).emit(TraceEvent::ResumeSkip);
     }
 
-    let jobs: Vec<(SwarmConfig, usize)> = all_jobs
-        .into_iter()
-        .filter(|&(c, i)| !completed.contains(&(c.swarm_size, c.deviation.to_bits(), i)))
-        .collect();
+    let jobs: Vec<MissionJob> =
+        all_jobs.into_iter().filter(|job| !completed.contains(&job.key())).collect();
 
     // One snapshot cache for the whole campaign: every worker (and every
     // fuzzer variant) forks from the same per-mission baselines.
     let snapshot_cache = options.snapshot.then(SnapshotCache::new);
 
-    let workers = campaign.workers.max(1);
-    let (job_tx, job_rx) = channel::unbounded::<(SwarmConfig, usize)>();
-    for job in jobs {
-        job_tx.send(job).expect("channel open");
-    }
-    drop(job_tx);
+    // From here on the legacy runner is a thin client of the scheduler /
+    // executor split: the same `InProcessExecutor` + `run_scheduled` path
+    // the multi-tenant `CampaignServer` drives (bit-identical reports,
+    // gated by `tests/executor_equivalence.rs`).
+    let executor = InProcessExecutor::new(
+        campaign.base_seed,
+        &make_fuzzer,
+        telemetry.clone(),
+        trace.clone(),
+        ExecutionProfile {
+            max_retries: options.max_retries,
+            constant_via_trait: options.constant_via_trait,
+            batch: options.batch,
+        },
+        snapshot_cache,
+    );
 
-    let (res_tx, res_rx) = channel::unbounded::<JournalRow>();
-
-    std::thread::scope(|scope| {
-        for worker in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let make_fuzzer = &make_fuzzer;
-            let campaign = &campaign;
-            let telemetry = telemetry.clone();
-            let trace = trace.clone();
-            let max_retries = options.max_retries;
-            let constant_via_trait = options.constant_via_trait;
-            let batch = options.batch;
-            let snapshot_cache = snapshot_cache.clone();
-            scope.spawn(move || {
-                while let Ok((config, index)) = job_rx.recv() {
-                    // One scoped handle per mission: every event of this
-                    // mission is keyed by its grid coordinates plus a fresh
-                    // sequence counter, independent of which worker drew it.
-                    let mission_trace = trace.scoped(config.swarm_size, config.deviation, index);
-                    let row = fuzz_one_isolated(
-                        campaign,
-                        config,
-                        index,
-                        make_fuzzer,
-                        &telemetry,
-                        &mission_trace,
-                        max_retries,
-                        snapshot_cache.as_ref(),
-                        constant_via_trait,
-                        batch,
-                    );
-                    if let JournalRow::Done { result, .. } = &row {
-                        telemetry.worker_mission_done(
-                            worker,
-                            result.success,
-                            result.evaluations as u64,
-                        );
-                    }
-                    if res_tx.send(row).is_err() {
-                        // Collector gone (journal failure): stop early.
-                        return;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-
-        // Stream rows to the journal as workers finish them.
-        let mut journal_error = None;
-        for row in res_rx.iter() {
-            if let Some(j) = journal.as_mut() {
-                if let Err(e) = j.append(&row) {
-                    journal_error = Some(e);
-                    break;
-                }
-                telemetry.incr(Counter::JournalAppends);
-                // Keyed at the job's coordinates with the sentinel sequence
-                // number, so the marker sorts after every mission event and
-                // is independent of collector arrival order.
-                let (size, dev_bits, index) = row.job_key();
-                trace.emit_at(
-                    TraceKey {
-                        swarm_size: size as u64,
-                        deviation_bits: dev_bits,
-                        index: index as u64,
-                        seq: u64::MAX,
+    run_scheduled(&executor, jobs, campaign.workers, telemetry, |row| {
+        if let Some(j) = journal.as_mut() {
+            j.append(&row)?;
+            telemetry.incr(Counter::JournalAppends);
+            // Keyed at the job's coordinates with the sentinel sequence
+            // number, so the marker sorts after every mission event and
+            // is independent of collector arrival order.
+            let (size, dev_bits, index) = row.job_key();
+            trace.emit_at(
+                TraceKey {
+                    swarm_size: size as u64,
+                    deviation_bits: dev_bits,
+                    index: index as u64,
+                    seq: u64::MAX,
+                },
+                TraceEvent::JournalAppend {
+                    row: match &row {
+                        JournalRow::Done { .. } => "done".to_string(),
+                        JournalRow::Failed(_) => "failed".to_string(),
                     },
-                    TraceEvent::JournalAppend {
-                        row: match &row {
-                            JournalRow::Done { .. } => "done".to_string(),
-                            JournalRow::Failed(_) => "failed".to_string(),
-                        },
-                    },
-                );
-            }
-            rows.push(row);
+                },
+            );
         }
-        // Dropping the receiver makes every in-flight worker's next send
-        // fail, so a journal failure aborts promptly instead of fuzzing the
-        // remaining queue into the void.
-        drop(res_rx);
-        if let Some(e) = journal_error {
-            return Err(e.into());
-        }
+        rows.push(row);
+        Ok(())
+    })?;
 
-        let report = report_from_rows(rows);
-        trace.emit_at(
-            TraceKey { swarm_size: u64::MAX, deviation_bits: 0, index: 0, seq: 0 },
-            TraceEvent::CampaignEnd {
-                missions: report.missions.len(),
-                failures: report.failures.len(),
-            },
-        );
-        trace.flush();
-        Ok(report)
-    })
+    let report = report_from_rows(rows);
+    trace.emit_at(
+        TraceKey { swarm_size: u64::MAX, deviation_bits: 0, index: 0, seq: 0 },
+        TraceEvent::CampaignEnd {
+            missions: report.missions.len(),
+            failures: report.failures.len(),
+        },
+    );
+    trace.flush();
+    Ok(report)
 }
 
 /// Rebuilds a [`CampaignReport`] from journal rows with the same
@@ -522,134 +472,6 @@ pub fn report_from_rows(rows: Vec<JournalRow>) -> CampaignReport {
             .then_with(|| a.index.cmp(&b.index))
     });
     CampaignReport { missions, failures }
-}
-
-/// Runs one mission with bounded retries; an error after the last retry is
-/// quarantined as a [`JournalRow::Failed`] instead of propagating.
-#[allow(clippy::too_many_arguments)]
-fn fuzz_one_isolated<C, F>(
-    campaign: &CampaignConfig,
-    config: SwarmConfig,
-    index: usize,
-    make_fuzzer: &F,
-    telemetry: &Telemetry,
-    trace: &Trace,
-    max_retries: usize,
-    snapshot_cache: Option<&SnapshotCache>,
-    constant_via_trait: bool,
-    batch: bool,
-) -> JournalRow
-where
-    C: SwarmController + Clone,
-    F: Fn(f64) -> Fuzzer<C>,
-{
-    let mut retries = 0usize;
-    loop {
-        match fuzz_one(
-            campaign,
-            config,
-            index,
-            make_fuzzer,
-            telemetry,
-            trace,
-            snapshot_cache,
-            constant_via_trait,
-            batch,
-        ) {
-            Ok(result) => return JournalRow::Done { index, result },
-            Err(e) if retries < max_retries => {
-                retries += 1;
-                telemetry.incr(Counter::MissionRetries);
-                trace.emit(TraceEvent::MissionRetry { attempt: retries, error: e.to_string() });
-            }
-            Err(e) => {
-                telemetry.incr(Counter::MissionFailures);
-                let error = e.to_string();
-                trace.emit(TraceEvent::MissionFailed { error: error.clone(), retries });
-                return JournalRow::Failed(MissionFailure { config, index, error, retries });
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn fuzz_one<C, F>(
-    campaign: &CampaignConfig,
-    config: SwarmConfig,
-    index: usize,
-    make_fuzzer: &F,
-    telemetry: &Telemetry,
-    trace: &Trace,
-    snapshot_cache: Option<&SnapshotCache>,
-    constant_via_trait: bool,
-    batch: bool,
-) -> Result<MissionResult, FuzzError>
-where
-    C: SwarmController + Clone,
-    F: Fn(f64) -> Fuzzer<C>,
-{
-    let mut fuzzer = make_fuzzer(config.deviation)
-        .with_telemetry(telemetry.clone())
-        .with_trace(trace.clone())
-        .with_snapshots(snapshot_cache.is_some())
-        .with_constant_via_trait(constant_via_trait)
-        .with_batch(batch);
-    if let Some(cache) = snapshot_cache {
-        fuzzer = fuzzer.with_snapshot_cache(cache.clone());
-    }
-    // Deterministic, collision-free per-(config, index) seed stream.
-    let start_seed = mission_base_seed(campaign.base_seed, config, index);
-    let (seed, report) = with_baseline_skips(config, start_seed, 100, telemetry, |seed| {
-        fuzzer.fuzz(&campaign_mission(config, seed))
-    })?;
-    Ok(MissionResult {
-        config,
-        mission_seed: seed,
-        vdo: report.mission_vdo,
-        success: report.is_success(),
-        finding: report.finding,
-        evaluations: report.evaluations,
-        seeds_tried: report.seeds_tried,
-    })
-}
-
-/// Drives `f` over consecutive seeds starting at `start_seed`, skipping
-/// seeds whose baseline collides (the paper's precondition) until `f`
-/// succeeds or `attempts` seeds are exhausted. Returns the accepted seed
-/// alongside `f`'s value.
-///
-/// The seed advance **wraps**: hashed starting points are uniform over
-/// `u64`, so a stream beginning near `u64::MAX` must roll over to 0 rather
-/// than overflow (a debug-build panic with plain `+ 1`).
-///
-/// # Errors
-///
-/// Non-collision errors from `f` propagate;
-/// [`FuzzError::BaselineSkipsExhausted`] after `attempts` collisions.
-fn with_baseline_skips<T>(
-    config: SwarmConfig,
-    start_seed: u64,
-    attempts: usize,
-    telemetry: &Telemetry,
-    mut f: impl FnMut(u64) -> Result<T, FuzzError>,
-) -> Result<(u64, T), FuzzError> {
-    let mut seed = start_seed;
-    for _ in 0..attempts {
-        match f(seed) {
-            Ok(value) => return Ok((seed, value)),
-            Err(FuzzError::BaselineCollision(_)) => {
-                telemetry.incr(Counter::BaselineSkips);
-                seed = seed.wrapping_add(1);
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Err(FuzzError::BaselineSkipsExhausted {
-        swarm_size: config.swarm_size,
-        deviation: config.deviation,
-        start_seed,
-        attempts,
-    })
 }
 
 #[cfg(test)]
@@ -758,73 +580,6 @@ mod tests {
             .map(|m| (m.config.swarm_size, m.config.deviation, m.mission_seed))
             .collect();
         assert_eq!(key, vec![(5, 5.0, 1), (5, 5.0, 9), (5, 10.0, 1), (10, 5.0, 0), (10, 5.0, 2)]);
-    }
-
-    fn collision() -> FuzzError {
-        use swarm_sim::{CollisionEvent, CollisionKind, DroneId};
-        FuzzError::BaselineCollision(CollisionEvent {
-            time: 1.0,
-            kind: CollisionKind::DroneObstacle { drone: DroneId(0), obstacle: 0 },
-        })
-    }
-
-    /// Regression: the skip advance was `seed += 1`, which panics in debug
-    /// builds when the hashed starting point sits at the top of the `u64`
-    /// range; it must wrap to 0 instead.
-    #[test]
-    fn baseline_skips_wrap_at_u64_max() {
-        let config = SwarmConfig { swarm_size: 5, deviation: 10.0 };
-        let mut tried = Vec::new();
-        let (seed, ()) =
-            with_baseline_skips(config, u64::MAX - 1, 100, &Telemetry::off(), |seed| {
-                tried.push(seed);
-                if tried.len() < 4 {
-                    Err(collision())
-                } else {
-                    Ok(())
-                }
-            })
-            .expect("skip loop must survive the wraparound");
-        assert_eq!(tried, vec![u64::MAX - 1, u64::MAX, 0, 1]);
-        assert_eq!(seed, 1);
-    }
-
-    /// The exhaustion error carries the configuration and seed context so a
-    /// 100-skip pathology in a long campaign is diagnosable from the row.
-    #[test]
-    fn baseline_skip_exhaustion_reports_context() {
-        let config = SwarmConfig { swarm_size: 3, deviation: 5.0 };
-        let telemetry = Telemetry::enabled(1);
-        let err = with_baseline_skips(config, 77, 100, &telemetry, |_| Err::<(), _>(collision()))
-            .unwrap_err();
-        assert_eq!(
-            err,
-            FuzzError::BaselineSkipsExhausted {
-                swarm_size: 3,
-                deviation: 5.0,
-                start_seed: 77,
-                attempts: 100,
-            }
-        );
-        let msg = err.to_string();
-        assert!(msg.contains("3d-5m"), "config context missing: {msg}");
-        assert!(msg.contains("77"), "seed context missing: {msg}");
-        assert!(msg.contains("100"), "attempt count missing: {msg}");
-        assert_eq!(telemetry.counter(Counter::BaselineSkips), 100);
-    }
-
-    /// Non-collision errors must propagate immediately, not burn attempts.
-    #[test]
-    fn baseline_skips_propagate_other_errors() {
-        let config = SwarmConfig { swarm_size: 5, deviation: 10.0 };
-        let mut calls = 0usize;
-        let err = with_baseline_skips(config, 0, 100, &Telemetry::off(), |_| {
-            calls += 1;
-            Err::<(), _>(FuzzError::SwarmTooSmall(1))
-        })
-        .unwrap_err();
-        assert_eq!(err, FuzzError::SwarmTooSmall(1));
-        assert_eq!(calls, 1);
     }
 
     #[test]

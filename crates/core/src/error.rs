@@ -34,6 +34,12 @@ pub enum FuzzError {
     /// The campaign journal failed (I/O, corruption, or a fingerprint
     /// mismatch); the only error class that still aborts a campaign.
     Journal(StoreError),
+    /// A mission panicked mid-execution. The executor converts the unwind
+    /// into this typed error so one poisoned mission is retried/quarantined
+    /// like any other failure instead of taking down its worker pool (and,
+    /// under `swarmfuzz serve`, the whole server). Carries the rendered
+    /// panic payload.
+    MissionPanic(String),
     /// Minimization was handed a finding that does not reproduce on the
     /// given simulation (mismatched mission or fuzzer configuration). The
     /// payload renders the attack that failed to crash its victim.
@@ -59,6 +65,9 @@ impl fmt::Display for FuzzError {
                 )
             }
             FuzzError::Journal(e) => write!(f, "campaign journal error: {e}"),
+            FuzzError::MissionPanic(payload) => {
+                write!(f, "mission panicked: {payload}")
+            }
             FuzzError::NonReproducingFinding(attack) => {
                 write!(f, "finding must reproduce before minimization: {attack}")
             }
@@ -110,6 +119,15 @@ mod tests {
         assert!(matches!(e, FuzzError::Sim(_)));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&FuzzError::NoObstacle).is_none());
+    }
+
+    #[test]
+    fn mission_panic_renders_payload() {
+        let e = FuzzError::MissionPanic("index out of bounds".into());
+        let msg = e.to_string();
+        assert!(msg.contains("panicked"), "class missing: {msg}");
+        assert!(msg.contains("index out of bounds"), "payload missing: {msg}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

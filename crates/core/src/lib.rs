@@ -53,6 +53,7 @@ pub mod campaign;
 pub mod dashboard;
 pub mod defense;
 mod error;
+pub mod executor;
 pub mod exhaustive;
 pub mod fuzzer;
 pub mod minimize;
@@ -61,15 +62,22 @@ pub mod report;
 pub mod schedule;
 pub mod search;
 pub mod seed;
+pub mod server;
 pub mod snapshot;
 pub mod store;
 pub mod svg;
 pub mod telemetry;
 pub mod trace;
+pub mod wire;
 
 pub use error::FuzzError;
+pub use executor::{ExecutionProfile, InProcessExecutor, MissionExecutor, MissionJob};
 pub use fuzzer::{FuzzReport, Fuzzer, FuzzerConfig, SearchStrategy, SeedStrategy, SpvFinding};
 pub use seed::{Seed, Seedpool};
+pub use server::{
+    CampaignServer, CampaignSpec, FairQueue, FuzzerVariant, JobPhase, JobStatus, ServerConfig,
+    ServerError,
+};
 pub use snapshot::{MissionCache, SnapshotCache, SnapshotRing};
 pub use store::{CampaignJournal, StoreError};
 pub use svg::{CentralityKind, SvgAnalysis, SvgBuilder};

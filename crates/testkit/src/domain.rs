@@ -293,6 +293,74 @@ pub fn journal_row() -> Gen<JournalRow> {
     bool_any().flat_map(move |is_done| if is_done { done.clone() } else { failed.clone() })
 }
 
+/// One tenant of a generated scheduler workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant id (`t0`, `t1`, …).
+    pub id: String,
+    /// Fair-share weight (≥ 1).
+    pub weight: u64,
+}
+
+/// One campaign submission of a generated scheduler workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmissionSpec {
+    /// Index into the workload's tenant list.
+    pub tenant: usize,
+    /// Missions the campaign carries (≥ 1).
+    pub missions: usize,
+}
+
+/// A multi-tenant scheduler workload: tenant mix, interleaved submission
+/// plan, and a bounded queue depth (small enough that generated plans can
+/// exercise back-pressure rejections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerWorkload {
+    /// Registered tenants in registration order.
+    pub tenants: Vec<TenantSpec>,
+    /// Submissions in arrival order; every tenant index is in range.
+    pub submissions: Vec<SubmissionSpec>,
+    /// Admission bound for the fair queue.
+    pub queue_depth: usize,
+}
+
+/// A scheduler workload with up to `max_submissions` campaign submissions
+/// across 1–5 tenants with weights 1–4. Shrinks toward a single tenant of
+/// weight 1 with a single one-mission submission — the FIFO base case.
+pub fn scheduler_workload(max_submissions: usize) -> Gen<SchedulerWorkload> {
+    assert!(max_submissions >= 1, "a workload needs at least one submission");
+    usize_in(1..=5).flat_map(move |tenant_count| {
+        let weights = crate::gen::vec_of(&usize_in(1..=4), tenant_count..=tenant_count);
+        let submissions = crate::gen::vec_of(
+            &zip2(&usize_in(0..=tenant_count - 1), &usize_in(1..=6)),
+            1..=max_submissions,
+        );
+        let depth = usize_in(1..=max_submissions);
+        zip3(&weights, &submissions, &depth).map(|(weights, subs, queue_depth)| SchedulerWorkload {
+            tenants: weights
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| TenantSpec { id: format!("t{i}"), weight: w as u64 })
+                .collect(),
+            submissions: subs
+                .into_iter()
+                .map(|(tenant, missions)| SubmissionSpec { tenant, missions })
+                .collect(),
+            queue_depth,
+        })
+    })
+}
+
+/// Sorted crash points partitioning `n` journal rows into consecutive
+/// shards — the kill schedule of a campaign that survives up to three
+/// server incarnations. Shrinks toward no cuts (an uninterrupted run).
+pub fn shard_cuts(n: usize) -> Gen<Vec<usize>> {
+    crate::gen::vec_of(&usize_in(0..=n), 0..=3).map(|mut cuts| {
+        cuts.sort_unstable();
+        cuts
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +457,44 @@ mod tests {
         for f in sample(&spv_finding(), 8, 200) {
             assert_eq!(f.seed.waveform, f.waveform.kind());
         }
+    }
+
+    #[test]
+    fn scheduler_workloads_are_well_formed() {
+        for w in sample(&scheduler_workload(20), 9, 100) {
+            assert!((1..=5).contains(&w.tenants.len()));
+            assert!(!w.submissions.is_empty() && w.submissions.len() <= 20);
+            assert!((1..=20).contains(&w.queue_depth));
+            for (i, t) in w.tenants.iter().enumerate() {
+                assert_eq!(t.id, format!("t{i}"));
+                assert!((1..=4).contains(&t.weight));
+            }
+            for s in &w.submissions {
+                assert!(s.tenant < w.tenants.len(), "tenant index in range");
+                assert!((1..=6).contains(&s.missions));
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_workload_shrink_target_is_single_tenant_fifo() {
+        let mut src = Source::replay(Vec::new());
+        let w = scheduler_workload(20).generate(&mut src);
+        assert_eq!(w.tenants.len(), 1);
+        assert_eq!(w.tenants[0].weight, 1);
+        assert_eq!(w.submissions.len(), 1);
+        assert_eq!(w.queue_depth, 1);
+    }
+
+    #[test]
+    fn shard_cuts_are_sorted_and_bounded() {
+        for cuts in sample(&shard_cuts(17), 10, 100) {
+            assert!(cuts.len() <= 3);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+            assert!(cuts.iter().all(|&c| c <= 17));
+        }
+        let mut src = Source::replay(Vec::new());
+        assert!(shard_cuts(9).generate(&mut src).is_empty());
     }
 
     #[test]

@@ -9,11 +9,21 @@
 /// MPMC channels mirroring `crossbeam::channel`.
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// Locks the queue, recovering from poisoning: no user code ever
+        /// runs while the lock is held, so a poisoned state is still
+        /// consistent — a panicking worker thread must not wedge (or crash)
+        /// every other endpoint of the channel.
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     struct State<T> {
@@ -57,7 +67,7 @@ pub mod channel {
         /// Returns [`SendError`] carrying the value back when no receiver is
         /// left to consume it.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            let mut state = self.shared.lock();
             if state.receivers == 0 {
                 return Err(SendError(value));
             }
@@ -70,14 +80,14 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().expect("channel poisoned").senders += 1;
+            self.shared.lock().senders += 1;
             Sender { shared: Arc::clone(&self.shared) }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            let mut state = self.shared.lock();
             state.senders -= 1;
             let disconnected = state.senders == 0;
             drop(state);
@@ -95,7 +105,7 @@ pub mod channel {
         /// Returns [`RecvError`] when the channel is empty and every sender
         /// has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            let mut state = self.shared.lock();
             loop {
                 if let Some(item) = state.items.pop_front() {
                     return Ok(item);
@@ -103,7 +113,7 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
-                state = self.shared.ready.wait(state).expect("channel poisoned");
+                state = self.shared.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         }
 
@@ -115,14 +125,14 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.queue.lock().expect("channel poisoned").receivers += 1;
+            self.shared.lock().receivers += 1;
             Receiver { shared: Arc::clone(&self.shared) }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.queue.lock().expect("channel poisoned").receivers -= 1;
+            self.shared.lock().receivers -= 1;
         }
     }
 

@@ -1,0 +1,246 @@
+//! Property suite for the multi-tenant scheduler and shard-journal resume.
+//!
+//! The [`FairQueue`] is deliberately pure — dispatch order is a function of
+//! the submission sequence alone — so its service invariants are checked
+//! directly over generated tenant mixes and submission interleavings
+//! (`swarm_testkit::domain::scheduler_workload`):
+//!
+//! * **Weight conservation** — while every backlogged tenant stays
+//!   backlogged, dispatch counts track fair shares within smooth-WRR's
+//!   ±1-round bound.
+//! * **FIFO per tenant** — a tenant's campaigns dispatch strictly in
+//!   submission order, never interleaved within the lane.
+//! * **Bounded back-pressure** — admission succeeds exactly up to the
+//!   configured depth; every overflow is a typed [`ServerError::QueueFull`]
+//!   carrying exact queue telemetry.
+//!
+//! Crash-at-any-point resume is checked over generated kill schedules
+//! (`shard_cuts`): rows partitioned into consecutive shard journals — with
+//! an optional torn tail from a kill mid-append — merge back to exactly the
+//! uninterrupted row sequence. (The end-to-end resume differential over real
+//! missions lives in `tests/executor_equivalence.rs`.)
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use swarm_testkit::domain::{journal_row, scheduler_workload, shard_cuts, SchedulerWorkload};
+use swarm_testkit::gens::{bool_any, vec_of, zip2};
+use swarm_testkit::{cases, check_budgeted, tk_ensure};
+use swarmfuzz::campaign::SwarmConfig;
+use swarmfuzz::server::{merge_shard_rows, shard_path};
+use swarmfuzz::store::encode_row;
+use swarmfuzz::{CampaignJournal, FairQueue, MissionJob, ServerError, StoreError};
+
+/// A fresh scratch directory, unique per call so property cases never
+/// share shard files.
+fn fresh_dir(name: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("swarmfuzz-server-props-{name}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn mission(index: usize) -> MissionJob {
+    MissionJob { config: SwarmConfig { swarm_size: 3, deviation: 10.0 }, index }
+}
+
+fn missions(n: usize) -> VecDeque<MissionJob> {
+    (0..n).map(mission).collect()
+}
+
+/// Builds a queue admitting the whole workload and submits every campaign
+/// (job id = submission index).
+fn queue_with_all_admitted(w: &SchedulerWorkload) -> Result<FairQueue, String> {
+    let mut q = FairQueue::new(w.submissions.len());
+    for t in &w.tenants {
+        q.register_tenant(&t.id, t.weight).map_err(|e| e.to_string())?;
+    }
+    for (job, sub) in w.submissions.iter().enumerate() {
+        q.submit(&w.tenants[sub.tenant].id, job as u64, missions(sub.missions))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(q)
+}
+
+#[test]
+fn fair_share_weights_are_conserved_while_all_tenants_are_backlogged() {
+    check_budgeted("server_weight_conservation", cases(), &scheduler_workload(12), |w| {
+        let mut q = queue_with_all_admitted(w)?;
+        let mut remaining = vec![0usize; w.tenants.len()];
+        for sub in &w.submissions {
+            remaining[sub.tenant] += sub.missions;
+        }
+        let active: Vec<usize> = (0..w.tenants.len()).filter(|&i| remaining[i] > 0).collect();
+        let total_weight: u64 = active.iter().map(|&i| w.tenants[i].weight).sum();
+
+        // Dispatch while *every* active tenant still has pending work: this
+        // is the window the proportional-share guarantee covers (an idle or
+        // drained lane earns no credit, by design).
+        let mut counts = vec![0usize; w.tenants.len()];
+        let mut prefix = 0usize;
+        while active.iter().all(|&i| remaining[i] > 0) {
+            let Some((job, _)) = q.pop() else { break };
+            let tenant = w.submissions[job as usize].tenant;
+            counts[tenant] += 1;
+            remaining[tenant] -= 1;
+            prefix += 1;
+        }
+        for &i in &active {
+            let share = prefix as f64 * w.tenants[i].weight as f64 / total_weight as f64;
+            tk_ensure!(
+                (counts[i] as f64 - share).abs() <= 2.0,
+                "tenant {} took {} of {} dispatches, fair share {:.2} (tenants {:?})",
+                w.tenants[i].id,
+                counts[i],
+                prefix,
+                share,
+                w.tenants
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn dispatch_is_fifo_within_every_tenant_lane() {
+    check_budgeted("server_fifo_per_tenant", cases(), &scheduler_workload(12), |w| {
+        let mut q = queue_with_all_admitted(w)?;
+        let mut popped: Vec<Vec<u64>> = vec![Vec::new(); w.tenants.len()];
+        let mut dispatched = 0usize;
+        while let Some((job, _)) = q.pop() {
+            popped[w.submissions[job as usize].tenant].push(job);
+            dispatched += 1;
+        }
+        let offered: usize = w.submissions.iter().map(|s| s.missions).sum();
+        tk_ensure!(dispatched == offered, "queue lost work: {dispatched} of {offered}");
+        tk_ensure!(q.queued_campaigns() == 0, "campaigns left queued after the drain");
+        tk_ensure!(q.pending_missions() == 0, "missions left pending after the drain");
+        for (tenant, seq) in popped.iter().enumerate() {
+            // FIFO per lane: the tenant's dispatches are its campaigns in
+            // submission order, each run to completion before the next —
+            // never interleaved, never reordered.
+            let expected: Vec<u64> = w
+                .submissions
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.tenant == tenant)
+                .flat_map(|(job, s)| std::iter::repeat_n(job as u64, s.missions))
+                .collect();
+            tk_ensure!(
+                seq == &expected,
+                "tenant t{tenant} dispatched {seq:?}, FIFO order is {expected:?}"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn admission_succeeds_exactly_up_to_the_queue_depth() {
+    check_budgeted("server_queue_full_at_depth", cases(), &scheduler_workload(12), |w| {
+        let mut q = FairQueue::new(w.queue_depth);
+        for t in &w.tenants {
+            q.register_tenant(&t.id, t.weight).map_err(|e| e.to_string())?;
+        }
+        // Submit the whole plan without dispatching anything: the first
+        // `depth` campaigns are admitted, every later one is rejected with
+        // exact telemetry — never silently dropped, never over-admitted.
+        let (mut admitted, mut rejected) = (0usize, 0usize);
+        for (job, sub) in w.submissions.iter().enumerate() {
+            let tenant = &w.tenants[sub.tenant].id;
+            match q.submit(tenant, job as u64, missions(sub.missions)) {
+                Ok(()) => admitted += 1,
+                Err(ServerError::QueueFull { tenant: t, queued, depth }) => {
+                    rejected += 1;
+                    tk_ensure!(&t == tenant, "rejection names the wrong tenant: {t}");
+                    tk_ensure!(
+                        queued == w.queue_depth && depth == w.queue_depth,
+                        "rejection telemetry {queued}/{depth} at bound {}",
+                        w.queue_depth
+                    );
+                }
+                Err(other) => return Err(other.to_string()),
+            }
+        }
+        tk_ensure!(
+            admitted == w.submissions.len().min(w.queue_depth),
+            "admitted {admitted} with depth {} over {} submissions",
+            w.queue_depth,
+            w.submissions.len()
+        );
+        tk_ensure!(
+            rejected == w.submissions.len().saturating_sub(w.queue_depth),
+            "rejected {rejected} of {} submissions at depth {}",
+            w.submissions.len(),
+            w.queue_depth
+        );
+        tk_ensure!(q.queued_campaigns() == admitted, "queued count drifted from admissions");
+        Ok(())
+    });
+}
+
+#[test]
+fn shard_journals_merge_back_to_the_uninterrupted_row_sequence() {
+    // Arbitrary rows (hostile floats and strings included) cut at generated
+    // kill points into consecutive shard journals; optionally the final
+    // shard ends in a torn tail (kill mid-append). The merge must
+    // reconstruct exactly the original sequence — compared via the byte
+    // codec, the same identity the campaign reports are gated on.
+    let gen = zip2(&vec_of(&journal_row(), 0..=12), &bool_any()).flat_map(|(rows, torn)| {
+        shard_cuts(rows.len()).map(move |cuts| (rows.clone(), cuts, torn))
+    });
+    check_budgeted("server_shard_merge", cases(), &gen, |(rows, cuts, torn)| {
+        let dir = fresh_dir("merge");
+        let fingerprint = "feedfacecafe";
+        let mut boundaries = vec![0usize];
+        boundaries.extend(cuts.iter().copied());
+        boundaries.push(rows.len());
+        for (shard, window) in boundaries.windows(2).enumerate() {
+            let path = shard_path(&dir, fingerprint, shard);
+            let mut journal = CampaignJournal::create(&path, fingerprint, "SwarmFuzz")
+                .map_err(|e| e.to_string())?;
+            for row in &rows[window[0]..window[1]] {
+                journal.append(row).map_err(|e| e.to_string())?;
+            }
+        }
+        if *torn {
+            let last = shard_path(&dir, fingerprint, boundaries.len() - 2);
+            let mut file =
+                std::fs::OpenOptions::new().append(true).open(&last).map_err(|e| e.to_string())?;
+            file.write_all(b"{\"swarm_size\":3,\"torn").map_err(|e| e.to_string())?;
+        }
+        let merged = merge_shard_rows(&dir, fingerprint).map_err(|e| e.to_string())?;
+        let merged_bytes: Vec<String> = merged.iter().map(encode_row).collect();
+        let original_bytes: Vec<String> = rows.iter().map(encode_row).collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        tk_ensure!(
+            merged_bytes == original_bytes,
+            "merge of {} shards (torn tail: {torn}) diverged: {} rows in, {} rows out",
+            boundaries.len() - 1,
+            rows.len(),
+            merged.len()
+        );
+        Ok(())
+    });
+}
+
+/// A shard whose header fingerprint disagrees with its filename is refused
+/// outright — hand-edited journals must never silently merge.
+#[test]
+fn shard_fingerprint_mismatch_is_a_hard_error() {
+    let dir = fresh_dir("mismatch");
+    // Filename claims campaign "aaa", header claims "bbb".
+    CampaignJournal::create(&shard_path(&dir, "aaa", 0), "bbb", "SwarmFuzz")
+        .expect("create mismatched shard");
+    let err = merge_shard_rows(&dir, "aaa").expect_err("mismatch must refuse to merge");
+    assert!(
+        matches!(err, StoreError::FingerprintMismatch { .. }),
+        "expected a fingerprint mismatch, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
